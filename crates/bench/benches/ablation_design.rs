@@ -1,0 +1,179 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. Repeat offsets on/off — how much of zstdx's ratio edge they carry.
+//! 2. Match-finding strategy sweep at a fixed entropy stage.
+//! 3. Dictionary size sweep on small cache items.
+//! 4. Parallel (block-independent) compression: thread scaling and the
+//!    ratio cost of independence.
+
+use benchkit::{print_table, write_artifact, Scale};
+use codecs::zstdx::Zstdx;
+use codecs::Compressor;
+use lzkit::{MatchParams, Strategy};
+use serde::Serialize;
+
+fn main() {
+    let scale = Scale::from_env();
+    rep_offsets(scale);
+    strategies(scale);
+    dict_sizes(scale);
+    parallel_scaling(scale);
+}
+
+#[derive(Serialize)]
+struct RepRow {
+    class: String,
+    with_reps: usize,
+    without_reps: usize,
+    rep_gain_pct: f64,
+}
+
+fn rep_offsets(scale: Scale) {
+    use corpus::silesia::FileClass;
+    let size = scale.pick(512 << 10, 64 << 10);
+    let mut rows = Vec::new();
+    for class in FileClass::ALL {
+        let data = corpus::silesia::generate(class, size, 3);
+        let with = Zstdx::new(3).compress(&data).len();
+        let without = Zstdx::new(3).with_rep_offsets(false).compress(&data).len();
+        rows.push(RepRow {
+            class: class.to_string(),
+            with_reps: with,
+            without_reps: without,
+            rep_gain_pct: (without as f64 / with as f64 - 1.0) * 100.0,
+        });
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.class.clone(),
+                r.with_reps.to_string(),
+                r.without_reps.to_string(),
+                format!("{:+.1}%", r.rep_gain_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation 1: repeat offsets (zstdx level 3)",
+        &["class", "with reps", "without", "cost of removing"],
+        &table,
+    );
+    write_artifact("ablation_rep_offsets", &compopt::report::to_json_lines(&rows));
+}
+
+#[derive(Serialize)]
+struct StrategyRow {
+    strategy: String,
+    compressed: usize,
+    compress_mbps: f64,
+}
+
+fn strategies(scale: Scale) {
+    let size = scale.pick(1 << 20, 128 << 10);
+    let data = corpus::silesia::generate(corpus::silesia::FileClass::Source, size, 4);
+    let mut rows = Vec::new();
+    for strategy in [Strategy::Fast, Strategy::Greedy, Strategy::Lazy, Strategy::Optimal] {
+        let params = MatchParams::new(strategy);
+        let z = Zstdx::with_params(6, params);
+        let t0 = std::time::Instant::now();
+        let frame = z.compress(&data);
+        let dt = t0.elapsed().as_secs_f64();
+        rows.push(StrategyRow {
+            strategy: strategy.to_string(),
+            compressed: frame.len(),
+            compress_mbps: data.len() as f64 / dt / 1e6,
+        });
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![r.strategy.clone(), r.compressed.to_string(), format!("{:.1}", r.compress_mbps)]
+        })
+        .collect();
+    print_table(
+        "Ablation 2: match-finding strategy (same entropy stage)",
+        &["strategy", "compressed bytes", "comp MB/s"],
+        &table,
+    );
+    write_artifact("ablation_strategies", &compopt::report::to_json_lines(&rows));
+}
+
+#[derive(Serialize)]
+struct DictRow {
+    dict_bytes: usize,
+    ratio: f64,
+}
+
+fn dict_sizes(scale: Scale) {
+    let n = scale.pick(2000, 300);
+    let items = corpus::cache::generate_items(&corpus::cache::cache1_profile(), n, 5);
+    let split = items.len() / 2;
+    let train: Vec<&[u8]> = items[..split].iter().map(|i| i.data.as_slice()).collect();
+    let z = Zstdx::new(3);
+
+    let mut rows = Vec::new();
+    for dict_size in [0usize, 1 << 10, 4 << 10, 16 << 10, 64 << 10] {
+        let dict = (dict_size > 0).then(|| codecs::dict::train(&train, dict_size, 1));
+        let (mut input, mut output) = (0usize, 0usize);
+        for item in &items[split..] {
+            input += item.data.len();
+            output += match &dict {
+                Some(d) => z.compress_with_dict(&item.data, d).len(),
+                None => z.compress(&item.data).len(),
+            };
+        }
+        rows.push(DictRow { dict_bytes: dict_size, ratio: input as f64 / output as f64 });
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![benchkit::fmt_bytes(r.dict_bytes as f64), format!("{:.2}", r.ratio)])
+        .collect();
+    print_table(
+        "Ablation 3: dictionary size on CACHE1-style items (zstdx level 3)",
+        &["dict size", "ratio"],
+        &table,
+    );
+    write_artifact("ablation_dict_sizes", &compopt::report::to_json_lines(&rows));
+}
+
+#[derive(Serialize)]
+struct ParRow {
+    threads: usize,
+    compress_mbps: f64,
+    compressed: usize,
+}
+
+fn parallel_scaling(scale: Scale) {
+    let size = scale.pick(16 << 20, 2 << 20);
+    let data = corpus::sst::generate_sst(size, 6);
+    let z = Zstdx::new(3);
+    let chained = z.compress(&data).len();
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let t0 = std::time::Instant::now();
+        let frame = codecs::parallel::compress_parallel(&z, &data, threads);
+        let dt = t0.elapsed().as_secs_f64();
+        rows.push(ParRow {
+            threads,
+            compress_mbps: data.len() as f64 / dt / 1e6,
+            compressed: frame.len(),
+        });
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                format!("{:.1}", r.compress_mbps),
+                format!("{:+.1}%", (r.compressed as f64 / chained as f64 - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation 4: parallel block-independent compression (vs chained ratio)",
+        &["threads", "comp MB/s", "ratio cost"],
+        &table,
+    );
+    write_artifact("ablation_parallel", &compopt::report::to_json_lines(&rows));
+}

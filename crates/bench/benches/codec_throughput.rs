@@ -1,0 +1,44 @@
+//! Criterion throughput benches: compression and decompression speed of
+//! the three codecs across representative levels and data classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_codecs(c: &mut Criterion) {
+    let data = corpus::silesia::generate(corpus::silesia::FileClass::Database, 256 << 10, 3);
+
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for (algo, levels) in [
+        (codecs::Algorithm::Zstdx, &[1, 3, 9][..]),
+        (codecs::Algorithm::Lz4x, &[1, 6][..]),
+        (codecs::Algorithm::Zlibx, &[1, 6][..]),
+    ] {
+        for &level in levels {
+            let comp = algo.compressor(level);
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), level),
+                &data,
+                |b, data| b.iter(|| comp.compress(data)),
+            );
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("decompress");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for algo in codecs::Algorithm::ALL {
+        let comp = algo.compressor(3);
+        let frame = comp.compress(&data);
+        g.bench_with_input(BenchmarkId::new(algo.name(), 3), &frame, |b, frame| {
+            b.iter(|| comp.decompress(frame).expect("own frame"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codecs
+}
+criterion_main!(benches);

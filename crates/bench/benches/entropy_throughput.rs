@@ -1,0 +1,42 @@
+//! Criterion throughput benches: the entropy substrates (Huffman, FSE)
+//! in isolation — the "entropy encoding stage" axis of the paper's
+//! trade-off discussion.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use entropy::fse::FseTable;
+use entropy::hist::byte_histogram;
+use entropy::huffman::HuffmanTable;
+
+fn bench_entropy(c: &mut Criterion) {
+    let data = corpus::silesia::generate(corpus::silesia::FileClass::Text, 128 << 10, 4);
+    let freqs = byte_histogram(&data);
+
+    let mut g = c.benchmark_group("huffman");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    let table = HuffmanTable::build(&freqs, 11).expect("text has many symbols");
+    let encoded = table.encode(&data);
+    g.bench_function("encode", |b| b.iter(|| table.encode(&data)));
+    g.bench_function("decode", |b| b.iter(|| table.decode(&encoded, data.len()).unwrap()));
+    g.finish();
+
+    // FSE over a sequence-code-like alphabet.
+    let symbols: Vec<u16> = data.iter().map(|&b| (b % 36) as u16).collect();
+    let mut hist = vec![0u32; 36];
+    for &s in &symbols {
+        hist[s as usize] += 1;
+    }
+    let fse = FseTable::from_frequencies(&hist, 9, symbols.len()).unwrap();
+    let encoded = fse.encode(&symbols);
+    let mut g = c.benchmark_group("fse");
+    g.throughput(Throughput::Elements(symbols.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| fse.encode(&symbols)));
+    g.bench_function("decode", |b| b.iter(|| fse.decode(&encoded, symbols.len()).unwrap()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_entropy
+}
+criterion_main!(benches);

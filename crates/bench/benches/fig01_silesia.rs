@@ -1,0 +1,65 @@
+//! Figure 1: compression ratio and speed across Silesia-like file
+//! classes for zstdx/zlibx/lz4x at levels 1–9.
+//!
+//! Paper claim to reproduce: "compression metrics depend heavily on the
+//! data, showing an order of magnitude difference in compression ratios
+//! and speeds" (§I).
+
+use benchkit::{print_table, write_artifact, Scale};
+use codecs::{measure, Algorithm};
+use corpus::silesia::FileClass;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    class: String,
+    algorithm: String,
+    level: i32,
+    ratio: f64,
+    compress_mbps: f64,
+    decompress_mbps: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let size = scale.pick(1 << 20, 64 << 10);
+    let levels: Vec<i32> = scale.pick((1..=9).collect(), vec![1, 3, 6, 9]);
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for class in FileClass::ALL {
+        let data = corpus::silesia::generate(class, size, 1);
+        for algo in [Algorithm::Zstdx, Algorithm::Zlibx, Algorithm::Lz4x] {
+            for &level in &levels {
+                let c = algo.compressor(level);
+                let m = measure(c.as_ref(), &[&data]);
+                rows.push(Row {
+                    class: class.to_string(),
+                    algorithm: algo.to_string(),
+                    level,
+                    ratio: m.ratio(),
+                    compress_mbps: m.compress_mbps(),
+                    decompress_mbps: m.decompress_mbps(),
+                });
+                table.push(vec![
+                    class.to_string(),
+                    algo.to_string(),
+                    level.to_string(),
+                    format!("{:.2}", m.ratio()),
+                    format!("{:.1}", m.compress_mbps()),
+                    format!("{:.1}", m.decompress_mbps()),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Figure 1: ratio & speed by file class / algorithm / level",
+        &["class", "algo", "level", "ratio", "comp MB/s", "decomp MB/s"],
+        &table,
+    );
+    // Headline check: order-of-magnitude spread in ratios across classes.
+    let max = rows.iter().map(|r| r.ratio).fold(f64::MIN, f64::max);
+    let min = rows.iter().map(|r| r.ratio).fold(f64::MAX, f64::min);
+    println!("\nratio spread: {min:.2} .. {max:.2} ({:.1}x)", max / min);
+    write_artifact("fig01_silesia", &compopt::report::to_json_lines(&rows));
+}

@@ -1,0 +1,12 @@
+//! Figure 8: CACHE1 item size distribution.
+//!
+//! Paper: "the distribution is strongly skewed towards smaller items
+//! whose sizes are less than 1KB, with a long tail of larger items".
+
+fn main() {
+    benchkit::cache_sizes_figure(
+        "Figure 8: CACHE1 item sizes",
+        "fig08_cache1_sizes",
+        &corpus::cache::cache1_profile(),
+    );
+}

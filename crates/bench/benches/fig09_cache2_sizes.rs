@@ -1,0 +1,10 @@
+//! Figure 9: CACHE2 item size distribution (same shape as Figure 8,
+//! shifted larger).
+
+fn main() {
+    benchkit::cache_sizes_figure(
+        "Figure 9: CACHE2 item sizes",
+        "fig09_cache2_sizes",
+        &corpus::cache::cache2_profile(),
+    );
+}

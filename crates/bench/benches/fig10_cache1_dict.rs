@@ -1,0 +1,13 @@
+//! Figure 10: CACHE1 compression speed vs ratio with and without
+//! dictionary compression, zstdx levels 1/3/6/11.
+//!
+//! Paper: "dictionary compression achieves a much higher ratio for the
+//! same level in all cases" (§IV-C).
+
+fn main() {
+    benchkit::cache_dict_figure(
+        "Figure 10: CACHE1 dictionary compression",
+        "fig10_cache1_dict",
+        &corpus::cache::cache1_profile(),
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 11: CACHE2 compression speed vs ratio with and without
+//! dictionary compression, zstdx levels 1/3/6/11.
+
+fn main() {
+    benchkit::cache_dict_figure(
+        "Figure 11: CACHE2 dictionary compression",
+        "fig11_cache2_dict",
+        &corpus::cache::cache2_profile(),
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 12: ADS1 model requests — ratio and speed across zstdx levels
+//! −5..9 for models A/B/C.
+//!
+//! Paper: "higher compression ratios are achieved when compressing
+//! requests with more sparse embeddings due to the numerous zeros in
+//! the data... each model could use different compression
+//! configurations" (§IV-D).
+
+use benchkit::{print_table, write_artifact, Scale};
+use codecs::measure;
+use corpus::mlreq::{generate_requests, Model};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    level: i32,
+    ratio: f64,
+    compress_mbps: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let levels: Vec<i32> =
+        scale.pick((-5..=9).collect(), vec![-5, -3, -1, 1, 3, 5, 7, 9]);
+    let n_reqs = scale.pick(6, 2);
+
+    let mut rows = Vec::new();
+    for model in Model::ALL {
+        let reqs = generate_requests(model, n_reqs, 77);
+        let refs: Vec<&[u8]> = reqs.iter().map(|v| v.as_slice()).collect();
+        for &level in &levels {
+            let c = codecs::Algorithm::Zstdx.compressor(level);
+            let m = measure(c.as_ref(), &refs);
+            rows.push(Row {
+                model: model.to_string(),
+                level,
+                ratio: m.ratio(),
+                compress_mbps: m.compress_mbps(),
+            });
+        }
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.level.to_string(),
+                format!("{:.2}", r.ratio),
+                format!("{:.1}", r.compress_mbps),
+            ]
+        })
+        .collect();
+    print_table("Figure 12: ADS1 model variance", &["model", "level", "ratio", "comp MB/s"], &table);
+    for model in Model::ALL {
+        let best = rows
+            .iter()
+            .filter(|r| r.model == model.to_string())
+            .map(|r| r.ratio)
+            .fold(f64::MIN, f64::max);
+        println!("{model}: best ratio {best:.2}");
+    }
+    write_artifact("fig12_ads_models", &compopt::report::to_json_lines(&rows));
+}

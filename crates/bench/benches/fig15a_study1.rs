@@ -1,0 +1,49 @@
+//! Figure 15a — sensitivity study 1: ADS1 minimizes compute + network
+//! cost under a minimum compression-speed SLO.
+//!
+//! Paper: "Assuming that the minimum compression speed requirement as
+//! 200MB/s, we observed that Zstd level-4 showed the lowest total cost,
+//! which is lower than 73% compared with the worst configuration (LZ4
+//! with level 10)."
+
+use benchkit::{print_table, write_artifact, Scale};
+use compopt::studies::{study1_ads1, StudyScale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let study_scale = scale.pick(StudyScale::full(), StudyScale::quick());
+    // The paper's SLO is 200 MB/s on production hardware; absolute
+    // speeds depend on the build machine, so report both the paper SLO
+    // and a machine-relative one (median measured speed).
+    let unconstrained = study1_ads1(&study_scale, 0.0);
+    let mut speeds: Vec<f64> = unconstrained.rows.iter().map(|r| r.compress_mbps).collect();
+    speeds.sort_by(f64::total_cmp);
+    let median_speed = speeds[speeds.len() / 2];
+    let slo = if speeds.iter().any(|&s| s >= 200.0) { 200.0 } else { median_speed };
+    let result = study1_ads1(&study_scale, slo);
+
+    let table: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|e| {
+            vec![
+                e.label.clone(),
+                format!("{:.2}", e.ratio),
+                format!("{:.1}", e.compress_mbps),
+                format!("{:.3e}", e.total_cost),
+                if e.feasible { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 15a: ADS1 cost (SLO: comp speed >= {slo:.0} MB/s)"),
+        &["config", "ratio", "comp MB/s", "compute+network cost", "feasible"],
+        &table,
+    );
+    println!("\nbest feasible: {:?}", result.best);
+    println!("worst: {:?}", result.worst);
+    if let Some(s) = result.saving_vs_worst {
+        println!("saving vs worst: {:.0}% (paper: 73% with zstd level-4 winning)", s * 100.0);
+    }
+    write_artifact("fig15a_study1", &compopt::report::to_json_lines(&result.rows));
+}

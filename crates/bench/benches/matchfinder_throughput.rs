@@ -1,0 +1,26 @@
+//! Criterion throughput benches: the four match-finding strategies —
+//! the "LZ match-finding stage" axis of the paper's trade-off
+//! discussion (§II-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lzkit::{parse, MatchParams, Strategy};
+
+fn bench_matchfinders(c: &mut Criterion) {
+    let data = corpus::silesia::generate(corpus::silesia::FileClass::Source, 256 << 10, 5);
+    let mut g = c.benchmark_group("match_find");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for strategy in [Strategy::Fast, Strategy::Greedy, Strategy::Lazy, Strategy::Optimal] {
+        let params = MatchParams::new(strategy);
+        g.bench_with_input(BenchmarkId::from_parameter(strategy), &data, |b, data| {
+            b.iter(|| parse(data, 0, &params))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matchfinders
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table I: the eight case-study services.
+
+use benchkit::print_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = fleet::table1()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.category.to_string(),
+                s.description.to_string(),
+                s.resource_bound.to_string(),
+                s.key_takeaway.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I: representative services",
+        &["Service", "Category", "Description", "Boundedness", "Key Takeaway"],
+        &rows,
+    );
+}

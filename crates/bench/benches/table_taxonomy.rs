@@ -1,0 +1,26 @@
+//! §VI-A/B: the four-category service taxonomy and hardware-offload
+//! guidance, derived from each Table I service's measured usage profile.
+
+use benchkit::print_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = fleet::table1()
+        .iter()
+        .map(|s| {
+            let classes = fleet::classify(s);
+            let letters: String =
+                classes.iter().map(|c| c.letter()).collect::<Vec<_>>().iter().collect();
+            let offload = if classes.iter().any(|c| c.suits_hardware_offload()) {
+                "offload candidate"
+            } else {
+                "keep on CPU"
+            };
+            vec![s.name.to_string(), letters, offload.to_string()]
+        })
+        .collect();
+    print_table(
+        "§VI taxonomy: categories (A speed / B decomp / C latency-insensitive / D small-data) and offload guidance",
+        &["service", "classes", "HW guidance"],
+        &rows,
+    );
+}

@@ -1,0 +1,113 @@
+//! Minimal argument parsing: positionals plus `--flag value` options.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Arguments without a leading `--`.
+    pub positionals: Vec<String>,
+    /// `--name value` pairs.
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Splits raw arguments into positionals and `--key value` options.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a trailing `--flag` without a value.
+    pub fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value =
+                    it.next().ok_or_else(|| format!("option --{name} needs a value"))?;
+                out.options.insert(name.to_string(), value.clone());
+            } else {
+                out.positionals.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fetches an option parsed as `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when present but unparsable.
+    pub fn opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+
+    /// Fetches an option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when present but unparsable.
+    pub fn opt_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        Ok(self.opt(name)?.unwrap_or(default))
+    }
+
+    /// Requires at least `n` positionals.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error when fewer are present.
+    pub fn need(&self, n: usize, usage: &str) -> Result<(), String> {
+        if self.positionals.len() < n {
+            return Err(format!("missing arguments; usage: {usage}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn splits_positionals_and_options() {
+        let a = parse(&["in.bin", "out.bin", "--level", "7", "--algo", "zstdx"]);
+        assert_eq!(a.positionals, vec!["in.bin", "out.bin"]);
+        assert_eq!(a.opt::<i32>("level").unwrap(), Some(7));
+        assert_eq!(a.options["algo"], "zstdx");
+    }
+
+    #[test]
+    fn defaults_and_missing() {
+        let a = parse(&["x"]);
+        assert_eq!(a.opt_or("level", 3).unwrap(), 3);
+        assert_eq!(a.opt::<usize>("block").unwrap(), None);
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let a = parse(&["--level", "abc"]);
+        assert!(a.opt::<i32>("level").is_err());
+    }
+
+    #[test]
+    fn dangling_flag_is_an_error() {
+        let raw = vec!["--level".to_string()];
+        assert!(Args::parse(&raw).is_err());
+    }
+
+    #[test]
+    fn need_checks_arity() {
+        let a = parse(&["one"]);
+        assert!(a.need(1, "u").is_ok());
+        assert!(a.need(2, "u").is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Subcommand implementations.
+
+use std::fs;
+
+use codecs::{Algorithm, Dictionary};
+use compopt::prelude::*;
+
+use crate::args::Args;
+
+const USAGE: &str = "datacomp <compress|decompress|bench|train-dict|optimize|gen|fleet> ...";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for any usage or IO failure.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(format!("usage: {USAGE}"));
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "compress" => compress(&args),
+        "decompress" => decompress(&args),
+        "bench" => bench(&args),
+        "train-dict" => train_dict(&args),
+        "optimize" => optimize(&args),
+        "gen" => gen(&args),
+        "fleet" => fleet_tables(&args),
+        other => Err(format!("unknown command {other}; usage: {USAGE}")),
+    }
+}
+
+fn algo(args: &Args) -> Result<Algorithm, String> {
+    args.options.get("algo").map_or(Ok(Algorithm::Zstdx), |s| s.parse())
+}
+
+fn load_dict(args: &Args) -> Result<Option<Dictionary>, String> {
+    match args.options.get("dict") {
+        None => Ok(None),
+        Some(path) => {
+            let data = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            // Dictionary id: stable hash of the content, so compress and
+            // decompress invocations agree without extra bookkeeping.
+            let id = codecs::xxhash::xxh64(&data, 0) as u32;
+            Ok(Some(Dictionary::new(data, id)))
+        }
+    }
+}
+
+fn compress(args: &Args) -> Result<(), String> {
+    args.need(2, "datacomp compress <in> <out> [--algo A] [--level N] [--dict F]")?;
+    let input = fs::read(&args.positionals[0])
+        .map_err(|e| format!("cannot read {}: {e}", args.positionals[0]))?;
+    let level = args.opt_or("level", 3)?;
+    let comp = algo(args)?.compressor(level);
+    let frame = match load_dict(args)? {
+        Some(d) => comp.compress_with_dict(&input, &d),
+        None => comp.compress(&input),
+    };
+    fs::write(&args.positionals[1], &frame)
+        .map_err(|e| format!("cannot write {}: {e}", args.positionals[1]))?;
+    println!(
+        "{} -> {} bytes (ratio {:.2}, {} level {})",
+        input.len(),
+        frame.len(),
+        input.len() as f64 / frame.len().max(1) as f64,
+        comp.name(),
+        comp.level()
+    );
+    Ok(())
+}
+
+fn decompress(args: &Args) -> Result<(), String> {
+    args.need(2, "datacomp decompress <in> <out> [--algo A] [--dict F]")?;
+    let frame = fs::read(&args.positionals[0])
+        .map_err(|e| format!("cannot read {}: {e}", args.positionals[0]))?;
+    let comp = algo(args)?.compressor(args.opt_or("level", 3)?);
+    let data = match load_dict(args)? {
+        Some(d) => comp.decompress_with_dict(&frame, &d),
+        None => comp.decompress(&frame),
+    }
+    .map_err(|e| format!("decompression failed: {e}"))?;
+    fs::write(&args.positionals[1], &data)
+        .map_err(|e| format!("cannot write {}: {e}", args.positionals[1]))?;
+    println!("{} -> {} bytes", frame.len(), data.len());
+    Ok(())
+}
+
+fn bench(args: &Args) -> Result<(), String> {
+    args.need(1, "datacomp bench <in> [--algo A] [--levels 1,3,6] [--block BYTES]")?;
+    let input = fs::read(&args.positionals[0])
+        .map_err(|e| format!("cannot read {}: {e}", args.positionals[0]))?;
+    let a = algo(args)?;
+    let levels: Vec<i32> = match args.options.get("levels") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("bad level: {s}")))
+            .collect::<Result<_, _>>()?,
+        None => vec![1, 3, 6],
+    };
+    let block: Option<usize> = args.opt("block")?;
+    println!("{:>6} {:>8} {:>12} {:>12}", "level", "ratio", "comp MB/s", "decomp MB/s");
+    for level in levels {
+        let comp = a.compressor(level);
+        let m = match block {
+            Some(bs) => codecs::measure_blocks(comp.as_ref(), &input, bs),
+            None => codecs::measure(comp.as_ref(), &[&input]),
+        };
+        println!(
+            "{:>6} {:>8.2} {:>12.1} {:>12.1}",
+            level,
+            m.ratio(),
+            m.compress_mbps(),
+            m.decompress_mbps()
+        );
+    }
+    Ok(())
+}
+
+fn train_dict(args: &Args) -> Result<(), String> {
+    args.need(2, "datacomp train-dict <out> <samples...> [--size BYTES]")?;
+    let size = args.opt_or("size", 16 * 1024)?;
+    let samples: Vec<Vec<u8>> = args.positionals[1..]
+        .iter()
+        .map(|p| fs::read(p).map_err(|e| format!("cannot read {p}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&[u8]> = samples.iter().map(|v| v.as_slice()).collect();
+    let dict = codecs::dict::train(&refs, size, 0);
+    fs::write(&args.positionals[0], dict.as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", args.positionals[0]))?;
+    println!("trained {} bytes of dictionary from {} samples", dict.len(), refs.len());
+    Ok(())
+}
+
+fn optimize(args: &Args) -> Result<(), String> {
+    args.need(
+        1,
+        "datacomp optimize <samples...> [--retention DAYS] [--objective all|network|storage] [--min-speed MBPS] [--max-latency MS]",
+    )?;
+    let samples: Vec<Vec<u8>> = args
+        .positionals
+        .iter()
+        .map(|p| fs::read(p).map_err(|e| format!("cannot read {p}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&[u8]> = samples.iter().map(|v| v.as_slice()).collect();
+
+    let mut engine = CompEngine::new();
+    for a in Algorithm::ALL {
+        engine.add_levels(a, [1, 3, 6, 9]);
+    }
+    let measured = engine.measure(&refs);
+
+    let retention = args.opt_or("retention", 30.0)?;
+    let params = CostParams::from_pricing(&Pricing::aws_2023(), 1.0, retention);
+    let weights = match args.options.get("objective").map(String::as_str) {
+        None | Some("all") => CostWeights::ALL,
+        Some("network") => CostWeights::COMPUTE_NETWORK,
+        Some("storage") => CostWeights::COMPUTE_STORAGE,
+        Some(other) => return Err(format!("unknown objective {other}")),
+    };
+    let mut constraints = Vec::new();
+    if let Some(v) = args.opt("min-speed")? {
+        constraints.push(Constraint::MinCompressionSpeedMbps(v));
+    }
+    if let Some(v) = args.opt("max-latency")? {
+        constraints.push(Constraint::MaxDecompressionLatencyMs(v));
+    }
+    let evals = evaluate_all(&measured, &params, weights, &constraints);
+    println!(
+        "{:>16} {:>7} {:>11} {:>14} {:>9}",
+        "config", "ratio", "comp MB/s", "cost", "feasible"
+    );
+    for e in &evals {
+        println!(
+            "{:>16} {:>7.2} {:>11.1} {:>14.3e} {:>9}",
+            e.label,
+            e.ratio,
+            e.compress_mbps,
+            e.total_cost,
+            if e.feasible { "yes" } else { "no" }
+        );
+    }
+    match optimum(&evals) {
+        Some(best) => println!("\noptimal: {}", best.label),
+        None => println!("\nno feasible configuration under the given constraints"),
+    }
+    Ok(())
+}
+
+fn gen(args: &Args) -> Result<(), String> {
+    args.need(3, "datacomp gen <class> <bytes> <out> [--seed N]")?;
+    let size: usize =
+        args.positionals[1].parse().map_err(|_| "bad size".to_string())?;
+    let seed = args.opt_or("seed", 1u64)?;
+    let class = &args.positionals[0];
+    let data = match class.as_str() {
+        "text" | "xml" | "source" | "database" | "binary" | "log" => {
+            let fc = corpus::silesia::FileClass::ALL
+                .into_iter()
+                .find(|c| c.name() == class)
+                .expect("name matched");
+            corpus::silesia::generate(fc, size, seed)
+        }
+        "sst" => corpus::sst::generate_sst(size, seed),
+        "orc" => corpus::orc::generate_blocks(size, seed).concat(),
+        "ads" => corpus::mlreq::generate_request(corpus::mlreq::Model::A, seed),
+        "cache" => corpus::cache::generate_items(
+            &corpus::cache::cache1_profile(),
+            size / 300 + 1,
+            seed,
+        )
+        .into_iter()
+        .flat_map(|i| i.data)
+        .take(size)
+        .collect(),
+        other => {
+            return Err(format!(
+                "unknown class {other}; pick text|xml|source|database|binary|log|sst|orc|ads|cache"
+            ))
+        }
+    };
+    fs::write(&args.positionals[2], &data)
+        .map_err(|e| format!("cannot write {}: {e}", args.positionals[2]))?;
+    println!("wrote {} bytes of {class}", data.len());
+    Ok(())
+}
+
+fn fleet_tables(args: &Args) -> Result<(), String> {
+    let units = args.opt_or("units", 4usize)?;
+    let profile = fleet::profile_fleet(&fleet::ProfileConfig { work_units: units, seed: 30 });
+    println!("fleet compression tax: {:.2}%", fleet::agg::fleet_compression_tax(&profile) * 100.0);
+    println!("\nzstdx cycles by category:");
+    for (c, f) in fleet::agg::category_zstd_cycles(&profile) {
+        println!("  {:<16} {:>5.1}%", c.to_string(), f * 100.0);
+    }
+    println!("\nzstdx cycles by service (Table I):");
+    for (s, f) in fleet::agg::service_zstd_cycles(&profile) {
+        println!("  {s:<10} {:>5.1}%", f * 100.0);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("datacomp-cli-tests");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    fn run_cmd(argv: &[&str]) -> Result<(), String> {
+        run(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip_via_files() {
+        let input = tmp("in.txt");
+        let packed = tmp("in.zsx");
+        let out = tmp("out.txt");
+        fs::write(&input, b"cli roundtrip cli roundtrip cli roundtrip").unwrap();
+        run_cmd(&[
+            "compress",
+            input.to_str().unwrap(),
+            packed.to_str().unwrap(),
+            "--level",
+            "5",
+        ])
+        .unwrap();
+        run_cmd(&["decompress", packed.to_str().unwrap(), out.to_str().unwrap()]).unwrap();
+        assert_eq!(fs::read(&out).unwrap(), fs::read(&input).unwrap());
+    }
+
+    #[test]
+    fn dictionary_flow_via_files() {
+        let dict_path = tmp("d.dict");
+        let sample = tmp("sample.json");
+        fs::write(&sample, br#"{"k":"value","k2":"value","k3":"value"}"#.repeat(20)).unwrap();
+        run_cmd(&[
+            "train-dict",
+            dict_path.to_str().unwrap(),
+            sample.to_str().unwrap(),
+            "--size",
+            "4096",
+        ])
+        .unwrap();
+        let input = tmp("msg.json");
+        fs::write(&input, br#"{"k":"value","k2":"other"}"#).unwrap();
+        let packed = tmp("msg.zsx");
+        let out = tmp("msg.out");
+        run_cmd(&[
+            "compress",
+            input.to_str().unwrap(),
+            packed.to_str().unwrap(),
+            "--dict",
+            dict_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Without the dictionary the frame must refuse to decode.
+        assert!(run_cmd(&["decompress", packed.to_str().unwrap(), out.to_str().unwrap()])
+            .is_err());
+        run_cmd(&[
+            "decompress",
+            packed.to_str().unwrap(),
+            out.to_str().unwrap(),
+            "--dict",
+            dict_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(fs::read(&out).unwrap(), fs::read(&input).unwrap());
+    }
+
+    #[test]
+    fn gen_then_bench() {
+        let data = tmp("gen.log");
+        run_cmd(&["gen", "log", "20000", data.to_str().unwrap()]).unwrap();
+        assert_eq!(fs::read(&data).unwrap().len(), 20000);
+        run_cmd(&["bench", data.to_str().unwrap(), "--levels", "1,3"]).unwrap();
+    }
+
+    #[test]
+    fn optimize_runs_on_generated_samples() {
+        let data = tmp("opt.db");
+        run_cmd(&["gen", "database", "30000", data.to_str().unwrap()]).unwrap();
+        run_cmd(&["optimize", data.to_str().unwrap(), "--objective", "storage"]).unwrap();
+    }
+
+    #[test]
+    fn usage_errors_are_clear() {
+        assert!(run_cmd(&[]).unwrap_err().contains("usage"));
+        assert!(run_cmd(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(run_cmd(&["compress", "only-one-arg"]).unwrap_err().contains("usage"));
+        assert!(run_cmd(&["gen", "nope", "10", "/tmp/x"]).unwrap_err().contains("unknown class"));
+    }
+}

@@ -1,0 +1,28 @@
+//! `datacomp` — command-line access to the compression stack.
+//!
+//! ```text
+//! datacomp compress   <in> <out> [--algo A] [--level N] [--dict F]
+//! datacomp decompress <in> <out> [--algo A] [--dict F]
+//! datacomp bench      <in> [--algo A] [--levels 1,3,6] [--block BYTES]
+//! datacomp train-dict <out> <samples...> [--size BYTES]
+//! datacomp optimize   <samples...> [--retention DAYS] [--objective all|network|storage]
+//!                     [--min-speed MBPS] [--max-latency MS]
+//! datacomp gen        <class> <bytes> <out> [--seed N]
+//! datacomp fleet      [--units N]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("datacomp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Dictionary training and representation.
+//!
+//! "LZ dictionaries are constructed ahead of time from sample data and
+//! capture these inter-message repetitions. Next, they are communicated
+//! out-of-band to the compressor/decompressor and used as shared
+//! history." (paper, §II-B). The paper's caching study (Figures 10–11)
+//! shows dictionaries recovering the ratio lost by compressing small
+//! items individually; `fig10`/`fig11` reproduce that with dictionaries
+//! trained here.
+//!
+//! The trainer is a simplified COVER: samples are cut into fixed-size
+//! segments, segments are scored by the total frequency of the k-mers
+//! they contain (counted across all samples), and the highest-scoring
+//! segments are concatenated — most valuable content last, where offsets
+//! into it are shortest.
+
+use std::collections::HashMap;
+
+/// Shared compression history plus an identifier carried in frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dictionary {
+    data: Vec<u8>,
+    id: u32,
+}
+
+impl Dictionary {
+    /// Wraps raw dictionary content with an id.
+    pub fn new(data: Vec<u8>, id: u32) -> Self {
+        Self { data, id }
+    }
+
+    /// The dictionary content used as LZ history.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The id carried in frames for mismatch detection.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Content size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the dictionary carries no content.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// K-mer width used for scoring.
+const KMER: usize = 8;
+/// Segment granularity of the trainer.
+const SEGMENT: usize = 64;
+
+/// Trains a dictionary of at most `max_size` bytes from `samples`.
+///
+/// Deterministic for a given input. Samples shorter than the k-mer width
+/// are ignored; if nothing scores, the result is an empty dictionary
+/// (which codecs treat as plain history of length zero).
+pub fn train(samples: &[&[u8]], max_size: usize, id: u32) -> Dictionary {
+    // Count k-mer occurrences across all samples.
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    for &s in samples {
+        for w in s.windows(KMER) {
+            let key = u64::from_le_bytes(w.try_into().expect("window is KMER bytes"));
+            *counts.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    // Score every segment; a k-mer only counts once per selection run so
+    // the dictionary does not fill up with copies of one hot segment.
+    struct Seg {
+        score: u64,
+        sample: usize,
+        start: usize,
+    }
+    let mut segs: Vec<Seg> = Vec::new();
+    for (si, &s) in samples.iter().enumerate() {
+        let mut start = 0;
+        while start + KMER <= s.len() {
+            let end = (start + SEGMENT).min(s.len());
+            let score: u64 = s[start..end.min(start + SEGMENT)]
+                .windows(KMER)
+                .map(|w| {
+                    let key = u64::from_le_bytes(w.try_into().expect("window is KMER bytes"));
+                    counts.get(&key).copied().unwrap_or(0) as u64
+                })
+                .sum();
+            segs.push(Seg { score, sample: si, start });
+            start += SEGMENT;
+        }
+    }
+    // Deterministic order: by score descending, ties by (sample, start).
+    segs.sort_by(|a, b| {
+        b.score.cmp(&a.score).then(a.sample.cmp(&b.sample)).then(a.start.cmp(&b.start))
+    });
+
+    let mut picked: Vec<&Seg> = Vec::new();
+    let mut used: HashMap<u64, ()> = HashMap::new();
+    let mut total = 0usize;
+    for seg in &segs {
+        if total >= max_size {
+            break;
+        }
+        let s = samples[seg.sample];
+        let end = (seg.start + SEGMENT).min(s.len());
+        let body = &s[seg.start..end];
+        if body.len() < KMER {
+            continue;
+        }
+        // Skip segments whose k-mers are mostly already covered.
+        let fresh = body
+            .windows(KMER)
+            .filter(|w| {
+                let key = u64::from_le_bytes((*w).try_into().expect("window is KMER bytes"));
+                !used.contains_key(&key)
+            })
+            .count();
+        if fresh * 2 < body.len().saturating_sub(KMER) {
+            continue;
+        }
+        for w in body.windows(KMER) {
+            let key = u64::from_le_bytes(w.try_into().expect("window is KMER bytes"));
+            used.insert(key, ());
+        }
+        picked.push(seg);
+        total += body.len();
+    }
+
+    // Most valuable content last (shortest offsets from the input).
+    let mut data = Vec::with_capacity(total.min(max_size));
+    for seg in picked.iter().rev() {
+        let s = samples[seg.sample];
+        let end = (seg.start + SEGMENT).min(s.len());
+        data.extend_from_slice(&s[seg.start..end]);
+    }
+    if data.len() > max_size {
+        let cut = data.len() - max_size;
+        data.drain(..cut);
+    }
+    Dictionary::new(data, id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zstdx::Zstdx;
+    use crate::Compressor;
+
+    fn typed_samples(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "{{\"schema\":\"cache.item.v2\",\"shard\":{},\"payload\":\"user-profile-{}\",\"flags\":[\"hot\",\"replicated\"]}}",
+                    i % 5,
+                    i
+                )
+                .into_bytes()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let samples = typed_samples(50);
+        let refs: Vec<&[u8]> = samples.iter().map(|v| v.as_slice()).collect();
+        let d1 = train(&refs, 2048, 9);
+        let d2 = train(&refs, 2048, 9);
+        assert_eq!(d1, d2);
+        assert!(d1.len() <= 2048);
+        assert!(!d1.is_empty());
+    }
+
+    #[test]
+    fn trained_dict_improves_small_item_ratio() {
+        let samples = typed_samples(200);
+        let refs: Vec<&[u8]> = samples.iter().map(|v| v.as_slice()).collect();
+        let dict = train(&refs[..100], 4096, 1);
+        let c = Zstdx::new(3);
+        let mut plain = 0usize;
+        let mut with_dict = 0usize;
+        for s in &refs[100..] {
+            plain += c.compress(s).len();
+            let enc = c.compress_with_dict(s, &dict);
+            assert_eq!(c.decompress_with_dict(&enc, &dict).unwrap(), *s);
+            with_dict += enc.len();
+        }
+        assert!(
+            (with_dict as f64) < plain as f64 * 0.8,
+            "dict {with_dict} should be well below plain {plain}"
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_samples() {
+        let d = train(&[], 1024, 0);
+        assert!(d.is_empty());
+        let d = train(&[&b"ab"[..]], 1024, 0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn respects_max_size() {
+        let samples = typed_samples(500);
+        let refs: Vec<&[u8]> = samples.iter().map(|v| v.as_slice()).collect();
+        for max in [64usize, 256, 1024, 16384] {
+            assert!(train(&refs, max, 0).len() <= max);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Compression metrics: ratio, compression speed, decompression speed.
+//!
+//! These are the paper's three "compression metrics" (§I): "Compression
+//! ratio is measured as the original data size divided by the compressed
+//! size... Compression and decompression speeds are the measures of how
+//! quickly the data can be compressed/decompressed." `compopt` feeds
+//! these measurements into its cost model.
+
+use std::time::Instant;
+
+use crate::dict::Dictionary;
+use crate::Compressor;
+
+/// Aggregated measurement of a compressor over a sample set.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompressionMetrics {
+    /// Total uncompressed bytes processed.
+    pub original_bytes: u64,
+    /// Total compressed bytes produced.
+    pub compressed_bytes: u64,
+    /// Wall-clock seconds spent compressing.
+    pub compress_secs: f64,
+    /// Wall-clock seconds spent decompressing.
+    pub decompress_secs: f64,
+    /// Number of compression calls measured.
+    pub calls: u64,
+}
+
+impl CompressionMetrics {
+    /// Compression ratio: original / compressed (higher is better).
+    ///
+    /// Returns 1.0 for empty measurements.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            return 1.0;
+        }
+        self.original_bytes as f64 / self.compressed_bytes as f64
+    }
+
+    /// Compression speed in MB/s (original bytes per second / 1e6).
+    pub fn compress_mbps(&self) -> f64 {
+        if self.compress_secs == 0.0 {
+            return 0.0;
+        }
+        self.original_bytes as f64 / self.compress_secs / 1e6
+    }
+
+    /// Decompression speed in MB/s, measured on the *decompressed* size.
+    pub fn decompress_mbps(&self) -> f64 {
+        if self.decompress_secs == 0.0 {
+            return 0.0;
+        }
+        self.original_bytes as f64 / self.decompress_secs / 1e6
+    }
+
+    /// Mean decompression seconds per call (the per-block latency of the
+    /// paper's Figure 13).
+    pub fn decompress_secs_per_call(&self) -> f64 {
+        if self.calls == 0 {
+            return 0.0;
+        }
+        self.decompress_secs / self.calls as f64
+    }
+
+    /// Merges another measurement into this one.
+    pub fn accumulate(&mut self, other: &CompressionMetrics) {
+        self.original_bytes += other.original_bytes;
+        self.compressed_bytes += other.compressed_bytes;
+        self.compress_secs += other.compress_secs;
+        self.decompress_secs += other.decompress_secs;
+        self.calls += other.calls;
+    }
+}
+
+/// Measures `comp` over `samples`, each sample compressed and
+/// decompressed independently (with `dict` when provided).
+///
+/// # Panics
+///
+/// Panics if the codec fails to round-trip one of its own frames — that
+/// is a codec bug, not a measurement condition.
+pub fn measure_with_dict(
+    comp: &dyn Compressor,
+    samples: &[&[u8]],
+    dict: Option<&Dictionary>,
+) -> CompressionMetrics {
+    let mut m = CompressionMetrics::default();
+    for &s in samples {
+        let t0 = Instant::now();
+        let enc = match dict {
+            Some(d) => comp.compress_with_dict(s, d),
+            None => comp.compress(s),
+        };
+        m.compress_secs += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let dec = match dict {
+            Some(d) => comp.decompress_with_dict(&enc, d),
+            None => comp.decompress(&enc),
+        }
+        .expect("codec must round-trip its own frames");
+        m.decompress_secs += t1.elapsed().as_secs_f64();
+        assert_eq!(dec.len(), s.len(), "round-trip length mismatch");
+        m.original_bytes += s.len() as u64;
+        m.compressed_bytes += enc.len() as u64;
+        m.calls += 1;
+    }
+    m
+}
+
+/// Measures `comp` over independent samples without a dictionary.
+pub fn measure(comp: &dyn Compressor, samples: &[&[u8]]) -> CompressionMetrics {
+    measure_with_dict(comp, samples, None)
+}
+
+/// Measures `comp` over `data` split into `block_size` chunks, each
+/// compressed independently — the block-granular usage of the paper's
+/// KVSTORE1 study (Figure 13).
+pub fn measure_blocks(comp: &dyn Compressor, data: &[u8], block_size: usize) -> CompressionMetrics {
+    let blocks: Vec<&[u8]> = data.chunks(block_size.max(1)).collect();
+    measure(comp, &blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+
+    #[test]
+    fn ratio_and_speeds_positive() {
+        let data: Vec<u8> =
+            (0..500u32).flat_map(|i| format!("sample {} ", i % 13).into_bytes()).collect();
+        let c = Algorithm::Zstdx.compressor(1);
+        let m = measure(c.as_ref(), &[&data]);
+        assert!(m.ratio() > 1.5);
+        assert!(m.compress_mbps() > 0.0);
+        assert!(m.decompress_mbps() > 0.0);
+        assert_eq!(m.calls, 1);
+    }
+
+    #[test]
+    fn empty_metrics_are_neutral() {
+        let m = CompressionMetrics::default();
+        assert_eq!(m.ratio(), 1.0);
+        assert_eq!(m.compress_mbps(), 0.0);
+        assert_eq!(m.decompress_secs_per_call(), 0.0);
+    }
+
+    #[test]
+    fn blocks_measurement_counts_calls() {
+        let data = vec![7u8; 10_000];
+        let c = Algorithm::Lz4x.compressor(1);
+        let m = measure_blocks(c.as_ref(), &data, 1024);
+        assert_eq!(m.calls, 10);
+        assert_eq!(m.original_bytes, 10_000);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = CompressionMetrics {
+            original_bytes: 100,
+            compressed_bytes: 50,
+            compress_secs: 1.0,
+            decompress_secs: 0.5,
+            calls: 2,
+        };
+        a.accumulate(&a.clone());
+        assert_eq!(a.original_bytes, 200);
+        assert_eq!(a.calls, 4);
+        assert!((a.ratio() - 2.0).abs() < 1e-12);
+    }
+}

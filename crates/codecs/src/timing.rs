@@ -1,0 +1,70 @@
+//! Per-stage timing of compression work.
+//!
+//! The paper's Figure 7 splits warehouse-service compression cycles into
+//! *match finding* and *entropy encoding* time, observing that match
+//! finding dominates (~80%) at level 7 (DW1) but only ~30% at level 1
+//! (DW4). [`StageTiming`] is the measurement the instrumented
+//! [`Zstdx::compress_timed`](crate::zstdx::Zstdx::compress_timed) path
+//! produces to reproduce that split.
+
+use std::time::Duration;
+
+/// Wall-clock time attributed to each compression stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Time in the LZ match-finding stage.
+    pub match_find: Duration,
+    /// Time in the entropy-encoding stage (literals + sequences).
+    pub entropy: Duration,
+    /// Total compression time (includes framing overhead).
+    pub total: Duration,
+}
+
+impl StageTiming {
+    /// Fraction of (match-find + entropy) time spent match finding.
+    ///
+    /// Returns 0.0 when no stage time was recorded.
+    pub fn match_find_fraction(&self) -> f64 {
+        let mf = self.match_find.as_secs_f64();
+        let ent = self.entropy.as_secs_f64();
+        if mf + ent == 0.0 {
+            return 0.0;
+        }
+        mf / (mf + ent)
+    }
+
+    /// Accumulates another measurement into this one.
+    pub fn accumulate(&mut self, other: &StageTiming) {
+        self.match_find += other.match_find;
+        self.entropy += other.entropy;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_of_empty_is_zero() {
+        assert_eq!(StageTiming::default().match_find_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fraction_and_accumulate() {
+        let mut a = StageTiming {
+            match_find: Duration::from_millis(80),
+            entropy: Duration::from_millis(20),
+            total: Duration::from_millis(105),
+        };
+        assert!((a.match_find_fraction() - 0.8).abs() < 1e-9);
+        let b = StageTiming {
+            match_find: Duration::from_millis(20),
+            entropy: Duration::from_millis(80),
+            total: Duration::from_millis(101),
+        };
+        a.accumulate(&b);
+        assert!((a.match_find_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(a.total, Duration::from_millis(206));
+    }
+}

@@ -1,0 +1,170 @@
+//! LEB128-style variable-length integers used by the frame formats.
+
+use crate::{CodecError, Result};
+
+/// Appends `v` as a LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint, returning `(value, bytes_consumed)`.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Corrupt`] on truncation or a varint longer than
+/// 10 bytes.
+pub fn read_varint(buf: &[u8]) -> Result<(u64, usize)> {
+    let mut v: u64 = 0;
+    for (i, &byte) in buf.iter().enumerate().take(10) {
+        v |= u64::from(byte & 0x7f) << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+    }
+    Err(CodecError::Corrupt("varint truncated or overlong"))
+}
+
+/// Cursor-style reader over a byte buffer with checked primitives.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] at end of buffer.
+    pub fn read_u8(&mut self) -> Result<u8> {
+        let b = *self.buf.get(self.pos).ok_or(CodecError::Corrupt("truncated: u8"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a little-endian u16.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] at end of buffer.
+    pub fn read_u16(&mut self) -> Result<u16> {
+        let s = self.read_slice(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a little-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] at end of buffer.
+    pub fn read_u32(&mut self) -> Result<u32> {
+        let s = self.read_slice(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a varint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] on truncation.
+    pub fn read_varint(&mut self) -> Result<u64> {
+        let (v, n) = read_varint(&self.buf[self.pos..])?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Returns the unread remainder without consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice (kept `Result` for call-site uniformity).
+    pub fn read_slice_remaining(&self) -> Result<&'a [u8]> {
+        Ok(&self.buf[self.pos..])
+    }
+
+    /// Skips `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] if fewer than `n` bytes remain.
+    pub fn advance(&mut self, n: usize) -> Result<()> {
+        if n > self.remaining() {
+            return Err(CodecError::Corrupt("truncated: advance"));
+        }
+        self.pos += n;
+        Ok(())
+    }
+
+    /// Reads `n` bytes as a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] if fewer than `n` bytes remain.
+    pub fn read_slice(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Corrupt("length overflow"))?;
+        let s = self.buf.get(self.pos..end).ok_or(CodecError::Corrupt("truncated: slice"))?;
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 65535, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (got, n) = read_varint(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncated() {
+        assert!(read_varint(&[]).is_err());
+        assert!(read_varint(&[0x80]).is_err());
+        assert!(read_varint(&[0x80; 11]).is_err());
+    }
+
+    #[test]
+    fn cursor_reads() {
+        let mut buf = vec![7u8, 0x34, 0x12];
+        write_varint(&mut buf, 999);
+        buf.extend_from_slice(b"tail");
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.read_u8().unwrap(), 7);
+        assert_eq!(c.read_u16().unwrap(), 0x1234);
+        assert_eq!(c.read_varint().unwrap(), 999);
+        assert_eq!(c.read_slice(4).unwrap(), b"tail");
+        assert_eq!(c.remaining(), 0);
+        assert!(c.read_u8().is_err());
+    }
+}

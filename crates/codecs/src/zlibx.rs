@@ -1,0 +1,366 @@
+//! `zlibx` — a Zlib/DEFLATE-like codec: LZ77 plus a canonical **Huffman**
+//! entropy stage.
+//!
+//! Structure follows DEFLATE: a merged literal/length alphabet (256
+//! literals + end-of-block + match-length codes) under one Huffman
+//! table, offsets under a second, length/offset remainders as raw extra
+//! bits, a 32 KiB window, and per-64 KiB-block adaptive tables. Level 0
+//! stores blocks uncompressed, levels 1–9 deepen the match search —
+//! "Zlib offers ten compression levels from 0 to 9" (paper, §I).
+
+use entropy::bitio::{BitReader, BitWriter};
+use entropy::huffman::HuffmanTable;
+use lzkit::{MatchParams, Strategy};
+
+use crate::codes::{
+    ml_code, ml_extra, of_code, of_extra, read_nibble_lengths, write_nibble_lengths,
+};
+use crate::varint::{write_varint, Cursor};
+use crate::{CodecError, Compressor, Result};
+
+/// Frame magic ("XZ").
+const MAGIC: [u8; 2] = [0x58, 0x5a];
+/// DEFLATE-style window: 32 KiB.
+const WINDOW_LOG: u32 = 15;
+/// Format minimum match length (as in DEFLATE).
+const MIN_MATCH: u32 = 3;
+/// Block granularity.
+const BLOCK_SIZE: usize = 64 * 1024;
+/// End-of-block symbol in the merged literal/length alphabet.
+const EOB: u16 = 256;
+/// Match-length codes start here in the merged alphabet.
+const ML_SYM_BASE: u16 = 257;
+/// Merged alphabet size: 256 literals + EOB + 53 length codes.
+const LITLEN_ALPHABET: usize = 310;
+/// Offset-code alphabet (window 2^15 -> codes 0..=15).
+const DIST_ALPHABET: usize = 16;
+
+/// The Zlib-like compressor. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Zlibx {
+    level: i32,
+    params: Option<MatchParams>,
+}
+
+impl Zlibx {
+    /// Creates a compressor at `level` (clamped to 0..=9; 0 = stored).
+    pub fn new(level: i32) -> Self {
+        let level = level.clamp(0, 9);
+        Self { level, params: level_params(level) }
+    }
+
+    /// The match-finding parameters (None at level 0).
+    pub fn params(&self) -> Option<&MatchParams> {
+        self.params.as_ref()
+    }
+}
+
+fn level_params(level: i32) -> Option<MatchParams> {
+    let (strategy, attempts, target) = match level {
+        0 => return None,
+        1 => (Strategy::Fast, 1, 8),
+        2 => (Strategy::Greedy, 4, 16),
+        3 => (Strategy::Greedy, 8, 24),
+        4 => (Strategy::Lazy, 8, 32),
+        5 => (Strategy::Lazy, 12, 48),
+        6 => (Strategy::Lazy, 16, 64),
+        7 => (Strategy::Lazy, 24, 96),
+        8 => (Strategy::Lazy, 32, 128),
+        _ => (Strategy::Optimal, 32, 258),
+    };
+    Some(MatchParams {
+        window_log: WINDOW_LOG,
+        hash_log: 16,
+        chain_log: 15,
+        search_attempts: attempts,
+        min_match: MIN_MATCH,
+        target_length: target,
+        rep_preference: true,
+        strategy,
+    })
+}
+
+/// Encodes one block. Returns None when Huffman coding is impossible or
+/// unprofitable, in which case the caller stores the block raw.
+fn encode_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> Option<Vec<u8>> {
+    let data = &buf[start..end];
+    let block = lzkit::parse(&buf[..end], start, params);
+
+    // Histogram over the merged alphabet and the distance alphabet.
+    let mut lit_freq = vec![0u32; LITLEN_ALPHABET];
+    let mut dist_freq = vec![0u32; DIST_ALPHABET];
+    for &b in &block.literals {
+        lit_freq[b as usize] += 1;
+    }
+    lit_freq[EOB as usize] += 1;
+    for seq in &block.sequences {
+        lit_freq[(ML_SYM_BASE + ml_code(seq.match_len - MIN_MATCH) as u16) as usize] += 1;
+        dist_freq[of_code(seq.offset) as usize] += 1;
+    }
+
+    let lit_table = HuffmanTable::build(&lit_freq, 15)?;
+    // Distance table: 0 = no sequences, 1 = table, 2 = single code.
+    let distinct_dists = dist_freq.iter().filter(|&&c| c > 0).count();
+    let dist_table = if distinct_dists >= 2 {
+        Some(HuffmanTable::build(&dist_freq, 15).expect(">=2 symbols present"))
+    } else {
+        None
+    };
+
+    let mut out = Vec::with_capacity(data.len() / 2 + 256);
+    write_nibble_lengths(&mut out, lit_table.lengths());
+    match (&dist_table, distinct_dists) {
+        (Some(t), _) => {
+            out.push(1);
+            write_nibble_lengths(&mut out, t.lengths());
+        }
+        (None, 1) => {
+            out.push(2);
+            out.push(of_code(block.sequences[0].offset));
+        }
+        _ => out.push(0),
+    }
+
+    // Symbol stream.
+    let mut w = BitWriter::with_capacity(data.len() / 2);
+    let mut lit_pos = 0usize;
+    for seq in &block.sequences {
+        for &b in &block.literals[lit_pos..lit_pos + seq.literal_len as usize] {
+            lit_table.write_symbol(&mut w, b as u16);
+        }
+        lit_pos += seq.literal_len as usize;
+        let mlv = seq.match_len - MIN_MATCH;
+        let mlc = ml_code(mlv);
+        lit_table.write_symbol(&mut w, ML_SYM_BASE + mlc as u16);
+        let (base, bits) = ml_extra(mlc);
+        w.write_bits((mlv - base) as u64, bits);
+        let ofc = of_code(seq.offset);
+        if let Some(t) = &dist_table {
+            t.write_symbol(&mut w, ofc as u16);
+        }
+        let (base, bits) = of_extra(ofc);
+        w.write_bits((seq.offset - base) as u64, bits);
+    }
+    for &b in &block.literals[lit_pos..] {
+        lit_table.write_symbol(&mut w, b as u16);
+    }
+    lit_table.write_symbol(&mut w, EOB);
+
+    let (bits, nbits) = w.finish();
+    write_varint(&mut out, nbits as u64);
+    out.extend_from_slice(&bits);
+    (out.len() < data.len()).then_some(out)
+}
+
+fn decode_block(c: &mut Cursor<'_>, out: &mut Vec<u8>, decoded_len: usize) -> Result<()> {
+    let lit_lens = read_nibble_lengths(c, LITLEN_ALPHABET)?;
+    let lit_table = HuffmanTable::from_lengths(&lit_lens)?;
+    let dist_mode = c.read_u8()?;
+    let (dist_table, fixed_dist) = match dist_mode {
+        0 => (None, None),
+        1 => {
+            let lens = read_nibble_lengths(c, DIST_ALPHABET)?;
+            (Some(HuffmanTable::from_lengths(&lens)?), None)
+        }
+        2 => (None, Some(c.read_u8()?)),
+        _ => return Err(CodecError::Corrupt("zlibx bad dist mode")),
+    };
+    let nbits = c.read_varint()? as usize;
+    let payload = c.read_slice(nbits.div_ceil(8))?;
+    let mut r = BitReader::new(payload, nbits);
+
+    let end = out.len() + decoded_len;
+    loop {
+        let sym = lit_table.read_symbol(&mut r)?;
+        if sym < 256 {
+            if out.len() >= end {
+                return Err(CodecError::Corrupt("zlibx literal overruns block"));
+            }
+            out.push(sym as u8);
+        } else if sym == EOB {
+            break;
+        } else {
+            let mlc = (sym - ML_SYM_BASE) as u8;
+            if mlc > crate::codes::MAX_ML_CODE {
+                return Err(CodecError::Corrupt("zlibx bad length symbol"));
+            }
+            let (base, bits) = ml_extra(mlc);
+            let mlv = base + r.read_bits(bits)? as u32;
+            let ml = (mlv + MIN_MATCH) as usize;
+            let ofc = match (&dist_table, fixed_dist) {
+                (Some(t), _) => t.read_symbol(&mut r)? as u8,
+                (None, Some(f)) => f,
+                (None, None) => return Err(CodecError::Corrupt("zlibx match without dists")),
+            };
+            if ofc as usize >= DIST_ALPHABET {
+                return Err(CodecError::Corrupt("zlibx bad offset code"));
+            }
+            let (base, bits) = of_extra(ofc);
+            let offset = (base + r.read_bits(bits)? as u32) as usize;
+            if offset == 0 || offset > out.len() {
+                return Err(CodecError::Corrupt("zlibx offset out of range"));
+            }
+            if out.len() + ml > end {
+                return Err(CodecError::Corrupt("zlibx match overruns block"));
+            }
+            crate::lz_copy(out, offset, ml);
+        }
+    }
+    if out.len() != end {
+        return Err(CodecError::Corrupt("zlibx block length mismatch"));
+    }
+    Ok(())
+}
+
+impl Compressor for Zlibx {
+    fn name(&self) -> &'static str {
+        "zlibx"
+    }
+
+    fn level(&self) -> i32 {
+        self.level
+    }
+
+    fn compress(&self, src: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(src.len() / 2 + 32);
+        out.extend_from_slice(&MAGIC);
+        write_varint(&mut out, src.len() as u64);
+        let mut start = 0usize;
+        while start < src.len() {
+            let end = (start + BLOCK_SIZE).min(src.len());
+            let encoded = self.params.as_ref().and_then(|p| encode_block(src, start, end, p));
+            write_varint(&mut out, (end - start) as u64);
+            match encoded {
+                Some(body) => {
+                    out.push(1);
+                    write_varint(&mut out, body.len() as u64);
+                    out.extend_from_slice(&body);
+                }
+                None => {
+                    out.push(0);
+                    out.extend_from_slice(&src[start..end]);
+                }
+            }
+            start = end;
+        }
+        out
+    }
+
+    fn decompress(&self, src: &[u8]) -> Result<Vec<u8>> {
+        let mut c = Cursor::new(src);
+        if c.read_slice(2)? != MAGIC {
+            return Err(CodecError::BadFrame("zlibx magic mismatch"));
+        }
+        let content = c.read_varint()? as usize;
+        if content > crate::MAX_CONTENT_SIZE {
+            return Err(CodecError::BadFrame("content size implausible"));
+        }
+        let mut out = Vec::with_capacity(content);
+        while out.len() < content {
+            let decoded_len = c.read_varint()? as usize;
+            if decoded_len == 0 || out.len() + decoded_len > content {
+                return Err(CodecError::Corrupt("zlibx bad block length"));
+            }
+            match c.read_u8()? {
+                0 => out.extend_from_slice(c.read_slice(decoded_len)?),
+                1 => {
+                    let body_len = c.read_varint()? as usize;
+                    let body = c.read_slice(body_len)?;
+                    let mut bc = Cursor::new(body);
+                    decode_block(&mut bc, &mut out, decoded_len)?;
+                }
+                _ => return Err(CodecError::Corrupt("zlibx bad block type")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        (0..900u32)
+            .flat_map(|i| format!("<row id='{}'><v>{}</v></row>", i % 61, i % 13).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_levels() {
+        let data = sample();
+        for level in 0..=9 {
+            let c = Zlibx::new(level);
+            let enc = c.compress(&data);
+            assert_eq!(c.decompress(&enc).unwrap(), data, "level {level}");
+            if level > 0 {
+                assert!(enc.len() < data.len() / 2, "level {level} ratio too weak");
+            }
+        }
+    }
+
+    #[test]
+    fn level0_stores() {
+        let data = sample();
+        let enc = Zlibx::new(0).compress(&data);
+        assert!(enc.len() >= data.len());
+        assert_eq!(Zlibx::new(0).decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_edge_inputs() {
+        let c = Zlibx::new(6);
+        for data in
+            [vec![], vec![1u8], b"ab".to_vec(), vec![9u8; 300_000], (0u8..=255).collect::<Vec<_>>()]
+        {
+            let enc = c.compress(&data);
+            assert_eq!(c.decompress(&enc).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn multi_block_inputs_cross_boundaries() {
+        // > BLOCK_SIZE with repetition crossing the 64 KiB boundary.
+        let unit = b"0123456789abcdef_:";
+        let data: Vec<u8> = unit.iter().cycle().take(200_000).copied().collect();
+        let c = Zlibx::new(5);
+        let enc = c.compress(&data);
+        assert!(enc.len() < data.len() / 4);
+        assert_eq!(c.decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_helps_on_skewed_literals() {
+        // Zero-heavy, match-poor data: the Huffman stage must beat lz4x.
+        let mut state = 7u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state % 16 < 11 { 0 } else { (state >> 33) as u8 }
+            })
+            .collect();
+        let z = Zlibx::new(6).compress(&data).len();
+        let l = crate::lz4x::Lz4x::new(9).compress(&data).len();
+        assert!(z < l, "zlibx {z} should beat lz4x {l} on entropy-skewed data");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let c = Zlibx::new(6);
+        assert!(c.decompress(b"").is_err());
+        assert!(c.decompress(b"no").is_err());
+        let enc = c.compress(&sample());
+        for cut in [3, 10, enc.len() / 2, enc.len() - 1] {
+            assert!(c.decompress(&enc[..cut.min(enc.len())]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn single_distance_code_path() {
+        // All matches at the same offset code: dist_mode == 2.
+        let data: Vec<u8> = b"abcdefgh".iter().cycle().take(4096).copied().collect();
+        let c = Zlibx::new(4);
+        let enc = c.compress(&data);
+        assert_eq!(c.decompress(&enc).unwrap(), data);
+    }
+}

@@ -1,0 +1,134 @@
+//! CompSim — the hardware-accelerator modeling interface.
+//!
+//! "To estimate the (de)compression speed of the target accelerator, the
+//! hardware designer can set a multiplication factor γ, which will be
+//! multiplied by the measured (de)compression speed. The HW designer can
+//! also set the α_compute for their accelerator... CompOpt treats
+//! CompSim as another compressor when evaluating different compression
+//! configuration candidates." (paper, §V-A)
+//!
+//! A CompSim candidate wraps a software configuration with:
+//!
+//! * a restricted match window (`window_log`) — accelerators hold the
+//!   window in on-chip SRAM, so its size is THE first-order hardware
+//!   cost knob (paper's sensitivity study 3 sweeps it);
+//! * a speed multiplier γ applied to measured speeds;
+//! * an accelerator `α_compute` used instead of the CPU rate.
+
+use codecs::zstdx::Zstdx;
+use codecs::{Algorithm, CompressionMetrics, Compressor};
+use serde::{Deserialize, Serialize};
+
+use crate::config::CompressionConfig;
+
+/// A simulated hardware compression accelerator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompSim {
+    /// The software configuration the hardware implements.
+    pub base: CompressionConfig,
+    /// Restricted match window (`1 << window_log` bytes of on-chip
+    /// history); `None` keeps the software default.
+    pub window_log: Option<u32>,
+    /// Speed multiplier γ over the measured software speed.
+    pub gamma: f64,
+    /// Accelerator compute cost (USD per accelerator-second), replacing
+    /// the CPU `α_compute` when pricing this candidate.
+    pub alpha_compute: f64,
+}
+
+impl CompSim {
+    /// Creates a simulated accelerator for `base`.
+    pub fn new(base: CompressionConfig, gamma: f64, alpha_compute: f64) -> Self {
+        Self { base, window_log: None, gamma, alpha_compute }
+    }
+
+    /// Builder-style window restriction (study 3's sweep variable).
+    pub fn with_window_log(mut self, window_log: u32) -> Self {
+        self.window_log = Some(window_log);
+        self
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self.window_log {
+            Some(w) => format!("hw[{} w=2^{w} γ={}]", self.base, self.gamma),
+            None => format!("hw[{} γ={}]", self.base, self.gamma),
+        }
+    }
+
+    /// Instantiates the (software) compressor whose *ratio* the hardware
+    /// reproduces. Window restriction maps onto match parameters; for
+    /// non-zstdx bases the restriction is ignored (their windows are
+    /// already format-capped).
+    pub fn compressor(&self) -> Box<dyn Compressor> {
+        match (self.base.algorithm, self.window_log) {
+            (Algorithm::Zstdx, Some(w)) => {
+                let sw = Zstdx::new(self.base.level);
+                let params = (*sw.params()).with_window_log(w);
+                Box::new(Zstdx::with_params(self.base.level, params))
+            }
+            _ => self.base.compressor(),
+        }
+    }
+
+    /// Applies γ to measured speeds (divides the measured times).
+    pub fn scale_metrics(&self, mut m: CompressionMetrics) -> CompressionMetrics {
+        assert!(self.gamma > 0.0, "gamma must be positive");
+        m.compress_secs /= self.gamma;
+        m.decompress_secs /= self.gamma;
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CompressionConfig {
+        CompressionConfig::new(Algorithm::Zstdx, 1)
+    }
+
+    #[test]
+    fn gamma_scales_speeds() {
+        let sim = CompSim::new(base(), 10.0, 1e-5);
+        let m = CompressionMetrics {
+            original_bytes: 1_000_000,
+            compressed_bytes: 400_000,
+            compress_secs: 0.01,
+            decompress_secs: 0.004,
+            calls: 1,
+        };
+        let scaled = sim.scale_metrics(m);
+        assert!((scaled.compress_mbps() - 10.0 * m.compress_mbps()).abs() < 1e-6);
+        assert_eq!(scaled.compressed_bytes, m.compressed_bytes);
+    }
+
+    #[test]
+    fn window_restriction_reduces_ratio_on_long_range_data() {
+        // Data with repetitions ~32 KiB apart: a 2^10 window misses them.
+        let unit = corpus::silesia::generate(corpus::silesia::FileClass::Text, 32 * 1024, 5);
+        let mut data = unit.clone();
+        data.extend_from_slice(&unit);
+        let wide = CompSim::new(base(), 10.0, 1e-5).with_window_log(17);
+        let narrow = CompSim::new(base(), 10.0, 1e-5).with_window_log(10);
+        let rw = {
+            let c = wide.compressor();
+            c.compress(&data).len()
+        };
+        let rn = {
+            let c = narrow.compressor();
+            c.compress(&data).len()
+        };
+        assert!(rw < rn, "wide window {rw} should compress tighter than narrow {rn}");
+        // Both still round-trip.
+        let c = narrow.compressor();
+        assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn label_mentions_window_and_gamma() {
+        let sim = CompSim::new(base(), 10.0, 1e-5).with_window_log(16);
+        assert!(sim.label().contains("w=2^16"));
+        assert!(sim.label().contains("γ=10"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Compression configurations — the search space of the optimizer.
+
+use codecs::{Algorithm, Compressor};
+use serde::{Deserialize, Serialize};
+
+/// "We first define a compression configuration x as a tuple composed of
+/// a compression algorithm, a compression level, and a block size, such
+/// as (Zstd, 3, 64KB) or (Zlib, 1, 16KB)." (paper, §V-A)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CompressionConfig {
+    /// The compression algorithm.
+    #[serde(with = "algo_serde")]
+    pub algorithm: Algorithm,
+    /// The compression level (clamped to the algorithm's range on use).
+    pub level: i32,
+    /// Compression block granularity; `None` compresses each sample
+    /// whole.
+    pub block_size: Option<usize>,
+}
+
+impl CompressionConfig {
+    /// Creates a configuration without block chunking.
+    pub fn new(algorithm: Algorithm, level: i32) -> Self {
+        Self { algorithm, level, block_size: None }
+    }
+
+    /// Builder-style block size override.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = Some(block_size);
+        self
+    }
+
+    /// Instantiates the configured compressor.
+    pub fn compressor(&self) -> Box<dyn Compressor> {
+        self.algorithm.compressor(self.level)
+    }
+}
+
+impl std::fmt::Display for CompressionConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.block_size {
+            Some(bs) if bs % 1024 == 0 => {
+                write!(f, "({}, {}, {}KB)", self.algorithm, self.level, bs / 1024)
+            }
+            Some(bs) => write!(f, "({}, {}, {}B)", self.algorithm, self.level, bs),
+            None => write!(f, "({}, {})", self.algorithm, self.level),
+        }
+    }
+}
+
+mod algo_serde {
+    use codecs::Algorithm;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(a: &Algorithm, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(a.name())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Algorithm, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let c = CompressionConfig::new(Algorithm::Zstdx, 3).with_block_size(64 * 1024);
+        assert_eq!(c.to_string(), "(zstdx, 3, 64KB)");
+        let c = CompressionConfig::new(Algorithm::Zlibx, 1);
+        assert_eq!(c.to_string(), "(zlibx, 1)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = CompressionConfig::new(Algorithm::Lz4x, 5).with_block_size(4096);
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("lz4x"));
+        let back: CompressionConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn compressor_instantiation() {
+        let c = CompressionConfig::new(Algorithm::Zstdx, 3);
+        let comp = c.compressor();
+        assert_eq!(comp.name(), "zstdx");
+        assert_eq!(comp.level(), 3);
+    }
+}

@@ -1,0 +1,93 @@
+//! Service requirements gating configuration feasibility.
+//!
+//! "Some services have specific latency SLOs that can be impacted by
+//! compression and decompression speeds" (paper, §V). Study 1 requires a
+//! minimum compression speed of 200 MB/s; study 2 a maximum
+//! per-block decompression latency of 0.08 ms.
+
+use codecs::CompressionMetrics;
+use serde::{Deserialize, Serialize};
+
+/// A feasibility requirement over measured metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// Compression throughput must be at least this many MB/s.
+    MinCompressionSpeedMbps(f64),
+    /// Decompression throughput must be at least this many MB/s.
+    MinDecompressionSpeedMbps(f64),
+    /// Mean decompression time per call (block) must be at most this
+    /// many milliseconds — KVSTORE1's read-latency requirement.
+    MaxDecompressionLatencyMs(f64),
+    /// Achieved compression ratio must be at least this.
+    MinCompressionRatio(f64),
+}
+
+impl Constraint {
+    /// Whether `m` satisfies this constraint.
+    pub fn satisfied(&self, m: &CompressionMetrics) -> bool {
+        match *self {
+            Constraint::MinCompressionSpeedMbps(v) => m.compress_mbps() >= v,
+            Constraint::MinDecompressionSpeedMbps(v) => m.decompress_mbps() >= v,
+            Constraint::MaxDecompressionLatencyMs(v) => {
+                m.decompress_secs_per_call() * 1e3 <= v
+            }
+            Constraint::MinCompressionRatio(v) => m.ratio() >= v,
+        }
+    }
+}
+
+impl std::fmt::Display for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Constraint::MinCompressionSpeedMbps(v) => write!(f, "comp speed >= {v} MB/s"),
+            Constraint::MinDecompressionSpeedMbps(v) => write!(f, "decomp speed >= {v} MB/s"),
+            Constraint::MaxDecompressionLatencyMs(v) => write!(f, "decomp latency <= {v} ms"),
+            Constraint::MinCompressionRatio(v) => write!(f, "ratio >= {v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> CompressionMetrics {
+        CompressionMetrics {
+            original_bytes: 100_000_000,
+            compressed_bytes: 25_000_000,
+            compress_secs: 0.5,   // 200 MB/s
+            decompress_secs: 0.1, // 1000 MB/s
+            calls: 1000,          // 0.1 ms/call
+        }
+    }
+
+    #[test]
+    fn speed_constraints() {
+        let m = metrics();
+        assert!(Constraint::MinCompressionSpeedMbps(200.0).satisfied(&m));
+        assert!(!Constraint::MinCompressionSpeedMbps(200.1).satisfied(&m));
+        assert!(Constraint::MinDecompressionSpeedMbps(999.0).satisfied(&m));
+    }
+
+    #[test]
+    fn latency_constraint() {
+        let m = metrics();
+        assert!(Constraint::MaxDecompressionLatencyMs(0.11).satisfied(&m));
+        assert!(!Constraint::MaxDecompressionLatencyMs(0.08).satisfied(&m));
+    }
+
+    #[test]
+    fn ratio_constraint() {
+        let m = metrics();
+        assert!(Constraint::MinCompressionRatio(4.0).satisfied(&m));
+        assert!(!Constraint::MinCompressionRatio(4.1).satisfied(&m));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            Constraint::MinCompressionSpeedMbps(200.0).to_string(),
+            "comp speed >= 200 MB/s"
+        );
+    }
+}

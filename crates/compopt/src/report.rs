@@ -1,0 +1,58 @@
+//! Machine-readable experiment output.
+//!
+//! The figure harnesses print human-readable tables *and* emit JSON
+//! lines so `EXPERIMENTS.md` can be regenerated from artifacts.
+
+use serde::Serialize;
+
+/// Serializes rows as JSON lines (one object per line).
+///
+/// # Panics
+///
+/// Panics if a row fails to serialize (all row types are plain data).
+pub fn to_json_lines<T: Serialize>(rows: &[T]) -> String {
+    rows.iter()
+        .map(|r| serde_json::to_string(r).expect("rows are plain serializable data"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Formats a float column with sensible width for table output.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: &'static str,
+        value: f64,
+    }
+
+    #[test]
+    fn json_lines_one_per_row() {
+        let rows = vec![Row { name: "a", value: 1.0 }, Row { name: "b", value: 2.0 }];
+        let s = to_json_lines(&rows);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.lines().next().unwrap().contains("\"a\""));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(123.456), "123");
+        assert_eq!(fmt_f(12.345), "12.35");
+        assert_eq!(fmt_f(0.01234), "0.0123");
+    }
+}

@@ -1,0 +1,156 @@
+//! Cache-item generators (CACHE1 / CACHE2 stand-ins).
+//!
+//! "Data stored in CACHE1 and CACHE2 is typed, so we can group items by
+//! their type and provide one dictionary per data type" (paper, §IV-C).
+//! Items here are typed: each type has a stable schema skeleton with
+//! per-item variable fields, so items of one type share heavy
+//! inter-message repetition (the dictionary-compression target) while
+//! being individually small.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sizes::LogNormal;
+use crate::{rng, vocabulary, zipf_index};
+
+/// One cache item: its type id and serialized bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheItem {
+    /// Data type — dictionaries are trained per type.
+    pub type_id: u32,
+    /// Serialized item content.
+    pub data: Vec<u8>,
+}
+
+/// Workload shape of a caching service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheProfile {
+    /// Number of distinct item types.
+    pub n_types: usize,
+    /// Item size distribution.
+    pub sizes: LogNormal,
+}
+
+/// CACHE1: distributed memory object cache — many types, small items
+/// (median ~250 B), long tail.
+pub fn cache1_profile() -> CacheProfile {
+    CacheProfile { n_types: 8, sizes: LogNormal::new(250.0, 1.1, 24, 256 * 1024) }
+}
+
+/// CACHE2: social-graph data store — fewer, slightly larger typed
+/// objects (median ~500 B).
+pub fn cache2_profile() -> CacheProfile {
+    CacheProfile { n_types: 5, sizes: LogNormal::new(500.0, 0.9, 48, 512 * 1024) }
+}
+
+/// Generates `n` items under `profile`, deterministically in `seed`.
+pub fn generate_items(profile: &CacheProfile, n: usize, seed: u64) -> Vec<CacheItem> {
+    let mut r = rng(seed);
+    let vocab = vocabulary(300, &mut r);
+    // Per-type schema skeletons: field names shared by every item of the
+    // type.
+    let schemas: Vec<Vec<String>> = (0..profile.n_types)
+        .map(|_| {
+            let nfields = r.gen_range(4..10);
+            (0..nfields).map(|_| vocab[zipf_index(vocab.len(), &mut r)].clone()).collect()
+        })
+        .collect();
+
+    (0..n)
+        .map(|i| {
+            // Types are zipf-popular, like production cache key spaces.
+            let type_id = zipf_index(profile.n_types, &mut r) as u32;
+            let target = profile.sizes.sample(&mut r);
+            let data = render_item(type_id, &schemas[type_id as usize], target, i, &mut r, &vocab);
+            CacheItem { type_id, data }
+        })
+        .collect()
+}
+
+fn render_item(
+    type_id: u32,
+    schema: &[String],
+    target: usize,
+    serial: usize,
+    r: &mut StdRng,
+    vocab: &[String],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(target + 64);
+    out.extend(format!("{{\"__type\":\"t{type_id}\",\"__v\":3,\"id\":{serial}").as_bytes());
+    let mut field = 0usize;
+    while out.len() < target {
+        let name = &schema[field % schema.len()];
+        match field % 3 {
+            0 => {
+                let w = &vocab[zipf_index(vocab.len(), r)];
+                out.extend(format!(",\"{name}\":\"{w}-{}\"", r.gen_range(0..100)).as_bytes());
+            }
+            1 => out.extend(format!(",\"{name}\":{}", r.gen_range(0..1_000_000)).as_bytes()),
+            _ => out.extend(
+                format!(
+                    ",\"{name}\":[{},{},{}]",
+                    r.gen_range(0..50),
+                    r.gen_range(0..50),
+                    serial % 7
+                )
+                .as_bytes(),
+            ),
+        }
+        field += 1;
+    }
+    out.extend(b"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizes::percentile;
+
+    #[test]
+    fn items_deterministic_and_typed() {
+        let p = cache1_profile();
+        let a = generate_items(&p, 200, 11);
+        let b = generate_items(&p, 200, 11);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|it| (it.type_id as usize) < p.n_types));
+    }
+
+    #[test]
+    fn size_distribution_skews_small_with_tail() {
+        let p = cache1_profile();
+        let items = generate_items(&p, 3000, 12);
+        let sizes: Vec<usize> = items.iter().map(|i| i.data.len()).collect();
+        let p50 = percentile(&sizes, 50.0);
+        let p99 = percentile(&sizes, 99.0);
+        assert!(p50 < 1024, "median {p50} should be < 1 KiB");
+        assert!(p99 > p50 * 4, "long tail missing: p99 {p99} p50 {p50}");
+    }
+
+    #[test]
+    fn same_type_items_share_structure() {
+        let p = cache2_profile();
+        let items = generate_items(&p, 500, 13);
+        let of_type0: Vec<&CacheItem> = items.iter().filter(|i| i.type_id == 0).collect();
+        assert!(of_type0.len() >= 2);
+        // Shared schema: the first field name appears in every item.
+        let first = String::from_utf8_lossy(&of_type0[0].data).into_owned();
+        let field = first.split('"').nth(9).unwrap_or("").to_string();
+        assert!(!field.is_empty());
+        for it in &of_type0[1..] {
+            assert!(
+                String::from_utf8_lossy(&it.data).contains(&field),
+                "type-0 items must share schema field {field}"
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_differ() {
+        let a = generate_items(&cache1_profile(), 1000, 14);
+        let b = generate_items(&cache2_profile(), 1000, 14);
+        let med_a = percentile(&a.iter().map(|i| i.data.len()).collect::<Vec<_>>(), 50.0);
+        let med_b = percentile(&b.iter().map(|i| i.data.len()).collect::<Vec<_>>(), 50.0);
+        assert!(med_b > med_a, "cache2 median {med_b} should exceed cache1 {med_a}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Synthetic datacenter workload corpora.
+//!
+//! The paper measures compression on Meta production data we cannot
+//! ship: Silesia-corpus files (Figure 1), cache items (Figures 8–11), ML
+//! inference requests (Figure 12), ORC warehouse stripes (Figure 7), and
+//! RocksDB SST blocks (Figure 13). This crate generates deterministic,
+//! seeded stand-ins whose *shape* — redundancy structure, symbol skew,
+//! inter-message repetition, sparsity, size distribution — matches what
+//! each figure depends on:
+//!
+//! * [`silesia`] — text / XML / source / database / binary / log file
+//!   classes with order-of-magnitude compressibility spread (Figure 1's
+//!   point is exactly that spread).
+//! * [`cache`] — small typed items, log-normal sizes skewed below 1 KiB
+//!   with a long tail, strong inter-item repetition within a type
+//!   (dictionary compression target).
+//! * [`mlreq`] — ML feature requests mixing dense float embeddings with
+//!   zero-heavy sparse segments; models A/B/C vary size, sparsity, and
+//!   serialization.
+//! * [`orc`] — columnar warehouse stripes (delta-coded ints,
+//!   dictionary-coded strings) in blocks up to 256 KiB.
+//! * [`sst`] — sorted key-value blocks with shared key prefixes.
+//! * [`mempage`] — cold 4 KiB memory pages for far-memory compression
+//!   (the paper's intro use case of "proactively compressing cold
+//!   memory pages").
+//! * [`sizes`] — the log-normal size sampler the service profiles use.
+//!
+//! Everything is a pure function of its seed: corpora are reproducible
+//! across runs and machines.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod mempage;
+pub mod mlreq;
+pub mod orc;
+pub mod silesia;
+pub mod sizes;
+pub mod sst;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates the deterministic RNG used by all generators.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Builds a deterministic pseudo-vocabulary of `n` word-like tokens.
+///
+/// Zipf-sampled by the generators to give text realistic symbol and
+/// word-frequency skew.
+pub(crate) fn vocabulary(n: usize, rng: &mut StdRng) -> Vec<String> {
+    use rand::Rng;
+    const ONSETS: [&str; 16] = [
+        "b", "br", "c", "ch", "d", "f", "g", "gr", "k", "l", "m", "n", "p", "s", "st", "tr",
+    ];
+    const NUCLEI: [&str; 8] = ["a", "e", "i", "o", "u", "ai", "ou", "ea"];
+    const CODAS: [&str; 8] = ["", "n", "r", "s", "t", "l", "m", "ck"];
+    (0..n)
+        .map(|_| {
+            let syllables = rng.gen_range(1..=3);
+            let mut w = String::new();
+            for _ in 0..syllables {
+                w.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+                w.push_str(NUCLEI[rng.gen_range(0..NUCLEI.len())]);
+                w.push_str(CODAS[rng.gen_range(0..CODAS.len())]);
+            }
+            w
+        })
+        .collect()
+}
+
+/// Zipf-ish index sampler: rank `r` is weighted `1/(r+1)`.
+pub(crate) fn zipf_index(n: usize, rng: &mut StdRng) -> usize {
+    use rand::Rng;
+    // Inverse-CDF of the harmonic distribution via rejection-free
+    // approximation: u^k concentrates mass on small indices.
+    let u: f64 = rng.gen::<f64>();
+    let idx = (n as f64).powf(u) - 1.0;
+    (idx as usize).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        use rand::Rng;
+        let mut a = rng(42);
+        let mut b = rng(42);
+        let va: Vec<u32> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn vocabulary_is_wordlike() {
+        let mut r = rng(1);
+        let v = vocabulary(100, &mut r);
+        assert_eq!(v.len(), 100);
+        assert!(v.iter().all(|w| !w.is_empty() && w.len() < 20));
+    }
+
+    #[test]
+    fn zipf_skews_small() {
+        let mut r = rng(2);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..10_000 {
+            counts[zipf_index(100, &mut r)] += 1;
+        }
+        assert!(counts[0] > counts[50].max(1) * 4, "{} vs {}", counts[0], counts[50]);
+    }
+}

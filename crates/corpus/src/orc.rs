@@ -1,0 +1,211 @@
+//! ORC-like columnar warehouse data (DW1–DW4 stand-ins).
+//!
+//! "Data Warehouse... stores data in a columnar format called Optimized
+//! Row Columnar (ORC). Columns get encoded by the storage engine and
+//! then passed to Zstd in blocks of up to 256KB." (paper, §IV-B)
+//!
+//! A stripe here is a simplified ORC stripe: per-column streams —
+//! delta+varint integers, dictionary-coded strings, quantized floats —
+//! concatenated with a small footer. The column encodings leave exactly
+//! the kind of residual redundancy (short varints, dictionary indices,
+//! repeated deltas) that production warehouse compression feeds on.
+
+use rand::Rng;
+
+use crate::{rng, vocabulary, zipf_index};
+
+/// Maximum bytes handed to the compressor per block (paper: 256 KiB).
+pub const ORC_BLOCK_SIZE: usize = 256 * 1024;
+
+/// Generates one stripe of `rows` rows.
+///
+/// Columns: row id (delta varint), event timestamp (delta varint),
+/// category (dictionary-coded string), score (quantized f32), flags
+/// (bit-packed booleans).
+pub fn generate_stripe(rows: usize, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    let vocab = vocabulary(64, &mut r);
+
+    let mut id_stream = Vec::new();
+    let mut ts_stream = Vec::new();
+    let mut cat_idx_stream = Vec::new();
+    let mut score_stream = Vec::new();
+    let mut flags_stream = Vec::new();
+
+    let mut id = 0u64;
+    let mut ts = 1_690_000_000_000u64;
+    let mut flag_acc = 0u8;
+    let mut flag_n = 0u32;
+    for _ in 0..rows {
+        id += r.gen_range(1..4);
+        write_uvarint(&mut id_stream, id);
+        ts += r.gen_range(0..2000);
+        write_uvarint(&mut ts_stream, ts);
+        write_uvarint(&mut cat_idx_stream, zipf_index(vocab.len(), &mut r) as u64);
+        let v: f32 = r.gen_range(0.0..100.0f32);
+        let q = f32::from_bits(v.to_bits() & 0xffff_f000);
+        score_stream.extend_from_slice(&q.to_le_bytes());
+        flag_acc |= u8::from(r.gen_bool(0.2)) << flag_n;
+        flag_n += 1;
+        if flag_n == 8 {
+            flags_stream.push(flag_acc);
+            flag_acc = 0;
+            flag_n = 0;
+        }
+    }
+    if flag_n > 0 {
+        flags_stream.push(flag_acc);
+    }
+
+    // Dictionary stream for the category column.
+    let mut dict_stream = Vec::new();
+    for w in &vocab {
+        write_uvarint(&mut dict_stream, w.len() as u64);
+        dict_stream.extend(w.as_bytes());
+    }
+
+    let mut out = Vec::new();
+    out.extend(b"ORCX");
+    for (name, stream) in [
+        ("id", &id_stream),
+        ("ts", &ts_stream),
+        ("cat", &cat_idx_stream),
+        ("dict", &dict_stream),
+        ("score", &score_stream),
+        ("flags", &flags_stream),
+    ] {
+        out.extend(name.as_bytes());
+        out.push(0);
+        write_uvarint(&mut out, stream.len() as u64);
+        out.extend_from_slice(stream);
+    }
+    out
+}
+
+/// Generates a warehouse file of roughly `size` bytes and splits it into
+/// ORC-sized (<= 256 KiB) compression blocks.
+pub fn generate_blocks(size: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut blocks = Vec::new();
+    let mut produced = 0usize;
+    let mut stripe_seed = seed;
+    let mut pending: Vec<u8> = Vec::new();
+    while produced < size {
+        // ~3000 rows per stripe lands near the 64-128 KiB range.
+        let stripe = generate_stripe(3000, stripe_seed);
+        stripe_seed = stripe_seed.wrapping_add(1);
+        pending.extend_from_slice(&stripe);
+        while pending.len() >= ORC_BLOCK_SIZE {
+            let rest = pending.split_off(ORC_BLOCK_SIZE);
+            produced += pending.len();
+            blocks.push(std::mem::replace(&mut pending, rest));
+        }
+        if produced == 0 && pending.len() >= size {
+            break;
+        }
+        if produced + pending.len() >= size {
+            break;
+        }
+    }
+    if !pending.is_empty() {
+        blocks.push(pending);
+    }
+    blocks
+}
+
+fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_deterministic() {
+        assert_eq!(generate_stripe(500, 3), generate_stripe(500, 3));
+        assert_ne!(generate_stripe(500, 3), generate_stripe(500, 4));
+    }
+
+    #[test]
+    fn stripe_has_all_columns() {
+        let s = generate_stripe(100, 1);
+        for col in ["id\0", "ts\0", "cat\0", "dict\0", "score\0", "flags\0"] {
+            let needle = col.as_bytes();
+            assert!(
+                s.windows(needle.len()).any(|w| w == needle),
+                "missing column {col:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocks_respect_orc_limit() {
+        let blocks = generate_blocks(1_000_000, 9);
+        assert!(blocks.len() >= 3);
+        for b in &blocks {
+            assert!(b.len() <= ORC_BLOCK_SIZE);
+        }
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        assert!(total >= 900_000);
+    }
+}
+
+/// Shuffle partitions (the paper's DW2): rows from a stripe split by
+/// destination worker, serialized row-major for short-term storage.
+///
+/// "A Shuffle (DW2) reads and decompresses the input data, then splits
+/// it by the destination worker, and writes the split data back into
+/// short-term storage with Zstd level 1 compression." (paper, §IV-B)
+pub fn shuffle_partitions(rows: usize, n_workers: usize, seed: u64) -> Vec<Vec<u8>> {
+    assert!(n_workers > 0, "at least one worker");
+    let mut r = rng(seed);
+    let vocab = vocabulary(64, &mut r);
+    let mut parts = vec![Vec::new(); n_workers];
+    let mut id = 0u64;
+    for _ in 0..rows {
+        id += r.gen_range(1..4);
+        let key = id.wrapping_mul(0x9e3779b97f4a7c15);
+        let worker = (key >> 32) as usize % n_workers;
+        let cat = &vocab[zipf_index(vocab.len(), &mut r)];
+        let part = &mut parts[worker];
+        // Row-major record: the shuffle stores whole rows, not columns,
+        // which is why it settles for fast level-1 compression.
+        write_uvarint(part, id);
+        part.extend(cat.as_bytes());
+        part.push(b'|');
+        part.extend_from_slice(&r.gen_range(0.0..100.0f32).to_le_bytes());
+        part.extend_from_slice(&[b'\n']);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod shuffle_tests {
+    use super::*;
+
+    #[test]
+    fn partitions_cover_all_rows() {
+        let parts = shuffle_partitions(5000, 8, 4);
+        assert_eq!(parts.len(), 8);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+        // Partitioning is roughly balanced (hash split).
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max < min * 2, "unbalanced partitions: {sizes:?}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(shuffle_partitions(100, 4, 1), shuffle_partitions(100, 4, 1));
+        assert_ne!(shuffle_partitions(100, 4, 1), shuffle_partitions(100, 4, 2));
+    }
+}

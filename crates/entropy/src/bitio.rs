@@ -1,0 +1,335 @@
+//! LSB-first bit streams.
+//!
+//! Three access patterns are provided:
+//!
+//! * [`BitWriter`] — appends bits in LSB-first order. Bit `j` of a value
+//!   written with [`BitWriter::write_bits`] lands at stream position
+//!   `p + j` where `p` is the stream length before the write.
+//! * [`BitReader`] — consumes a stream front-to-back in write order.
+//!   Used by the Huffman decoders.
+//! * [`ReverseBitReader`] — consumes a stream back-to-front: the most
+//!   recently written *chunk* is returned first, but each chunk is
+//!   reassembled with the same bit significance the writer used. This is
+//!   the access pattern FSE/tANS decoding requires, because the encoder
+//!   processes symbols in reverse order.
+
+use crate::{Error, Result};
+
+/// Maximum number of bits accepted by a single `write_bits`/`read_bits` call.
+pub const MAX_BITS_PER_OP: u32 = 56;
+
+/// An append-only LSB-first bit stream.
+///
+/// # Example
+///
+/// ```
+/// use entropy::bitio::{BitWriter, BitReader};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0x7f, 7);
+/// let (bytes, bits) = w.finish();
+/// let mut r = BitReader::new(&bytes, bits);
+/// assert_eq!(r.read_bits(3).unwrap(), 0b101);
+/// assert_eq!(r.read_bits(7).unwrap(), 0x7f);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits accumulated but not yet flushed to `buf`.
+    acc: u64,
+    /// Number of valid bits in `acc` (always < 8 after `flush_acc`).
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty bit stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit stream with capacity for `bytes` output bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self { buf: Vec::with_capacity(bytes), acc: 0, nbits: 0 }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.nbits as usize
+    }
+
+    /// Returns true if no bits have been written.
+    pub fn is_empty(&self) -> bool {
+        self.bit_len() == 0
+    }
+
+    /// Appends the low `n` bits of `value` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `n > 56` or if `value` has bits set above
+    /// bit `n`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= MAX_BITS_PER_OP, "write_bits supports at most 56 bits");
+        debug_assert!(n == 64 || value < (1u64 << n), "value has bits above n");
+        self.acc |= value << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.buf.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Finishes the stream, zero-padding the final partial byte.
+    ///
+    /// Returns the byte buffer and the exact number of valid bits.
+    pub fn finish(mut self) -> (Vec<u8>, usize) {
+        let bits = self.bit_len();
+        if self.nbits > 0 {
+            self.buf.push((self.acc & 0xff) as u8);
+        }
+        (self.buf, bits)
+    }
+
+    /// Finishes the stream by appending a single `1` sentinel bit and
+    /// zero-padding. A [`ReverseBitReader`] uses the sentinel to recover
+    /// the exact bit length from the byte buffer alone.
+    pub fn finish_with_sentinel(mut self) -> Vec<u8> {
+        self.write_bits(1, 1);
+        let (buf, _) = self.finish();
+        buf
+    }
+}
+
+/// Front-to-back reader over a bit stream produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Next bit position to read.
+    pos: usize,
+    /// Total number of valid bits.
+    len: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf` containing exactly `bit_len` valid bits.
+    pub fn new(buf: &'a [u8], bit_len: usize) -> Self {
+        debug_assert!(bit_len <= buf.len() * 8);
+        Self { buf, pos: 0, len: bit_len.min(buf.len() * 8) }
+    }
+
+    /// Number of unread bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+
+    /// Reads `n` bits in write order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        if (n as usize) > self.remaining() {
+            return Err(Error::UnexpectedEof);
+        }
+        let v = extract_bits(self.buf, self.pos, n);
+        self.pos += n as usize;
+        Ok(v)
+    }
+
+    /// Peeks up to `n` bits without consuming; missing bits beyond the end
+    /// of the stream read as zero. Used by table-driven Huffman decoding,
+    /// which peeks a fixed-width window that may extend past the final
+    /// code.
+    #[inline]
+    pub fn peek_bits_lenient(&self, n: u32) -> u64 {
+        let avail = self.remaining().min(n as usize) as u32;
+        extract_bits(self.buf, self.pos, avail)
+    }
+
+    /// Consumes `n` bits previously peeked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain.
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> Result<()> {
+        if (n as usize) > self.remaining() {
+            return Err(Error::UnexpectedEof);
+        }
+        self.pos += n as usize;
+        Ok(())
+    }
+}
+
+/// Back-to-front reader matching FSE's reverse decode order.
+///
+/// If the writer performed writes `W1, W2, ..., Wk`, this reader returns
+/// the values of `Wk, ..., W2, W1` (each value reassembled exactly as
+/// written) when the reads use the same widths in reverse order.
+#[derive(Debug, Clone)]
+pub struct ReverseBitReader<'a> {
+    buf: &'a [u8],
+    /// Number of valid bits not yet consumed, counted from the front.
+    pos: usize,
+}
+
+impl<'a> ReverseBitReader<'a> {
+    /// Creates a reverse reader over a buffer produced by
+    /// [`BitWriter::finish_with_sentinel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CorruptData`] if the buffer is empty or its final
+    /// byte is zero (no sentinel).
+    pub fn from_sentinel(buf: &'a [u8]) -> Result<Self> {
+        let last = *buf.last().ok_or(Error::CorruptData("empty reverse bitstream"))?;
+        if last == 0 {
+            return Err(Error::CorruptData("missing sentinel bit"));
+        }
+        let sentinel_pos = (buf.len() - 1) * 8 + (7 - last.leading_zeros() as usize);
+        Ok(Self { buf, pos: sentinel_pos })
+    }
+
+    /// Number of unread bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads the `n` most recently written bits, reassembled in write
+    /// significance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        if (n as usize) > self.pos {
+            return Err(Error::UnexpectedEof);
+        }
+        self.pos -= n as usize;
+        Ok(extract_bits(self.buf, self.pos, n))
+    }
+}
+
+/// Extracts `n` bits starting at absolute bit position `pos` (LSB-first).
+#[inline]
+fn extract_bits(buf: &[u8], pos: usize, n: u32) -> u64 {
+    debug_assert!(n <= MAX_BITS_PER_OP);
+    if n == 0 {
+        return 0;
+    }
+    let first_byte = pos / 8;
+    let bit_off = (pos % 8) as u32;
+    let mut acc: u64 = 0;
+    let mut filled: u32 = 0;
+    let mut idx = first_byte;
+    // First (possibly partial) byte.
+    if idx < buf.len() {
+        acc = (buf[idx] as u64) >> bit_off;
+        filled = 8 - bit_off;
+        idx += 1;
+    }
+    while filled < n && idx < buf.len() {
+        acc |= (buf[idx] as u64) << filled;
+        filled += 8;
+        idx += 1;
+    }
+    if n >= 64 { acc } else { acc & ((1u64 << n) - 1) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b1010, 4);
+        w.write_bits(0xdead, 16);
+        w.write_bits(0, 3);
+        let (buf, bits) = w.finish();
+        assert_eq!(bits, 24);
+        let mut r = BitReader::new(&buf, bits);
+        assert_eq!(r.read_bits(1).unwrap(), 0b1);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1010);
+        assert_eq!(r.read_bits(16).unwrap(), 0xdead);
+        assert_eq!(r.read_bits(3).unwrap(), 0);
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.read_bits(1), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert!(w.is_empty());
+        let (buf, bits) = w.finish();
+        assert!(buf.is_empty());
+        assert_eq!(bits, 0);
+    }
+
+    #[test]
+    fn zero_width_ops() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0);
+        w.write_bits(0b11, 2);
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+    }
+
+    #[test]
+    fn reverse_reader_lifo() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0x3f, 6);
+        w.write_bits(0x1234, 13);
+        let buf = w.finish_with_sentinel();
+        let mut r = ReverseBitReader::from_sentinel(&buf).unwrap();
+        assert_eq!(r.read_bits(13).unwrap(), 0x1234);
+        assert_eq!(r.read_bits(6).unwrap(), 0x3f);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.read_bits(1), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn reverse_reader_rejects_empty_and_zero_tail() {
+        assert!(ReverseBitReader::from_sentinel(&[]).is_err());
+        assert!(ReverseBitReader::from_sentinel(&[0u8]).is_err());
+    }
+
+    #[test]
+    fn sentinel_only_stream() {
+        let w = BitWriter::new();
+        let buf = w.finish_with_sentinel();
+        let r = ReverseBitReader::from_sentinel(&buf).unwrap();
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn peek_lenient_past_end() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let (buf, bits) = w.finish();
+        let r = BitReader::new(&buf, bits);
+        // Peeking 8 bits when only 2 remain: missing bits read as zero.
+        assert_eq!(r.peek_bits_lenient(8), 0b11);
+    }
+
+    #[test]
+    fn long_values_cross_many_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x00ab_cdef_0123, 48);
+        w.write_bits(0x5a, 7);
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        assert_eq!(r.read_bits(48).unwrap(), 0x00ab_cdef_0123);
+        assert_eq!(r.read_bits(7).unwrap(), 0x5a);
+    }
+}

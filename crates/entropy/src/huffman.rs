@@ -1,0 +1,378 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! Code lengths are computed with the package-merge algorithm, which
+//! yields optimal lengths under a maximum-depth constraint. Codes are
+//! assigned canonically (shorter codes first, ties by symbol index) so a
+//! table can be reconstructed from its length array alone — that is what
+//! the codecs serialize into their block headers.
+//!
+//! Encoded streams are LSB-first ([`crate::bitio`]); codes are stored
+//! bit-reversed so the decoder can peek a fixed `max_bits`-wide window and
+//! index a flat lookup table.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Error, Result};
+
+/// Upper bound on code length supported by the flat decode table.
+pub const MAX_CODE_BITS: u32 = 15;
+
+/// A built Huffman code: per-symbol lengths/codes plus a flat decode table.
+#[derive(Debug, Clone)]
+pub struct HuffmanTable {
+    /// Code length per symbol; 0 means the symbol is absent.
+    lens: Vec<u8>,
+    /// Bit-reversed canonical code per symbol (LSB-first stream order).
+    codes: Vec<u16>,
+    /// Length of the longest code.
+    max_bits: u32,
+    /// Flat decode table of size `1 << max_bits`: window -> (symbol, len).
+    decode: Vec<(u16, u8)>,
+}
+
+impl HuffmanTable {
+    /// Builds a length-limited canonical Huffman code for `freqs`.
+    ///
+    /// Returns `None` when fewer than two symbols are present — callers
+    /// should fall back to raw or run-length representations, exactly as
+    /// the zstd format does for its literals section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bits` is 0 or greater than [`MAX_CODE_BITS`], or if
+    /// the alphabet cannot fit in `max_bits` (more than `1 << max_bits`
+    /// present symbols).
+    pub fn build(freqs: &[u32], max_bits: u32) -> Option<Self> {
+        assert!(
+            (1..=MAX_CODE_BITS).contains(&max_bits),
+            "max_bits must be in 1..=15"
+        );
+        let present: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+        if present.len() < 2 {
+            return None;
+        }
+        assert!(
+            (present.len() as u64) <= (1u64 << max_bits),
+            "alphabet does not fit in max_bits"
+        );
+        let lens = package_merge_lengths(freqs, &present, max_bits);
+        Some(Self::from_lengths(&lens).expect("package-merge produces a complete code"))
+    }
+
+    /// Reconstructs a table from canonical code lengths (0 = absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CorruptTable`] if the lengths do not describe a
+    /// complete prefix code, contain a length above [`MAX_CODE_BITS`], or
+    /// fewer than two symbols are present.
+    pub fn from_lengths(lens: &[u8]) -> Result<Self> {
+        let max_bits = lens.iter().copied().max().unwrap_or(0) as u32;
+        if max_bits == 0 {
+            return Err(Error::CorruptTable("no symbols present"));
+        }
+        if max_bits > MAX_CODE_BITS {
+            return Err(Error::CorruptTable("code length above maximum"));
+        }
+        if lens.iter().filter(|&&l| l > 0).count() < 2 {
+            return Err(Error::CorruptTable("fewer than two symbols present"));
+        }
+        // Kraft sum must be exactly 1 for a complete code.
+        let kraft: u64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_bits - l as u32))
+            .sum();
+        if kraft != (1u64 << max_bits) {
+            return Err(Error::CorruptTable("lengths do not form a complete code"));
+        }
+
+        // Canonical code assignment (RFC 1951 style).
+        let mut bl_count = [0u32; MAX_CODE_BITS as usize + 1];
+        for &l in lens.iter().filter(|&&l| l > 0) {
+            bl_count[l as usize] += 1;
+        }
+        let mut next_code = [0u32; MAX_CODE_BITS as usize + 2];
+        let mut code = 0u32;
+        for bits in 1..=max_bits as usize {
+            code = (code + bl_count[bits - 1]) << 1;
+            next_code[bits] = code;
+        }
+
+        let mut codes = vec![0u16; lens.len()];
+        let mut decode = vec![(0u16, 0u8); 1usize << max_bits];
+        for (sym, &l) in lens.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let c = next_code[l as usize];
+            next_code[l as usize] += 1;
+            let rev = reverse_bits(c, l as u32) as u16;
+            codes[sym] = rev;
+            // Fill every table slot whose low `l` bits equal the reversed code.
+            let step = 1usize << l;
+            let mut idx = rev as usize;
+            while idx < decode.len() {
+                decode[idx] = (sym as u16, l);
+                idx += step;
+            }
+        }
+
+        Ok(Self { lens: lens.to_vec(), codes, max_bits, decode })
+    }
+
+    /// Per-symbol code lengths (0 = absent). Serializable table form.
+    pub fn lengths(&self) -> &[u8] {
+        &self.lens
+    }
+
+    /// Length of the longest code in bits.
+    pub fn max_bits(&self) -> u32 {
+        self.max_bits
+    }
+
+    /// Exact encoded size in bits for the given histogram.
+    pub fn encoded_bits(&self, freqs: &[u32]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.lens)
+            .map(|(&c, &l)| c as u64 * l as u64)
+            .sum()
+    }
+
+    /// Appends the code for `sym` to `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `sym` is absent from the code.
+    #[inline]
+    pub fn write_symbol(&self, w: &mut BitWriter, sym: u16) {
+        let len = self.lens[sym as usize];
+        debug_assert!(len > 0, "encoding absent symbol");
+        w.write_bits(self.codes[sym as usize] as u64, len as u32);
+    }
+
+    /// Reads one symbol from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CorruptData`] if the window does not match any
+    /// code, or [`Error::UnexpectedEof`] if the stream is exhausted.
+    #[inline]
+    pub fn read_symbol(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        let window = r.peek_bits_lenient(self.max_bits) as usize;
+        let (sym, len) = self.decode[window];
+        if len == 0 {
+            return Err(Error::CorruptData("invalid huffman window"));
+        }
+        r.consume(len as u32)?;
+        Ok(sym)
+    }
+
+    /// Encodes a byte slice into a fresh bit buffer (zero-padded).
+    ///
+    /// Convenience wrapper used by tests and small callers; the codecs
+    /// drive [`Self::write_symbol`] directly into their own streams.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::with_capacity(data.len());
+        for &b in data {
+            self.write_symbol(&mut w, b as u16);
+        }
+        w.finish().0
+    }
+
+    /// Decodes exactly `n` byte symbols from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from [`Self::read_symbol`], plus
+    /// [`Error::CorruptData`] if a decoded symbol exceeds `u8::MAX`.
+    pub fn decode(&self, buf: &[u8], n: usize) -> Result<Vec<u8>> {
+        let mut r = BitReader::new(buf, buf.len() * 8);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sym = self.read_symbol(&mut r)?;
+            let byte =
+                u8::try_from(sym).map_err(|_| Error::CorruptData("symbol out of byte range"))?;
+            out.push(byte);
+        }
+        Ok(out)
+    }
+}
+
+/// Computes optimal length-limited code lengths via package-merge.
+fn package_merge_lengths(freqs: &[u32], present: &[usize], max_bits: u32) -> Vec<u8> {
+    // Each node is (weight, leaves-it-covers). Alphabets here are small
+    // (<= ~320 symbols), so carrying leaf vectors is cheap and keeps the
+    // implementation obviously correct.
+    #[derive(Clone)]
+    struct Node {
+        weight: u64,
+        leaves: Vec<u32>,
+    }
+
+    let mut items: Vec<Node> = present
+        .iter()
+        .map(|&i| Node { weight: freqs[i] as u64, leaves: vec![i as u32] })
+        .collect();
+    items.sort_by_key(|n| n.weight);
+
+    let mut list: Vec<Node> = items.clone();
+    for _ in 1..max_bits {
+        // Package: pair up adjacent nodes of the previous list.
+        let mut packaged: Vec<Node> = Vec::with_capacity(list.len() / 2);
+        let mut it = list.chunks_exact(2);
+        for pair in &mut it {
+            let mut leaves = pair[0].leaves.clone();
+            leaves.extend_from_slice(&pair[1].leaves);
+            packaged.push(Node { weight: pair[0].weight + pair[1].weight, leaves });
+        }
+        // Merge with the original items, keeping sorted order.
+        let mut merged = Vec::with_capacity(items.len() + packaged.len());
+        let (mut a, mut b) = (0, 0);
+        while a < items.len() && b < packaged.len() {
+            if items[a].weight <= packaged[b].weight {
+                merged.push(items[a].clone());
+                a += 1;
+            } else {
+                merged.push(packaged[b].clone());
+                b += 1;
+            }
+        }
+        merged.extend_from_slice(&items[a..]);
+        merged.extend_from_slice(&packaged[b..]);
+        list = merged;
+    }
+
+    // Count how often each leaf appears in the first 2(n-1) nodes: that is
+    // its code length.
+    let mut lens = vec![0u8; freqs.len()];
+    let take = 2 * (present.len() - 1);
+    for node in list.iter().take(take) {
+        for &leaf in &node.leaves {
+            lens[leaf as usize] += 1;
+        }
+    }
+    lens
+}
+
+/// Reverses the low `n` bits of `v`.
+#[inline]
+fn reverse_bits(v: u32, n: u32) -> u32 {
+    v.reverse_bits() >> (32 - n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::byte_histogram;
+
+    fn roundtrip(data: &[u8], max_bits: u32) {
+        let freqs = byte_histogram(data);
+        let table = HuffmanTable::build(&freqs, max_bits).unwrap();
+        let encoded = table.encode(data);
+        let decoded = table.decode(&encoded, data.len()).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        roundtrip(b"the quick brown fox jumps over the lazy dog", 11);
+    }
+
+    #[test]
+    fn roundtrip_two_symbols() {
+        roundtrip(b"abababababbbbaaab", 11);
+        roundtrip(b"ab", 1);
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        roundtrip(&data, 11);
+    }
+
+    #[test]
+    fn single_symbol_returns_none() {
+        let freqs = byte_histogram(b"aaaaaaa");
+        assert!(HuffmanTable::build(&freqs, 11).is_none());
+        assert!(HuffmanTable::build(&byte_histogram(b""), 11).is_none());
+    }
+
+    #[test]
+    fn respects_length_limit() {
+        // Fibonacci-like weights force long codes in unlimited Huffman.
+        let mut freqs = vec![0u32; 24];
+        let mut a = 1u32;
+        let mut b = 1u32;
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a.saturating_add(b);
+            a = b;
+            b = next;
+        }
+        for limit in [6u32, 8, 11, 15] {
+            let table = HuffmanTable::build(&freqs, limit).unwrap();
+            assert!(table.max_bits() <= limit, "limit {limit} violated");
+            // Still decodable.
+            let data: Vec<u8> = (0..24u8).collect();
+            let encoded = table.encode(&data);
+            assert_eq!(table.decode(&encoded, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn skewed_is_shorter_than_uniform() {
+        // A heavily skewed distribution must encode below 8 bits/symbol.
+        let mut data = vec![b'a'; 1000];
+        data.extend_from_slice(b"bcdefgh");
+        let freqs = byte_histogram(&data);
+        let table = HuffmanTable::build(&freqs, 11).unwrap();
+        let bits = table.encoded_bits(&freqs);
+        assert!(bits < data.len() as u64 * 2, "expected < 2 bits/sym, got {bits}");
+    }
+
+    #[test]
+    fn lengths_roundtrip_through_from_lengths() {
+        let data = b"canonical codes reconstruct from lengths alone";
+        let freqs = byte_histogram(data);
+        let table = HuffmanTable::build(&freqs, 11).unwrap();
+        let rebuilt = HuffmanTable::from_lengths(table.lengths()).unwrap();
+        let encoded = table.encode(data);
+        assert_eq!(rebuilt.decode(&encoded, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn from_lengths_rejects_incomplete() {
+        // Lengths {1} alone: kraft sum 1/2 != 1.
+        let mut lens = vec![0u8; 4];
+        lens[0] = 1;
+        assert!(HuffmanTable::from_lengths(&lens).is_err());
+        // Oversubscribed: three codes of length 1.
+        let lens = vec![1u8, 1, 1];
+        assert!(HuffmanTable::from_lengths(&lens).is_err());
+        // Empty.
+        assert!(HuffmanTable::from_lengths(&[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_stream() {
+        let data = b"some data to encode for truncation";
+        let freqs = byte_histogram(data);
+        let table = HuffmanTable::build(&freqs, 11).unwrap();
+        let encoded = table.encode(data);
+        let truncated = &encoded[..encoded.len() / 2];
+        assert!(table.decode(truncated, data.len()).is_err());
+    }
+
+    #[test]
+    fn optimality_close_to_entropy() {
+        // Average code length must sit within 1 bit of Shannon entropy.
+        let data: Vec<u8> = b"abcc".iter().cycle().take(8192).copied().collect();
+        let freqs = byte_histogram(&data);
+        let table = HuffmanTable::build(&freqs, 11).unwrap();
+        let avg = table.encoded_bits(&freqs) as f64 / data.len() as f64;
+        let h = crate::hist::shannon_entropy(&freqs);
+        assert!(avg >= h - 1e-9);
+        assert!(avg < h + 1.0);
+    }
+}

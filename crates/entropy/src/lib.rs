@@ -1,0 +1,68 @@
+//! Entropy-coding substrate for the datacomp codecs.
+//!
+//! This crate implements, from scratch, the two entropy stages that the
+//! paper's compression pipeline depends on (Section II-B of the paper):
+//!
+//! * [`huffman`] — canonical, length-limited Huffman coding, used by the
+//!   `zstdx` codec for its literals section and by `zlibx` for its whole
+//!   encoded stream.
+//! * [`fse`] — Finite State Entropy (tabled asymmetric numeral systems),
+//!   used by `zstdx` for its sequences section.
+//!
+//! Supporting modules: [`bitio`] (LSB-first bit streams, including the
+//! reverse-read stream FSE requires) and [`hist`] (histograms and
+//! power-of-two count normalization).
+//!
+//! # Example
+//!
+//! ```
+//! use entropy::huffman::HuffmanTable;
+//!
+//! let data = b"abracadabra abracadabra abracadabra";
+//! let mut freqs = [0u32; 256];
+//! for &b in data { freqs[b as usize] += 1; }
+//! let table = HuffmanTable::build(&freqs, 11).expect("more than one symbol");
+//! let encoded = table.encode(data);
+//! let decoded = table.decode(&encoded, data.len()).unwrap();
+//! assert_eq!(decoded, data);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitio;
+pub mod fse;
+pub mod hist;
+pub mod huffman;
+
+/// Errors produced while decoding an entropy-coded stream.
+///
+/// All decode paths in this crate are total: malformed input yields an
+/// `Error`, never a panic or out-of-bounds access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The bitstream ended before the decoder finished.
+    UnexpectedEof,
+    /// A table description (Huffman lengths / FSE normalized counts) is
+    /// internally inconsistent.
+    CorruptTable(&'static str),
+    /// The encoded payload is inconsistent with its table or length fields.
+    CorruptData(&'static str),
+    /// A parameter is outside the supported range.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::UnexpectedEof => write!(f, "unexpected end of bitstream"),
+            Error::CorruptTable(msg) => write!(f, "corrupt entropy table: {msg}"),
+            Error::CorruptData(msg) => write!(f, "corrupt entropy data: {msg}"),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias for entropy operations.
+pub type Result<T> = std::result::Result<T, Error>;

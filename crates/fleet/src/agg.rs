@@ -1,0 +1,343 @@
+//! Aggregation queries turning raw observations into the paper's
+//! figures.
+//!
+//! Each function corresponds to one fleet-level figure; the figure
+//! benches print their outputs as tables. Cycle shares are computed by
+//! weighting each service's measured time distribution by its declared
+//! fleet weight and compression tax, mirroring how the paper's profiler
+//! aggregates sampled cycles across heterogeneous services.
+
+use std::collections::BTreeMap;
+
+use codecs::Algorithm;
+
+use crate::profiler::FleetProfile;
+use crate::services::Category;
+
+/// A service's contribution to fleet compression cycles: its fleet
+/// weight times its compression tax, distributed over its observations
+/// proportionally to measured time.
+fn service_fleet_share(p: &FleetProfile, service: &str) -> f64 {
+    p.services
+        .iter()
+        .find(|s| s.name == service)
+        .map(|s| s.fleet_weight * s.compression_tax)
+        .unwrap_or(0.0)
+}
+
+/// Fraction of a service's compression time in a predicate-selected
+/// subset of its observations.
+fn fraction_of_service<F>(p: &FleetProfile, service: &str, f: F) -> f64
+where
+    F: Fn(&crate::profiler::Observation) -> f64,
+{
+    let total = p.compression_secs(service);
+    if total == 0.0 {
+        return 0.0;
+    }
+    let part: f64 =
+        p.observations.iter().filter(|o| o.service == service).map(f).sum();
+    part / total
+}
+
+/// Fleet-wide compression tax (paper §III-B: 4.6% of compute cycles).
+pub fn fleet_compression_tax(p: &FleetProfile) -> f64 {
+    p.services.iter().map(|s| s.fleet_weight * s.compression_tax).sum()
+}
+
+/// Fleet cycle share per algorithm (paper §III-B: Zstd 3.9%, LZ4 0.4%,
+/// Zlib 0.3%). Returns (algorithm, fraction-of-fleet-cycles).
+pub fn algorithm_split(p: &FleetProfile) -> Vec<(Algorithm, f64)> {
+    Algorithm::ALL
+        .iter()
+        .map(|&a| {
+            let share: f64 = p
+                .services
+                .iter()
+                .map(|s| {
+                    let frac = fraction_of_service(p, s.name, |o| {
+                        if o.algorithm == a {
+                            o.compress_secs + o.decompress_secs
+                        } else {
+                            0.0
+                        }
+                    });
+                    service_fleet_share(p, s.name) * frac
+                })
+                .sum();
+            (a, share)
+        })
+        .collect()
+}
+
+/// Figure 2: compute cycles (%) used by zstdx per service category.
+pub fn category_zstd_cycles(p: &FleetProfile) -> Vec<(Category, f64)> {
+    Category::ALL
+        .iter()
+        .map(|&cat| {
+            let (zstd_cycles, total_cycles) = p
+                .services
+                .iter()
+                .filter(|s| s.category == cat)
+                .fold((0.0, 0.0), |(z, t), s| {
+                    let zfrac = fraction_of_service(p, s.name, |o| {
+                        if o.algorithm == Algorithm::Zstdx {
+                            o.compress_secs + o.decompress_secs
+                        } else {
+                            0.0
+                        }
+                    });
+                    (z + s.fleet_weight * s.compression_tax * zfrac, t + s.fleet_weight)
+                });
+            (cat, if total_cycles > 0.0 { zstd_cycles / total_cycles } else { 0.0 })
+        })
+        .collect()
+}
+
+/// Figure 3: compression vs decompression cycle split, per category and
+/// fleet-wide. Returns (label, compression-fraction) with the fleet row
+/// last.
+pub fn comp_decomp_split(p: &FleetProfile) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    let frac_for = |services: Vec<&str>| {
+        let (c, d) = p
+            .observations
+            .iter()
+            .filter(|o| services.contains(&o.service))
+            .fold((0.0, 0.0), |(c, d), o| {
+                // Weight observation time by the service's fleet share so
+                // big services dominate, as in sampled profiling.
+                let w = service_fleet_share(p, o.service)
+                    / p.compression_secs(o.service).max(f64::MIN_POSITIVE);
+                (c + w * o.compress_secs, d + w * o.decompress_secs)
+            });
+        if c + d > 0.0 {
+            c / (c + d)
+        } else {
+            0.0
+        }
+    };
+    for cat in Category::ALL {
+        let names: Vec<&str> =
+            p.services.iter().filter(|s| s.category == cat).map(|s| s.name).collect();
+        rows.push((cat.name().to_string(), frac_for(names)));
+    }
+    let all: Vec<&str> = p.services.iter().map(|s| s.name).collect();
+    rows.push(("Fleet".to_string(), frac_for(all)));
+    rows
+}
+
+/// Figure 4: zstdx level usage by cycles, bucketed as the paper plots
+/// it. Returns (bucket label, fraction of zstd cycles).
+pub fn level_usage(p: &FleetProfile) -> Vec<(String, f64)> {
+    let mut buckets: BTreeMap<u8, f64> = BTreeMap::new();
+    let mut total = 0.0;
+    for o in &p.observations {
+        if o.algorithm != Algorithm::Zstdx {
+            continue;
+        }
+        let w = service_fleet_share(p, o.service)
+            / p.compression_secs(o.service).max(f64::MIN_POSITIVE);
+        let secs = w * (o.compress_secs + o.decompress_secs);
+        let bucket = match o.level {
+            i32::MIN..=0 => 0,
+            1..=4 => 1,
+            5..=9 => 2,
+            _ => 3,
+        };
+        *buckets.entry(bucket).or_default() += secs;
+        total += secs;
+    }
+    let labels = ["negative", "1-4", "5-9", "10+"];
+    labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            (l.to_string(), buckets.get(&(i as u8)).copied().unwrap_or(0.0) / total.max(1e-12))
+        })
+        .collect()
+}
+
+/// Figure 5: average compression input size per service (bytes/call).
+pub fn service_block_sizes(p: &FleetProfile) -> Vec<(&'static str, f64)> {
+    p.services
+        .iter()
+        .map(|s| {
+            let (bytes, calls) = p
+                .observations
+                .iter()
+                .filter(|o| o.service == s.name)
+                .fold((0u64, 0u64), |(b, c), o| (b + o.bytes, c + o.comp_calls));
+            (s.name, if calls > 0 { bytes as f64 / calls as f64 } else { 0.0 })
+        })
+        .collect()
+}
+
+/// Figure 6: compute cycles (%) used by zstdx for the Table I services.
+pub fn service_zstd_cycles(p: &FleetProfile) -> Vec<(&'static str, f64)> {
+    crate::services::table1()
+        .iter()
+        .map(|s| {
+            let zfrac = fraction_of_service(p, s.name, |o| {
+                if o.algorithm == Algorithm::Zstdx {
+                    o.compress_secs + o.decompress_secs
+                } else {
+                    0.0
+                }
+            });
+            (s.name, s.compression_tax * zfrac)
+        })
+        .collect()
+}
+
+/// One row of Figure 7: a warehouse service's zstd time split.
+#[derive(Debug, Clone)]
+pub struct WarehouseSplit {
+    /// Service name (DW1–DW4).
+    pub service: &'static str,
+    /// Fraction of zstd time spent compressing (vs decompressing).
+    pub compression_fraction: f64,
+    /// Of compression time: fraction in the match-finding stage.
+    pub match_find_fraction: f64,
+}
+
+/// Figure 7: compression/decompression and match-find/entropy splits
+/// for the warehouse services.
+pub fn warehouse_split(p: &FleetProfile) -> Vec<WarehouseSplit> {
+    ["DW1", "DW2", "DW3", "DW4"]
+        .iter()
+        .map(|&name| {
+            let obs: Vec<&crate::profiler::Observation> =
+                p.observations.iter().filter(|o| o.service == name).collect();
+            let comp: f64 = obs.iter().map(|o| o.compress_secs).sum();
+            let decomp: f64 = obs.iter().map(|o| o.decompress_secs).sum();
+            let mf: f64 = obs.iter().map(|o| o.match_find_secs).sum();
+            let ent: f64 = obs.iter().map(|o| o.entropy_secs).sum();
+            WarehouseSplit {
+                service: name,
+                compression_fraction: comp / (comp + decomp).max(f64::MIN_POSITIVE),
+                match_find_fraction: mf / (mf + ent).max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{profile_fleet, ProfileConfig};
+    use std::sync::OnceLock;
+
+    fn profile() -> &'static FleetProfile {
+        static P: OnceLock<FleetProfile> = OnceLock::new();
+        P.get_or_init(|| profile_fleet(&ProfileConfig { work_units: 3, seed: 99 }))
+    }
+
+    #[test]
+    fn fleet_tax_in_paper_range() {
+        let tax = fleet_compression_tax(profile());
+        assert!((0.03..=0.06).contains(&tax), "tax {tax}");
+    }
+
+    #[test]
+    fn zstd_dominates_algorithm_split() {
+        let split = algorithm_split(profile());
+        let get = |a: Algorithm| split.iter().find(|(x, _)| *x == a).unwrap().1;
+        let z = get(Algorithm::Zstdx);
+        let l = get(Algorithm::Lz4x);
+        let g = get(Algorithm::Zlibx);
+        assert!(z > 5.0 * l, "zstd {z} vs lz4 {l}");
+        assert!(z > 5.0 * g, "zstd {z} vs zlib {g}");
+        assert!(l > 0.0 && g > 0.0);
+        // The three shares sum to (at most) the fleet tax.
+        assert!(z + l + g <= fleet_compression_tax(profile()) + 1e-9);
+    }
+
+    #[test]
+    fn warehouse_leads_categories() {
+        let rows = category_zstd_cycles(profile());
+        let get = |c: Category| rows.iter().find(|(x, _)| *x == c).unwrap().1;
+        let dw = get(Category::DataWarehouse);
+        for c in [Category::Web, Category::Feed, Category::Ads, Category::Cache] {
+            assert!(dw > get(c), "DW {dw} should exceed {c}");
+        }
+        // Paper range: 1.8% to 21.2%.
+        assert!(dw > 0.10 && dw < 0.30, "DW category cycles {dw}");
+    }
+
+    #[test]
+    fn decompression_calls_outnumber_compression_calls() {
+        // The paper's Figure 3 discussion: "the number of decompression
+        // calls is substantially higher than the number of compression
+        // calls across services" — while cycles can still lean toward
+        // compression because decompression is 3-100x faster.
+        let p = profile();
+        let (comp_calls, decomp_calls) = p
+            .observations
+            .iter()
+            .fold((0u64, 0u64), |(c, d), o| (c + o.comp_calls, d + o.decomp_calls));
+        assert!(
+            decomp_calls > comp_calls * 2,
+            "decomp calls {decomp_calls} vs comp calls {comp_calls}"
+        );
+        let rows = comp_decomp_split(p);
+        let fleet = rows.last().unwrap();
+        assert_eq!(fleet.0, "Fleet");
+        // Cycle split stays in a sane band and every category varies.
+        assert!((0.2..=0.9).contains(&fleet.1), "fleet compression fraction {}", fleet.1);
+        let dw = rows.iter().find(|(n, _)| n == "Data Warehouse").unwrap();
+        assert!(dw.1 > 0.4, "write-heavy warehouse split {}", dw.1);
+    }
+
+    #[test]
+    fn low_levels_dominate_usage() {
+        let rows = level_usage(profile());
+        let frac = |label: &str| rows.iter().find(|(l, _)| l == label).unwrap().1;
+        assert!(frac("1-4") > 0.5, "levels 1-4 hold {}", frac("1-4"));
+        let total: f64 = rows.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_sizes_vary_across_services() {
+        let rows = service_block_sizes(profile());
+        let get = |n: &str| rows.iter().find(|(s, _)| *s == n).unwrap().1;
+        // Warehouse blocks are orders of magnitude bigger than cache items.
+        assert!(get("DW1") > 50.0 * get("CACHE1"), "DW1 {} CACHE1 {}", get("DW1"), get("CACHE1"));
+        assert!(get("ADS1") > get("CACHE2"));
+    }
+
+    #[test]
+    fn service_cycles_match_declared_taxes() {
+        let rows = service_zstd_cycles(profile());
+        let get = |n: &str| rows.iter().find(|(s, _)| *s == n).unwrap().1;
+        assert!(get("DW2") > get("DW4"));
+        assert!(get("DW1") > 0.2);
+        assert!(get("CACHE2") < 0.03);
+    }
+
+    #[test]
+    fn match_finding_tracks_level() {
+        let rows = warehouse_split(profile());
+        let get = |n: &str| rows.iter().find(|r| r.service == n).unwrap().clone();
+        let dw1 = get("DW1"); // level 7
+        let dw4 = get("DW4"); // level 1
+        // Paper: up to ~80% for DW1, ~30% for DW4. The ordering is a
+        // *relative speed* property of the two stages, which unoptimized
+        // builds distort (the fast single-probe finder is
+        // disproportionately slowed by debug checks); assert it only on
+        // optimized builds — the fig07 bench demonstrates it at scale.
+        if !cfg!(debug_assertions) {
+            assert!(
+                dw1.match_find_fraction > dw4.match_find_fraction,
+                "DW1 (level 7) mf {} should exceed DW4 (level 1) mf {}",
+                dw1.match_find_fraction,
+                dw4.match_find_fraction
+            );
+        }
+        assert!(dw1.match_find_fraction > 0.5);
+        assert!((0.0..=1.0).contains(&dw4.match_find_fraction));
+        // Write-light DW1 vs read-heavy DW4.
+        assert!(dw1.compression_fraction > dw4.compression_fraction);
+    }
+}

@@ -1,0 +1,165 @@
+//! The paper's §VI-A service taxonomy and §VI-B offload guidance.
+//!
+//! "We have also found that the datacenter applications can be
+//! categorized into A) Compression speed-sensitive (which prefers low
+//! compression levels), B) Decompression speed-sensitive (which prefers
+//! small block sizes), C) Latency-insensitive (which prefers high
+//! compression levels), D) Small data-friendly (which prefers dictionary
+//! compression)."
+//!
+//! And §VI-B: categories A and C suit hardware offload; B and D should
+//! stay on CPU "since offloading overhead would be significant for
+//! small blocks/data unless the accelerator is located very closely".
+
+use crate::services::{ServiceSpec, Workload};
+
+/// The four application categories of §VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServiceClass {
+    /// A: compression speed-sensitive — prefers low levels.
+    CompressionSpeedSensitive,
+    /// B: decompression speed-sensitive — prefers small blocks.
+    DecompressionSpeedSensitive,
+    /// C: latency-insensitive — prefers high levels.
+    LatencyInsensitive,
+    /// D: small-data-friendly — prefers dictionary compression.
+    SmallDataFriendly,
+}
+
+impl ServiceClass {
+    /// The paper's single-letter label.
+    pub fn letter(&self) -> char {
+        match self {
+            ServiceClass::CompressionSpeedSensitive => 'A',
+            ServiceClass::DecompressionSpeedSensitive => 'B',
+            ServiceClass::LatencyInsensitive => 'C',
+            ServiceClass::SmallDataFriendly => 'D',
+        }
+    }
+
+    /// §VI-B: whether a discrete compression accelerator helps this
+    /// category (A and C), or offload overhead dominates (B and D).
+    pub fn suits_hardware_offload(&self) -> bool {
+        matches!(
+            self,
+            ServiceClass::CompressionSpeedSensitive | ServiceClass::LatencyInsensitive
+        )
+    }
+}
+
+impl std::fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ServiceClass::CompressionSpeedSensitive => "A: compression speed-sensitive",
+            ServiceClass::DecompressionSpeedSensitive => "B: decompression speed-sensitive",
+            ServiceClass::LatencyInsensitive => "C: latency-insensitive",
+            ServiceClass::SmallDataFriendly => "D: small data-friendly",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Classifies a service by its usage profile. A service can land in
+/// several categories (the paper's categories are not exclusive).
+pub fn classify(spec: &ServiceSpec) -> Vec<ServiceClass> {
+    let mut classes = Vec::new();
+
+    // Weighted average zstd level tells the speed/ratio preference.
+    let avg_level: f64 =
+        spec.level_mix.iter().map(|&(l, f)| l as f64 * f).sum::<f64>();
+    if avg_level <= 2.0 {
+        classes.push(ServiceClass::CompressionSpeedSensitive);
+    }
+    if avg_level >= 5.0 {
+        classes.push(ServiceClass::LatencyInsensitive);
+    }
+
+    // Read-dominated block workloads care about per-block decompression.
+    if spec.reads_per_write >= 3.0
+        && matches!(spec.workload, Workload::SstBlocks | Workload::CacheItems1 | Workload::CacheItems2)
+    {
+        classes.push(ServiceClass::DecompressionSpeedSensitive);
+    }
+
+    // Small typed items want dictionaries.
+    if spec.workload.uses_dictionary() {
+        classes.push(ServiceClass::SmallDataFriendly);
+    }
+
+    // Mixed-level services (e.g. Spark workers running several job
+    // types) lean toward whichever side their average level sits on.
+    if classes.is_empty() {
+        classes.push(if avg_level < 3.5 {
+            ServiceClass::CompressionSpeedSensitive
+        } else {
+            ServiceClass::LatencyInsensitive
+        });
+    }
+
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::services::registry;
+
+    fn classes_of(name: &str) -> Vec<ServiceClass> {
+        let reg = registry();
+        let spec = reg.iter().find(|s| s.name == name).expect("known service");
+        classify(spec)
+    }
+
+    #[test]
+    fn dw1_is_latency_insensitive() {
+        // Level 7 ingestion for long-term storage.
+        let c = classes_of("DW1");
+        assert!(c.contains(&ServiceClass::LatencyInsensitive), "{c:?}");
+        assert!(!c.contains(&ServiceClass::CompressionSpeedSensitive));
+    }
+
+    #[test]
+    fn dw2_shuffle_is_speed_sensitive() {
+        let c = classes_of("DW2");
+        assert!(c.contains(&ServiceClass::CompressionSpeedSensitive), "{c:?}");
+    }
+
+    #[test]
+    fn caches_are_small_data_friendly() {
+        for name in ["CACHE1", "CACHE2"] {
+            let c = classes_of(name);
+            assert!(c.contains(&ServiceClass::SmallDataFriendly), "{name}: {c:?}");
+        }
+    }
+
+    #[test]
+    fn kvstore_is_decompression_sensitive() {
+        let c = classes_of("KVSTORE1");
+        assert!(c.contains(&ServiceClass::DecompressionSpeedSensitive), "{c:?}");
+    }
+
+    #[test]
+    fn offload_guidance_matches_paper() {
+        assert!(ServiceClass::CompressionSpeedSensitive.suits_hardware_offload());
+        assert!(ServiceClass::LatencyInsensitive.suits_hardware_offload());
+        assert!(!ServiceClass::DecompressionSpeedSensitive.suits_hardware_offload());
+        assert!(!ServiceClass::SmallDataFriendly.suits_hardware_offload());
+    }
+
+    #[test]
+    fn every_table1_service_gets_a_class() {
+        for spec in crate::services::table1() {
+            assert!(
+                !classify(&spec).is_empty(),
+                "{} fell through the taxonomy",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn letters_are_stable() {
+        assert_eq!(ServiceClass::CompressionSpeedSensitive.letter(), 'A');
+        assert_eq!(ServiceClass::SmallDataFriendly.letter(), 'D');
+    }
+}

@@ -1,0 +1,41 @@
+//! Fleet model and sampling profiler — the substrate behind the paper's
+//! fleet-level characterization (Figures 2–7, Table I).
+//!
+//! The paper profiles hundreds of thousands of production servers for 30
+//! days, samples call stacks, filters for compression APIs, and
+//! aggregates cycles (§III-A). We cannot run Meta's fleet, so this crate
+//! reproduces the *pipeline* over a modeled fleet:
+//!
+//! * [`services`] — the service registry: Table I's eight case-study
+//!   services plus representative Web/Feed/long-tail services, each with
+//!   a usage profile (algorithm mix, level mix, reads-per-write, block
+//!   size, workload generator, fleet weight).
+//! * [`profiler`] — runs each service's workload through the real
+//!   [`codecs`], attributing measured compression/decompression (and
+//!   match-find vs entropy) time per `(service, algorithm, level)`.
+//! * [`agg`] — the aggregation queries that produce each figure's data
+//!   series from the raw observations.
+//!
+//! ## What is measured vs. declared
+//!
+//! Production facts the paper *observes* and we cannot re-derive without
+//! Meta's traffic are **declared** in the registry and documented as
+//! such: each service's fleet weight and its compression tax (the
+//! fraction of its cycles spent in compression — Figure 6's heights).
+//! Everything *downstream* of those facts is **measured** by actually
+//! running the codecs on the service's synthetic workload: the
+//! compression/decompression split (Figure 3), level usage by cycles
+//! (Figure 4), block sizes (Figure 5), match-finding vs entropy split
+//! (Figure 7), and the algorithm cycle shares (§III-B).
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod classify;
+pub mod drift;
+pub mod profiler;
+pub mod services;
+
+pub use profiler::{profile_fleet, FleetProfile, Observation, ProfileConfig};
+pub use classify::{classify, ServiceClass};
+pub use services::{registry, table1, Category, ServiceSpec, Workload};

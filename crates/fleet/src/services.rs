@@ -1,0 +1,429 @@
+//! The service registry: Table I plus fleet filler services.
+
+use codecs::Algorithm;
+
+/// Service categories of the paper's §III-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Advertisement serving / prediction.
+    Ads,
+    /// Distributed caching tiers.
+    Cache,
+    /// Warm/cold analytic storage.
+    DataWarehouse,
+    /// Feed ranking and delivery.
+    Feed,
+    /// Persistent key-value stores.
+    KeyValueStore,
+    /// Front-end web serving.
+    Web,
+}
+
+impl Category {
+    /// All categories.
+    pub const ALL: [Category; 6] = [
+        Category::Ads,
+        Category::Cache,
+        Category::DataWarehouse,
+        Category::Feed,
+        Category::KeyValueStore,
+        Category::Web,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Category::Ads => "Ads",
+            Category::Cache => "Cache",
+            Category::DataWarehouse => "Data Warehouse",
+            Category::Feed => "Feed",
+            Category::KeyValueStore => "Key-Value Store",
+            Category::Web => "Web",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The synthetic workload a service compresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// ORC columnar stripes in <=256 KiB blocks (DW1, DW3, DW4).
+    WarehouseOrc,
+    /// Row-major shuffle partitions (DW2).
+    WarehouseShuffle,
+    /// Small typed cache items, CACHE1 shape (dictionary-compressed).
+    CacheItems1,
+    /// Small typed cache items, CACHE2 shape (dictionary-compressed).
+    CacheItems2,
+    /// ML inference requests, model mix (ADS1/ADS2).
+    AdsRequests,
+    /// Sorted SST data in fixed-size blocks (KVSTORE1).
+    SstBlocks,
+    /// Markup/text payloads, small blocks (Web).
+    WebPayloads,
+    /// Cold 4 KiB memory pages (far-memory tier, lz4-compressed).
+    MemPages,
+    /// Medium feed story payloads.
+    FeedPayloads,
+}
+
+impl Workload {
+    /// Generates one unit of work: the byte blobs one request/job
+    /// compresses. Deterministic in `seed`.
+    pub fn generate_unit(&self, seed: u64) -> Vec<Vec<u8>> {
+        use corpus::silesia::{generate, FileClass};
+        match self {
+            Workload::WarehouseOrc => corpus::orc::generate_blocks(512 * 1024, seed),
+            Workload::WarehouseShuffle => corpus::orc::shuffle_partitions(12_000, 8, seed),
+            Workload::CacheItems1 => {
+                corpus::cache::generate_items(&corpus::cache::cache1_profile(), 24, seed)
+                    .into_iter()
+                    .map(|i| i.data)
+                    .collect()
+            }
+            Workload::CacheItems2 => {
+                corpus::cache::generate_items(&corpus::cache::cache2_profile(), 16, seed)
+                    .into_iter()
+                    .map(|i| i.data)
+                    .collect()
+            }
+            Workload::AdsRequests => {
+                use corpus::mlreq::Model;
+                let m = match seed % 4 {
+                    0 | 1 => Model::A,
+                    2 => Model::B,
+                    _ => Model::C,
+                };
+                vec![corpus::mlreq::generate_request(m, seed)]
+            }
+            Workload::SstBlocks => {
+                let sst = corpus::sst::generate_sst(128 * 1024, seed);
+                sst.chunks(16 * 1024).map(|c| c.to_vec()).collect()
+            }
+            Workload::WebPayloads => (0..8)
+                .map(|i| generate(FileClass::Xml, 4 * 1024, seed.wrapping_add(i)))
+                .collect(),
+            Workload::MemPages => corpus::mempage::generate_pages(
+                &corpus::mempage::PageMix::cold_memory(),
+                48,
+                seed,
+            )
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect(),
+            Workload::FeedPayloads => (0..6)
+                .map(|i| generate(FileClass::Text, 8 * 1024, seed.wrapping_add(i * 31)))
+                .collect(),
+        }
+    }
+
+    /// Whether the paper's dictionary-compression path applies (typed
+    /// small items, §IV-C).
+    pub fn uses_dictionary(&self) -> bool {
+        matches!(self, Workload::CacheItems1 | Workload::CacheItems2)
+    }
+}
+
+/// A service's compression usage profile.
+///
+/// `fleet_weight` and `compression_tax` are production facts declared
+/// from the paper (see the crate docs); the rest parameterizes real
+/// codec runs.
+#[derive(Debug, Clone)]
+pub struct ServiceSpec {
+    /// Service name (Table I naming).
+    pub name: &'static str,
+    /// Service category.
+    pub category: Category,
+    /// Table I description.
+    pub description: &'static str,
+    /// Table I resource boundedness.
+    pub resource_bound: &'static str,
+    /// Table I key takeaway.
+    pub key_takeaway: &'static str,
+    /// Share of total fleet compute this service represents.
+    pub fleet_weight: f64,
+    /// Fraction of the service's cycles spent in (de)compression —
+    /// declared from the paper's observations (Figures 2/6).
+    pub compression_tax: f64,
+    /// Algorithm usage mix by call share (must sum to 1).
+    pub algorithm_mix: &'static [(Algorithm, f64)],
+    /// Zstd level mix by call share (must sum to 1).
+    pub level_mix: &'static [(i32, f64)],
+    /// Decompression calls per compression call (drives Figure 3).
+    pub reads_per_write: f64,
+    /// The data this service compresses.
+    pub workload: Workload,
+}
+
+const ZSTD_ONLY: &[(Algorithm, f64)] = &[(Algorithm::Zstdx, 1.0)];
+
+/// The full modeled fleet: Table I's eight services plus Web/Feed/Ads
+/// fillers and a long-tail aggregate, with weights summing to 1.
+pub fn registry() -> Vec<ServiceSpec> {
+    vec![
+        ServiceSpec {
+            name: "DW1",
+            category: Category::DataWarehouse,
+            description: "Distributed data delivery service",
+            resource_bound: "Storage bound",
+            key_takeaway: "Compute-storage cost trade-offs",
+            fleet_weight: 0.025,
+            compression_tax: 0.285,
+            algorithm_mix: ZSTD_ONLY,
+            level_mix: &[(7, 1.0)],
+            reads_per_write: 0.3,
+            workload: Workload::WarehouseOrc,
+        },
+        ServiceSpec {
+            name: "DW2",
+            category: Category::DataWarehouse,
+            description: "Distributed data shuffle service",
+            resource_bound: "Storage bound",
+            key_takeaway: "Compute-storage cost trade-offs",
+            fleet_weight: 0.02,
+            compression_tax: 0.305,
+            algorithm_mix: ZSTD_ONLY,
+            level_mix: &[(1, 1.0)],
+            reads_per_write: 1.4,
+            workload: Workload::WarehouseShuffle,
+        },
+        ServiceSpec {
+            name: "DW3",
+            category: Category::DataWarehouse,
+            description: "Distributed scheduling framework for data warehouse jobs",
+            resource_bound: "Storage bound",
+            key_takeaway: "Compute-storage cost trade-offs",
+            fleet_weight: 0.03,
+            compression_tax: 0.135,
+            algorithm_mix: ZSTD_ONLY,
+            level_mix: &[(1, 0.5), (3, 0.3), (7, 0.2)],
+            reads_per_write: 2.0,
+            workload: Workload::WarehouseOrc,
+        },
+        ServiceSpec {
+            name: "DW4",
+            category: Category::DataWarehouse,
+            description: "Distributed scheduling framework for machine learning jobs",
+            resource_bound: "Storage bound",
+            key_takeaway: "Compute-storage cost trade-offs",
+            fleet_weight: 0.02,
+            compression_tax: 0.08,
+            algorithm_mix: ZSTD_ONLY,
+            level_mix: &[(1, 1.0)],
+            reads_per_write: 2.5,
+            workload: Workload::WarehouseOrc,
+        },
+        ServiceSpec {
+            name: "ADS1",
+            category: Category::Ads,
+            description: "Ads serving machine learning inference service",
+            resource_bound: "Network bound",
+            key_takeaway: "Network compression and model variance",
+            fleet_weight: 0.06,
+            compression_tax: 0.05,
+            algorithm_mix: &[(Algorithm::Zstdx, 0.9), (Algorithm::Lz4x, 0.1)],
+            level_mix: &[(-1, 0.3), (1, 0.5), (4, 0.2)],
+            reads_per_write: 1.0,
+            workload: Workload::AdsRequests,
+        },
+        ServiceSpec {
+            name: "CACHE1",
+            category: Category::Cache,
+            description: "Distributed memory object caching service",
+            resource_bound: "Compute/memory bound",
+            key_takeaway: "Small data compression",
+            fleet_weight: 0.05,
+            compression_tax: 0.04,
+            algorithm_mix: &[(Algorithm::Zstdx, 0.8), (Algorithm::Lz4x, 0.2)],
+            level_mix: &[(1, 0.7), (3, 0.3)],
+            reads_per_write: 5.0,
+            workload: Workload::CacheItems1,
+        },
+        ServiceSpec {
+            name: "CACHE2",
+            category: Category::Cache,
+            description: "Distributed social graph data store service",
+            resource_bound: "Compute/memory bound",
+            key_takeaway: "Small data compression",
+            fleet_weight: 0.04,
+            compression_tax: 0.017,
+            algorithm_mix: ZSTD_ONLY,
+            level_mix: &[(1, 0.6), (3, 0.4)],
+            reads_per_write: 8.0,
+            workload: Workload::CacheItems2,
+        },
+        ServiceSpec {
+            name: "KVSTORE1",
+            category: Category::KeyValueStore,
+            description: "Large distributed key-value store",
+            resource_bound: "Storage bound",
+            key_takeaway: "Different block sizes",
+            fleet_weight: 0.04,
+            compression_tax: 0.10,
+            algorithm_mix: &[(Algorithm::Zstdx, 0.7), (Algorithm::Lz4x, 0.3)],
+            level_mix: &[(1, 0.8), (3, 0.2)],
+            reads_per_write: 4.0,
+            workload: Workload::SstBlocks,
+        },
+        ServiceSpec {
+            name: "WEB1",
+            category: Category::Web,
+            description: "Front-end web rendering tier",
+            resource_bound: "Compute bound",
+            key_takeaway: "Zlib retained for backward compatibility",
+            fleet_weight: 0.20,
+            compression_tax: 0.018,
+            algorithm_mix: &[(Algorithm::Zstdx, 0.75), (Algorithm::Zlibx, 0.25)],
+            level_mix: &[(1, 0.6), (3, 0.4)],
+            reads_per_write: 6.0,
+            workload: Workload::WebPayloads,
+        },
+        ServiceSpec {
+            name: "FEED1",
+            category: Category::Feed,
+            description: "Feed ranking and delivery service",
+            resource_bound: "Compute bound",
+            key_takeaway: "Low levels dominate (speed-sensitive)",
+            fleet_weight: 0.12,
+            compression_tax: 0.025,
+            algorithm_mix: &[(Algorithm::Zstdx, 0.9), (Algorithm::Lz4x, 0.1)],
+            level_mix: &[(1, 0.85), (2, 0.15)],
+            reads_per_write: 6.0,
+            workload: Workload::FeedPayloads,
+        },
+        ServiceSpec {
+            name: "FEED2",
+            category: Category::Feed,
+            description: "Feed story aggregation service",
+            resource_bound: "Compute bound",
+            key_takeaway: "Low levels dominate (speed-sensitive)",
+            fleet_weight: 0.04,
+            compression_tax: 0.02,
+            algorithm_mix: ZSTD_ONLY,
+            level_mix: &[(1, 0.9), (4, 0.1)],
+            reads_per_write: 4.0,
+            workload: Workload::FeedPayloads,
+        },
+        ServiceSpec {
+            name: "ADS2",
+            category: Category::Ads,
+            description: "Ads event logging pipeline",
+            resource_bound: "Network bound",
+            key_takeaway: "Network compression",
+            fleet_weight: 0.03,
+            compression_tax: 0.03,
+            algorithm_mix: &[(Algorithm::Zstdx, 0.8), (Algorithm::Zlibx, 0.2)],
+            level_mix: &[(3, 0.6), (5, 0.4)],
+            reads_per_write: 1.0,
+            workload: Workload::AdsRequests,
+        },
+        ServiceSpec {
+            name: "MEM1",
+            category: Category::Cache,
+            description: "Far-memory tier compressing cold pages (lz4)",
+            resource_bound: "Memory bound",
+            key_takeaway: "Page compression favors the fastest codec",
+            fleet_weight: 0.08,
+            compression_tax: 0.04,
+            algorithm_mix: &[(Algorithm::Lz4x, 1.0)],
+            level_mix: &[(1, 1.0)],
+            reads_per_write: 1.5,
+            workload: Workload::MemPages,
+        },
+        ServiceSpec {
+            name: "LONGTAIL",
+            category: Category::Web,
+            description: "Aggregate of thousands of low-compression services",
+            resource_bound: "Mixed",
+            key_takeaway: "Most services spend little on compression",
+            fleet_weight: 0.245,
+            compression_tax: 0.028,
+            algorithm_mix: &[
+                (Algorithm::Zstdx, 0.8),
+                (Algorithm::Lz4x, 0.1),
+                (Algorithm::Zlibx, 0.1),
+            ],
+            level_mix: &[(1, 0.5), (3, 0.3), (6, 0.2)],
+            reads_per_write: 5.0,
+            workload: Workload::WebPayloads,
+        },
+    ]
+}
+
+/// The eight case-study services of Table I, in paper order.
+pub fn table1() -> Vec<ServiceSpec> {
+    let names = ["DW1", "DW2", "DW3", "DW4", "ADS1", "CACHE1", "CACHE2", "KVSTORE1"];
+    let all = registry();
+    names
+        .iter()
+        .map(|n| all.iter().find(|s| s.name == *n).expect("table1 service in registry").clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = registry().iter().map(|s| s.fleet_weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+    }
+
+    #[test]
+    fn mixes_sum_to_one() {
+        for s in registry() {
+            let algo: f64 = s.algorithm_mix.iter().map(|(_, f)| f).sum();
+            assert!((algo - 1.0).abs() < 1e-9, "{}: algorithm mix sums to {algo}", s.name);
+            let lvl: f64 = s.level_mix.iter().map(|(_, f)| f).sum();
+            assert!((lvl - 1.0).abs() < 1e-9, "{}: level mix sums to {lvl}", s.name);
+        }
+    }
+
+    #[test]
+    fn fleet_tax_near_paper() {
+        // Weighted fleet-wide compression tax must land near the
+        // paper's 4.6%.
+        let tax: f64 = registry().iter().map(|s| s.fleet_weight * s.compression_tax).sum();
+        assert!((0.035..=0.06).contains(&tax), "fleet tax {tax}");
+    }
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[0].name, "DW1");
+        assert_eq!(t[4].name, "ADS1");
+        assert!(t.iter().all(|s| !s.description.is_empty()));
+        // Paper: service-level taxes range 1.7% to 30.5%.
+        let min = t.iter().map(|s| s.compression_tax).fold(f64::MAX, f64::min);
+        let max = t.iter().map(|s| s.compression_tax).fold(f64::MIN, f64::max);
+        assert!((min - 0.017).abs() < 1e-9);
+        assert!((max - 0.305).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workloads_generate_nonempty_units() {
+        for s in registry() {
+            let unit = s.workload.generate_unit(1);
+            assert!(!unit.is_empty(), "{}", s.name);
+            assert!(unit.iter().all(|b| !b.is_empty()), "{}", s.name);
+            // Deterministic.
+            assert_eq!(unit, s.workload.generate_unit(1));
+        }
+    }
+
+    #[test]
+    fn all_categories_covered() {
+        let reg = registry();
+        for c in Category::ALL {
+            assert!(reg.iter().any(|s| s.category == c), "no service in {c}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Managed Compression — a stateful dictionary-lifecycle service.
+//!
+//! The paper (§I, §II-B) describes Meta's *Managed Compression*:
+//! "services like Managed Compression expose a stateless interface to
+//! users while the service keeps the states to train dictionaries using
+//! previous samples to provide a better performance." This crate
+//! implements that architecture over the [`codecs`] stack:
+//!
+//! * Clients call [`ManagedCompression::compress`]/[`decompress`] with a
+//!   *use case* name and bytes — no dictionary handling on their side.
+//! * The service reservoir-samples a fraction of the traffic per use
+//!   case, periodically (re)trains a dictionary from the reservoir, and
+//!   rolls it out as a new **version**.
+//! * Frames embed the dictionary version; older versions are retained
+//!   so in-flight and at-rest data stays decodable across rollouts.
+//!
+//! [`decompress`]: ManagedCompression::decompress
+//!
+//! # Example
+//!
+//! ```
+//! use managed::{ManagedCompression, ManagedConfig};
+//!
+//! let mut svc = ManagedCompression::new(ManagedConfig::default());
+//! let payload = br#"{"type":"user.profile","name":"n","flags":[1,2]}"#;
+//! let frame = svc.compress("user-profiles", payload);
+//! assert_eq!(svc.decompress("user-profiles", &frame).unwrap(), payload);
+//! ```
+
+#![warn(missing_docs)]
+
+mod reservoir;
+mod service;
+
+pub use reservoir::Reservoir;
+pub use service::{ManagedCompression, ManagedConfig, UseCaseStats};
+
+/// Errors returned by the managed service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManagedError {
+    /// The named use case has never been seen by this service instance.
+    UnknownUseCase(String),
+    /// The frame references a dictionary version that has been retired.
+    RetiredDictionary {
+        /// The use case the frame belongs to.
+        use_case: String,
+        /// The retired dictionary version the frame references.
+        version: u32,
+    },
+    /// The underlying codec rejected the frame.
+    Codec(codecs::CodecError),
+}
+
+impl std::fmt::Display for ManagedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManagedError::UnknownUseCase(u) => write!(f, "unknown use case: {u}"),
+            ManagedError::RetiredDictionary { use_case, version } => {
+                write!(f, "dictionary v{version} of {use_case} has been retired")
+            }
+            ManagedError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ManagedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManagedError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<codecs::CodecError> for ManagedError {
+    fn from(e: codecs::CodecError) -> Self {
+        ManagedError::Codec(e)
+    }
+}
+
+/// Result alias for managed-service operations.
+pub type Result<T> = std::result::Result<T, ManagedError>;

@@ -1,0 +1,117 @@
+//! Reservoir sampling of compression inputs.
+//!
+//! The service cannot retain all traffic; a classic Algorithm-R
+//! reservoir keeps a uniform sample of everything seen so far, which is
+//! what dictionary training consumes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fixed-capacity uniform sample over a stream of byte payloads.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    samples: Vec<Vec<u8>>,
+    capacity: usize,
+    seen: u64,
+    rng: StdRng,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Offers one payload to the reservoir (Algorithm R).
+    pub fn offer(&mut self, payload: &[u8]) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(payload.to_vec());
+        } else {
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = payload.to_vec();
+            }
+        }
+    }
+
+    /// The retained samples.
+    pub fn samples(&self) -> &[Vec<u8>] {
+        &self.samples
+    }
+
+    /// Total payloads offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Whether the reservoir holds enough content to train from.
+    pub fn is_warm(&self) -> bool {
+        self.samples.len() >= self.capacity.min(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_replaces() {
+        let mut r = Reservoir::new(4, 1);
+        for i in 0..100u32 {
+            r.offer(&i.to_le_bytes());
+        }
+        assert_eq!(r.samples().len(), 4);
+        assert_eq!(r.seen(), 100);
+        // With 100 offers, at least one late element should have landed.
+        assert!(
+            r.samples().iter().any(|s| u32::from_le_bytes(s[..4].try_into().unwrap()) >= 4),
+            "reservoir never replaced an early sample"
+        );
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        // Each of 50 items should appear with probability 10/50; over
+        // many independent reservoirs, early and late items appear
+        // comparably often.
+        let mut early = 0u32;
+        let mut late = 0u32;
+        for seed in 0..300 {
+            let mut r = Reservoir::new(10, seed);
+            for i in 0..50u32 {
+                r.offer(&i.to_le_bytes());
+            }
+            for s in r.samples() {
+                let v = u32::from_le_bytes(s[..4].try_into().unwrap());
+                if v < 25 {
+                    early += 1;
+                } else {
+                    late += 1;
+                }
+            }
+        }
+        let ratio = early as f64 / late as f64;
+        assert!((0.8..1.25).contains(&ratio), "early/late ratio {ratio}");
+    }
+
+    #[test]
+    fn warmness() {
+        let mut r = Reservoir::new(100, 2);
+        assert!(!r.is_warm());
+        for i in 0..8u32 {
+            r.offer(&i.to_le_bytes());
+        }
+        assert!(r.is_warm());
+    }
+}

@@ -1,0 +1,389 @@
+//! The managed-compression service proper.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use codecs::zstdx::Zstdx;
+use codecs::{Compressor, Dictionary};
+
+use crate::reservoir::Reservoir;
+use crate::{ManagedError, Result};
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ManagedConfig {
+    /// Zstdx level used for all use cases.
+    pub level: i32,
+    /// Reservoir capacity per use case.
+    pub reservoir_capacity: usize,
+    /// (Re)train after this many compress calls per use case.
+    pub retrain_interval: u64,
+    /// Trained dictionary size in bytes.
+    pub dict_size: usize,
+    /// Dictionary versions retained for decompression.
+    pub versions_kept: usize,
+    /// Seed for reservoir sampling.
+    pub seed: u64,
+}
+
+impl Default for ManagedConfig {
+    fn default() -> Self {
+        Self {
+            level: 3,
+            reservoir_capacity: 64,
+            retrain_interval: 128,
+            dict_size: 16 * 1024,
+            versions_kept: 4,
+            seed: 0x4d43,
+        }
+    }
+}
+
+/// Per-use-case observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UseCaseStats {
+    /// Compress calls served.
+    pub compress_calls: u64,
+    /// Decompress calls served.
+    pub decompress_calls: u64,
+    /// Dictionary versions trained so far.
+    pub versions_trained: u32,
+    /// Uncompressed bytes in.
+    pub bytes_in: u64,
+    /// Compressed bytes out.
+    pub bytes_out: u64,
+}
+
+impl UseCaseStats {
+    /// Achieved compression ratio so far.
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_out == 0 {
+            return 1.0;
+        }
+        self.bytes_in as f64 / self.bytes_out as f64
+    }
+}
+
+struct UseCase {
+    reservoir: Reservoir,
+    /// Retained dictionary versions, oldest first. The last one is
+    /// active. Version numbers start at 1; frames before the first
+    /// training carry no dictionary.
+    versions: Vec<(u32, Dictionary)>,
+    next_version: u32,
+    calls_since_train: u64,
+    stats: UseCaseStats,
+}
+
+/// The stateful service. See the [crate docs](crate).
+pub struct ManagedCompression {
+    config: ManagedConfig,
+    codec: Zstdx,
+    use_cases: HashMap<String, UseCase>,
+}
+
+impl ManagedCompression {
+    /// Creates a service with `config`.
+    pub fn new(config: ManagedConfig) -> Self {
+        Self { config, codec: Zstdx::new(config.level), use_cases: HashMap::new() }
+    }
+
+    fn dict_id(use_case: &str, version: u32) -> u32 {
+        let mut h = DefaultHasher::new();
+        use_case.hash(&mut h);
+        // Top 12 bits from the use case, low 20 from the version: cheap
+        // collision resistance for mismatched-service bugs.
+        ((h.finish() as u32) << 20) | (version & 0xfffff)
+    }
+
+    fn case_mut(&mut self, use_case: &str) -> &mut UseCase {
+        let config = self.config;
+        let mut h = DefaultHasher::new();
+        use_case.hash(&mut h);
+        let seed = config.seed ^ h.finish();
+        self.use_cases.entry(use_case.to_string()).or_insert_with(|| UseCase {
+            reservoir: Reservoir::new(config.reservoir_capacity, seed),
+            versions: Vec::new(),
+            next_version: 1,
+            calls_since_train: 0,
+            stats: UseCaseStats::default(),
+        })
+    }
+
+    /// Compresses `data` under `use_case`, transparently using (and
+    /// maintaining) the case's dictionary.
+    pub fn compress(&mut self, use_case: &str, data: &[u8]) -> Vec<u8> {
+        let codec = self.codec.clone();
+        let config = self.config;
+        let case = self.case_mut(use_case);
+        case.reservoir.offer(data);
+        case.calls_since_train += 1;
+        case.stats.compress_calls += 1;
+        case.stats.bytes_in += data.len() as u64;
+
+        // Rollout: train a new version when the interval elapses (or on
+        // the first warm reservoir).
+        let due = case.calls_since_train >= config.retrain_interval
+            || (case.versions.is_empty() && case.reservoir.is_warm());
+        if due && case.reservoir.is_warm() {
+            let refs: Vec<&[u8]> =
+                case.reservoir.samples().iter().map(|v| v.as_slice()).collect();
+            let version = case.next_version;
+            let dict = codecs::dict::train(
+                &refs,
+                config.dict_size,
+                Self::dict_id(use_case, version),
+            );
+            if !dict.is_empty() {
+                case.versions.push((version, dict));
+                case.next_version += 1;
+                case.stats.versions_trained += 1;
+                while case.versions.len() > config.versions_kept {
+                    case.versions.remove(0);
+                }
+            }
+            case.calls_since_train = 0;
+        }
+
+        let frame = match case.versions.last() {
+            Some((_, dict)) => codec.compress_with_dict(data, dict),
+            None => codec.compress(data),
+        };
+        case.stats.bytes_out += frame.len() as u64;
+        frame
+    }
+
+    /// Decompresses a frame produced by [`Self::compress`] for the same
+    /// use case, resolving whichever retained dictionary version the
+    /// frame references.
+    ///
+    /// # Errors
+    ///
+    /// * [`ManagedError::UnknownUseCase`] for a never-seen use case.
+    /// * [`ManagedError::RetiredDictionary`] when the frame's version
+    ///   has been rolled past `versions_kept`.
+    /// * [`ManagedError::Codec`] for malformed frames.
+    pub fn decompress(&mut self, use_case: &str, frame: &[u8]) -> Result<Vec<u8>> {
+        let codec = self.codec.clone();
+        let case = self
+            .use_cases
+            .get_mut(use_case)
+            .ok_or_else(|| ManagedError::UnknownUseCase(use_case.to_string()))?;
+        case.stats.decompress_calls += 1;
+
+        // Try dict-less first; on a dictionary mismatch error the frame
+        // tells us which id it wants.
+        match codec.decompress(frame) {
+            Ok(data) => Ok(data),
+            Err(codecs::CodecError::DictionaryMismatch { expected, .. }) => {
+                let version = expected & 0xfffff;
+                let dict = case
+                    .versions
+                    .iter()
+                    .find(|(v, d)| *v == version && d.id() == expected)
+                    .map(|(_, d)| d)
+                    .ok_or_else(|| ManagedError::RetiredDictionary {
+                        use_case: use_case.to_string(),
+                        version,
+                    })?;
+                Ok(codec.decompress_with_dict(frame, dict)?)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Observability counters for a use case.
+    pub fn stats(&self, use_case: &str) -> Option<UseCaseStats> {
+        self.use_cases.get(use_case).map(|c| c.stats)
+    }
+
+    /// Names of all use cases the service has seen.
+    pub fn use_cases(&self) -> Vec<&str> {
+        self.use_cases.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typed_payload(i: usize) -> Vec<u8> {
+        format!(
+            "{{\"schema\":\"event.click.v7\",\"session\":{},\"target\":\"btn-{}\",\"ts\":{}}}",
+            i % 500,
+            i % 23,
+            1_700_000_000 + i
+        )
+        .into_bytes()
+    }
+
+    #[test]
+    fn roundtrip_before_any_dictionary() {
+        let mut svc = ManagedCompression::new(ManagedConfig::default());
+        // First call: reservoir warm-up threshold not met -> dict-less.
+        let p = typed_payload(0);
+        let f = svc.compress("events", &p);
+        assert_eq!(svc.decompress("events", &f).unwrap(), p);
+    }
+
+    #[test]
+    fn dictionary_rollout_improves_ratio() {
+        let mut svc = ManagedCompression::new(ManagedConfig::default());
+        // Warm-up traffic.
+        let mut early_out = 0usize;
+        let mut early_in = 0usize;
+        for i in 0..8 {
+            let p = typed_payload(i);
+            early_in += p.len();
+            early_out += svc.compress("events", &p).len();
+        }
+        // Post-rollout traffic.
+        let mut late_out = 0usize;
+        let mut late_in = 0usize;
+        for i in 100..150 {
+            let p = typed_payload(i);
+            late_in += p.len();
+            let f = svc.compress("events", &p);
+            late_out += f.len();
+            assert_eq!(svc.decompress("events", &f).unwrap(), p);
+        }
+        let early_ratio = early_in as f64 / early_out as f64;
+        let late_ratio = late_in as f64 / late_out as f64;
+        assert!(
+            late_ratio > early_ratio * 1.3,
+            "dictionary rollout should lift ratio: {early_ratio:.2} -> {late_ratio:.2}"
+        );
+        assert!(svc.stats("events").unwrap().versions_trained >= 1);
+    }
+
+    #[test]
+    fn old_frames_decode_after_retrain() {
+        let cfg = ManagedConfig { retrain_interval: 20, ..Default::default() };
+        let mut svc = ManagedCompression::new(cfg);
+        let mut kept: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for i in 0..70 {
+            let p = typed_payload(i);
+            let f = svc.compress("events", &p);
+            kept.push((p, f));
+        }
+        let stats = svc.stats("events").unwrap();
+        assert!(stats.versions_trained >= 2, "expected multiple rollouts");
+        // Every historical frame still decodes.
+        for (p, f) in &kept {
+            assert_eq!(&svc.decompress("events", f).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn retired_versions_are_reported() {
+        let cfg = ManagedConfig { retrain_interval: 10, versions_kept: 1, ..Default::default() };
+        let mut svc = ManagedCompression::new(cfg);
+        let p0 = typed_payload(0);
+        let mut first_dict_frame = None;
+        for i in 0..100 {
+            let p = typed_payload(i);
+            let f = svc.compress("events", &p);
+            if first_dict_frame.is_none() && svc.stats("events").unwrap().versions_trained == 1 {
+                first_dict_frame = Some(f);
+            }
+        }
+        let _ = p0;
+        let frame = first_dict_frame.expect("a v1 frame was captured");
+        assert!(
+            matches!(
+                svc.decompress("events", &frame),
+                Err(ManagedError::RetiredDictionary { .. })
+            ),
+            "v1 should be retired after many rollouts with versions_kept=1"
+        );
+    }
+
+    #[test]
+    fn use_cases_are_isolated() {
+        let mut svc = ManagedCompression::new(ManagedConfig::default());
+        for i in 0..20 {
+            svc.compress("a", &typed_payload(i));
+            svc.compress("b", &vec![b'#'; 100 + i]);
+        }
+        let fa = svc.compress("a", &typed_payload(99));
+        // Frames from one use case must not decode under another's name
+        // once dictionaries are live (different dict ids).
+        if svc.stats("a").unwrap().versions_trained > 0 {
+            assert!(svc.decompress("b", &fa).is_err());
+        }
+        assert!(matches!(
+            svc.decompress("never-seen", &fa),
+            Err(ManagedError::UnknownUseCase(_))
+        ));
+        let mut names = svc.use_cases();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn stats_track_calls() {
+        let mut svc = ManagedCompression::new(ManagedConfig::default());
+        for i in 0..5 {
+            let f = svc.compress("s", &typed_payload(i));
+            svc.decompress("s", &f).unwrap();
+        }
+        let st = svc.stats("s").unwrap();
+        assert_eq!(st.compress_calls, 5);
+        assert_eq!(st.decompress_calls, 5);
+        assert!(st.ratio() > 0.5);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Any payload sequence round-trips across dictionary rollouts.
+        #[test]
+        fn any_traffic_roundtrips(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..512), 1..60),
+            retrain in 5u64..40,
+        ) {
+            // Retain every version: retirement of old dictionaries is
+            // legitimate (and separately tested); this property is about
+            // frames decoding across any number of rollouts.
+            let mut svc = ManagedCompression::new(ManagedConfig {
+                retrain_interval: retrain,
+                reservoir_capacity: 16,
+                versions_kept: usize::MAX,
+                ..Default::default()
+            });
+            let mut frames = Vec::new();
+            for p in &payloads {
+                frames.push(svc.compress("case", p));
+            }
+            for (p, f) in payloads.iter().zip(&frames) {
+                prop_assert_eq!(&svc.decompress("case", f).unwrap(), p);
+            }
+        }
+
+        /// Stats accounting is exact regardless of traffic.
+        #[test]
+        fn stats_are_exact(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..256), 1..30),
+        ) {
+            let mut svc = ManagedCompression::new(ManagedConfig::default());
+            let mut bytes_in = 0u64;
+            for p in &payloads {
+                svc.compress("c", p);
+                bytes_in += p.len() as u64;
+            }
+            let st = svc.stats("c").unwrap();
+            prop_assert_eq!(st.compress_calls, payloads.len() as u64);
+            prop_assert_eq!(st.bytes_in, bytes_in);
+            prop_assert!(st.bytes_out > 0);
+        }
+    }
+}

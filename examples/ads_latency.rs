@@ -1,0 +1,59 @@
+//! Ads inference scenario (paper §IV-D): compressing RPC requests to cut
+//! network cost under a strict latency budget, with per-model variance.
+//!
+//! Run with: `cargo run --release --example ads_latency`
+
+use compopt::prelude::*;
+use datacomp::codecs::Algorithm;
+use datacomp::corpus::mlreq::{generate_requests, Model};
+
+fn main() {
+    // Per-model compression profiles (Figure 12's variance).
+    println!("per-model compression at zstdx level 1:");
+    let c = Algorithm::Zstdx.compressor(1);
+    for model in Model::ALL {
+        let reqs = generate_requests(model, 3, 5);
+        let refs: Vec<&[u8]> = reqs.iter().map(|v| v.as_slice()).collect();
+        let m = datacomp::codecs::measure(c.as_ref(), &refs);
+        println!(
+            "  {:<8} avg request {:>8} B  ratio {:.2}  comp {:>6.1} MB/s",
+            model.to_string(),
+            m.original_bytes / m.calls,
+            m.ratio(),
+            m.compress_mbps()
+        );
+    }
+
+    // Latency-aware configuration choice: the request must be
+    // compressed fast enough not to blow the RPC budget.
+    let reqs = generate_requests(Model::A, 4, 6);
+    let refs: Vec<&[u8]> = reqs.iter().map(|v| v.as_slice()).collect();
+    let mut engine = CompEngine::new();
+    engine.add_levels(Algorithm::Zstdx, [-3, -1, 1, 2, 3, 4, 6, 9]);
+    engine.add_levels(Algorithm::Lz4x, [1, 6]);
+    let measured = engine.measure(&refs);
+    let params = CostParams::from_pricing(&Pricing::aws_2023(), 1.0, 0.0);
+
+    // Sweep the speed SLO and watch the optimum move (study 1's logic).
+    let evals = evaluate_all(&measured, &params, CostWeights::COMPUTE_NETWORK, &[]);
+    let speeds: Vec<f64> = evals.iter().map(|e| e.compress_mbps).collect();
+    let max_speed = speeds.iter().cloned().fold(f64::MIN, f64::max);
+    println!("\nSLO sweep (compute + network objective):");
+    for slo_frac in [0.0, 0.3, 0.6, 0.9] {
+        let slo = max_speed * slo_frac;
+        let evals = evaluate_all(
+            &measured,
+            &params,
+            CostWeights::COMPUTE_NETWORK,
+            &[Constraint::MinCompressionSpeedMbps(slo)],
+        );
+        match optimum(&evals) {
+            Some(best) => println!(
+                "  speed >= {slo:>7.1} MB/s -> {} (ratio {:.2}, {:.1} MB/s)",
+                best.label, best.ratio, best.compress_mbps
+            ),
+            None => println!("  speed >= {slo:>7.1} MB/s -> no feasible configuration"),
+        }
+    }
+    println!("\ntighter latency SLOs push the optimum toward faster, lower-ratio configs.");
+}

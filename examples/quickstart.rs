@@ -1,0 +1,66 @@
+//! Quickstart: compress data with the three codecs, train a dictionary,
+//! and let CompOpt pick the cheapest configuration for a workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use compopt::prelude::*;
+use datacomp::codecs::{self, Algorithm, Compressor};
+use datacomp::corpus;
+
+fn main() {
+    // --- 1. Compress one buffer with each codec ------------------------
+    let data = corpus::silesia::generate(corpus::silesia::FileClass::Log, 256 * 1024, 1);
+    println!("input: {} bytes of synthetic server logs\n", data.len());
+    for algo in Algorithm::ALL {
+        let c = algo.compressor(3);
+        let t0 = std::time::Instant::now();
+        let compressed = c.compress(&data);
+        let dt = t0.elapsed();
+        let restored = c.decompress(&compressed).expect("own frame round-trips");
+        assert_eq!(restored, data);
+        println!(
+            "{:>6} level 3: ratio {:.2}, {:.0} MB/s",
+            algo.name(),
+            data.len() as f64 / compressed.len() as f64,
+            data.len() as f64 / dt.as_secs_f64() / 1e6,
+        );
+    }
+
+    // --- 2. Dictionary compression for small typed items ---------------
+    let items = corpus::cache::generate_items(&corpus::cache::cache1_profile(), 400, 2);
+    let train: Vec<&[u8]> = items[..200].iter().map(|i| i.data.as_slice()).collect();
+    let dict = codecs::dict::train(&train, 16 * 1024, 7);
+    let z = codecs::zstdx::Zstdx::new(3);
+    let (mut plain, mut with_dict) = (0usize, 0usize);
+    for item in &items[200..] {
+        plain += z.compress(&item.data).len();
+        with_dict += z.compress_with_dict(&item.data, &dict).len();
+    }
+    println!(
+        "\ndictionary on small cache items: {} -> {} bytes ({:.0}% smaller)",
+        plain,
+        with_dict,
+        (1.0 - with_dict as f64 / plain as f64) * 100.0
+    );
+
+    // --- 3. Ask CompOpt for the cheapest configuration -----------------
+    let samples: Vec<Vec<u8>> =
+        (0..4).map(|i| corpus::silesia::generate(corpus::silesia::FileClass::Database, 64 * 1024, i)).collect();
+    let refs: Vec<&[u8]> = samples.iter().map(|v| v.as_slice()).collect();
+    let mut engine = CompEngine::new();
+    for algo in Algorithm::ALL {
+        engine.add_levels(algo, [1, 3, 6]);
+    }
+    let measured = engine.measure(&refs);
+    let params = CostParams::from_pricing(&Pricing::aws_2023(), 1.0, 30.0);
+    let evals = evaluate_all(&measured, &params, CostWeights::ALL, &[]);
+    println!("\nCompOpt ranking (30-day retention, all resources priced):");
+    for e in evals.iter().take(5) {
+        println!(
+            "  {:<14} ratio {:>5.2}  {:>7.1} MB/s  cost {:.3e}",
+            e.label, e.ratio, e.compress_mbps, e.total_cost
+        );
+    }
+    let best = optimum(&evals).expect("something is feasible");
+    println!("\noptimal configuration: {}", best.label);
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env python3
+"""Extracts figure tables from bench_output.txt (helper for EXPERIMENTS.md)."""
+import re, sys
+text = open('/root/repo/bench_output.txt').read()
+sections = re.split(r"\n== ", text)
+for s in sections[1:]:
+    title = s.split(" ==")[0]
+    body = s.split(" ==\n", 1)[1] if " ==\n" in s else ""
+    lines = [l for l in body.split("\n") if l.strip()][:40]
+    stop = next((i for i, l in enumerate(lines) if l.startswith("[artifact]") or l.startswith("     Running")), len(lines))
+    print(f"### {title}")
+    print("\n".join(lines[:stop]))
+    print()

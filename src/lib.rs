@@ -1,0 +1,25 @@
+//! # datacomp
+//!
+//! Umbrella crate for the reproduction of *"Characterization of Data
+//! Compression in Datacenters"* (ISPASS 2023). It re-exports the member
+//! crates so examples and integration tests can depend on a single name:
+//!
+//! * [`codecs`] — the from-scratch LZ-family compressors (`lz4x`,
+//!   `zlibx`, `zstdx`) plus dictionary training and metrics.
+//! * [`corpus`] — synthetic datacenter workload generators.
+//! * [`fleet`] — the fleet model and sampling profiler.
+//! * [`compopt`] — the paper's contribution: the CompOpt cost optimizer.
+//! * [`managed`] — the Managed Compression dictionary-lifecycle service
+//!   (the paper's reference \[27\]).
+//! * [`entropy`] / [`lzkit`] — the shared compression substrates.
+//!
+//! See `DESIGN.md` for the full system inventory and the per-experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use codecs;
+pub use compopt;
+pub use managed;
+pub use corpus;
+pub use entropy;
+pub use fleet;
+pub use lzkit;

@@ -1,0 +1,97 @@
+//! Property-based round-trip tests: for every codec and any input,
+//! `decompress(compress(x)) == x` — the core lossless invariant — plus
+//! dictionary and frame-robustness properties.
+
+use datacomp::codecs::{self, Algorithm, Compressor, Dictionary};
+use proptest::prelude::*;
+
+/// Arbitrary inputs mixing incompressible bytes with repetition-heavy
+/// structures, so matches, literals, RLE, and raw paths all get hit.
+fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..4096),
+        // Repetitive: small alphabet.
+        proptest::collection::vec(0u8..4, 0..4096),
+        // Runs.
+        (any::<u8>(), 0usize..8192).prop_map(|(b, n)| vec![b; n]),
+        // Structured records.
+        (0u32..500).prop_map(|n| {
+            (0..n).flat_map(|i| format!("k{}={};", i % 13, i % 7).into_bytes()).collect()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zstdx_roundtrips(data in input_strategy(), level in -5i32..=9) {
+        let c = Algorithm::Zstdx.compressor(level);
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lz4x_roundtrips(data in input_strategy(), level in 1i32..=12) {
+        let c = Algorithm::Lz4x.compressor(level);
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn zlibx_roundtrips(data in input_strategy(), level in 0i32..=9) {
+        let c = Algorithm::Zlibx.compressor(level);
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn zstdx_dict_roundtrips(
+        data in input_strategy(),
+        dict_content in proptest::collection::vec(any::<u8>(), 1..2048),
+        level in 1i32..=6,
+    ) {
+        let dict = Dictionary::new(dict_content, 123);
+        let c = codecs::zstdx::Zstdx::new(level);
+        let frame = c.compress_with_dict(&data, &dict);
+        prop_assert_eq!(c.decompress_with_dict(&frame, &dict).unwrap(), data);
+        // Without the dictionary the frame must be rejected, not
+        // silently mis-decoded.
+        prop_assert!(c.decompress(&frame).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_never_panic(data in input_strategy(), cut_frac in 0.0f64..1.0) {
+        for algo in Algorithm::ALL {
+            let c = algo.compressor(2);
+            let frame = c.compress(&data);
+            let cut = ((frame.len() as f64) * cut_frac) as usize;
+            // Any prefix must produce Ok(original) only when complete.
+            match c.decompress(&frame[..cut.min(frame.len())]) {
+                Ok(out) => prop_assert_eq!(out, data.clone()),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_never_panic(data in input_strategy(), flip in any::<(usize, u8)>()) {
+        for algo in Algorithm::ALL {
+            let c = algo.compressor(2);
+            let mut frame = c.compress(&data);
+            if frame.is_empty() { continue; }
+            let idx = flip.0 % frame.len();
+            frame[idx] ^= flip.1 | 1;
+            let _ = c.decompress(&frame); // must not panic
+        }
+    }
+
+    #[test]
+    fn compressed_size_is_bounded(data in input_strategy()) {
+        // Self-describing frames may expand incompressible data, but
+        // only by a small bounded overhead.
+        for algo in Algorithm::ALL {
+            let c = algo.compressor(1);
+            let frame = c.compress(&data);
+            prop_assert!(frame.len() <= data.len() + data.len() / 16 + 64,
+                "{}: {} from {}", algo.name(), frame.len(), data.len());
+        }
+    }
+}

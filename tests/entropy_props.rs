@@ -1,0 +1,71 @@
+//! Property-based tests for the entropy substrate: Huffman and FSE
+//! round-trips over arbitrary distributions, and normalization
+//! invariants.
+
+use datacomp::entropy::fse::FseTable;
+use datacomp::entropy::hist::{byte_histogram, normalize_counts, symbol_histogram};
+use datacomp::entropy::huffman::HuffmanTable;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn huffman_roundtrips_any_bytes(data in proptest::collection::vec(any::<u8>(), 2..4096)) {
+        let freqs = byte_histogram(&data);
+        // Needs >= 2 distinct symbols; otherwise build returns None.
+        if let Some(t) = HuffmanTable::build(&freqs, 11) {
+            prop_assert_eq!(t.decode(&t.encode(&data), data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn huffman_respects_any_length_limit(
+        data in proptest::collection::vec(any::<u8>(), 16..2048),
+        max_bits in 8u32..=15,
+    ) {
+        let freqs = byte_histogram(&data);
+        if let Some(t) = HuffmanTable::build(&freqs, max_bits) {
+            prop_assert!(t.max_bits() <= max_bits);
+        }
+    }
+
+    #[test]
+    fn fse_roundtrips_any_symbols(
+        symbols in proptest::collection::vec(0u16..24, 1..4096),
+        table_log in 6u32..=11,
+    ) {
+        let hist = symbol_histogram(&symbols, 24);
+        if let Ok(norm) = normalize_counts(&hist, table_log) {
+            let t = FseTable::from_normalized(&norm, table_log).unwrap();
+            prop_assert_eq!(t.decode(&t.encode(&symbols), symbols.len()).unwrap(), symbols);
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_support(
+        freqs in proptest::collection::vec(0u32..10_000, 1..64),
+        table_log in 6u32..=12,
+    ) {
+        if let Ok(norm) = normalize_counts(&freqs, table_log) {
+            // Sum is exact and support is preserved both ways.
+            prop_assert_eq!(norm.iter().map(|&n| n as u64).sum::<u64>(), 1u64 << table_log);
+            for (i, (&f, &n)) in freqs.iter().zip(&norm).enumerate() {
+                prop_assert_eq!(f > 0, n > 0, "symbol {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn fse_compresses_skewed_below_fixed_width(skew in 2u32..20) {
+        // A 4-symbol alphabet where symbol 0 has `skew` times the mass:
+        // FSE must beat the 2-bit fixed-width code.
+        let symbols: Vec<u16> = (0..20_000u32)
+            .map(|i| if i % (skew + 3) < skew { 0 } else { (i % 4) as u16 })
+            .collect();
+        let hist = symbol_histogram(&symbols, 4);
+        let t = FseTable::from_frequencies(&hist, 11, symbols.len()).unwrap();
+        let encoded = t.encode(&symbols);
+        prop_assert!(encoded.len() as f64 <= symbols.len() as f64 * 2.0 / 8.0 + 16.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the match-finding substrate: every strategy
+//! must produce a parse that reconstructs its input exactly, under any
+//! parameters, with or without dictionary history.
+
+use datacomp::lzkit::Strategy as LzStrategy;
+use datacomp::lzkit::{parse, reconstruct, MatchParams};
+use proptest::prelude::*;
+
+fn any_strategy() -> impl Strategy<Value = LzStrategy> {
+    prop_oneof![
+        Just(LzStrategy::Fast),
+        Just(LzStrategy::Greedy),
+        Just(LzStrategy::Lazy),
+        Just(LzStrategy::Optimal),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parse_reconstructs_exactly(
+        data in proptest::collection::vec(0u8..16, 0..8192),
+        strategy in any_strategy(),
+        window_log in 10u32..=18,
+    ) {
+        let params = MatchParams::new(strategy).with_window_log(window_log);
+        let block = parse(&data, 0, &params);
+        prop_assert_eq!(reconstruct(&block, &[]).unwrap(), data);
+    }
+
+    #[test]
+    fn parse_with_history_reconstructs(
+        dict in proptest::collection::vec(0u8..8, 1..1024),
+        data in proptest::collection::vec(0u8..8, 0..2048),
+        strategy in any_strategy(),
+    ) {
+        let mut buf = dict.clone();
+        let start = buf.len();
+        buf.extend_from_slice(&data);
+        let params = MatchParams::new(strategy);
+        let block = parse(&buf, start, &params);
+        prop_assert_eq!(reconstruct(&block, &dict).unwrap(), data);
+    }
+
+    #[test]
+    fn offsets_respect_window(
+        data in proptest::collection::vec(0u8..4, 256..4096),
+        strategy in any_strategy(),
+    ) {
+        let params = MatchParams::new(strategy).with_window_log(10);
+        let block = parse(&data, 0, &params);
+        for seq in &block.sequences {
+            prop_assert!(seq.offset as usize <= 1 << 10);
+            prop_assert!(seq.match_len >= params.min_match);
+        }
+    }
+
+    #[test]
+    fn decoded_len_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        strategy in any_strategy(),
+    ) {
+        let block = parse(&data, 0, &MatchParams::new(strategy));
+        prop_assert_eq!(block.decoded_len(), data.len());
+    }
+}
