@@ -59,7 +59,10 @@ fn rep_offsets(scale: Scale) {
         &["class", "with reps", "without", "cost of removing"],
         &table,
     );
-    write_artifact("ablation_rep_offsets", &compopt::report::to_json_lines(&rows));
+    write_artifact(
+        "ablation_rep_offsets",
+        &compopt::report::to_json_lines(&rows),
+    );
 }
 
 #[derive(Serialize)]
@@ -73,7 +76,12 @@ fn strategies(scale: Scale) {
     let size = scale.pick(1 << 20, 128 << 10);
     let data = corpus::silesia::generate(corpus::silesia::FileClass::Source, size, 4);
     let mut rows = Vec::new();
-    for strategy in [Strategy::Fast, Strategy::Greedy, Strategy::Lazy, Strategy::Optimal] {
+    for strategy in [
+        Strategy::Fast,
+        Strategy::Greedy,
+        Strategy::Lazy,
+        Strategy::Optimal,
+    ] {
         let params = MatchParams::new(strategy);
         let z = Zstdx::with_params(6, params);
         let t0 = std::time::Instant::now();
@@ -88,7 +96,11 @@ fn strategies(scale: Scale) {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![r.strategy.clone(), r.compressed.to_string(), format!("{:.1}", r.compress_mbps)]
+            vec![
+                r.strategy.clone(),
+                r.compressed.to_string(),
+                format!("{:.1}", r.compress_mbps),
+            ]
         })
         .collect();
     print_table(
@@ -96,7 +108,10 @@ fn strategies(scale: Scale) {
         &["strategy", "compressed bytes", "comp MB/s"],
         &table,
     );
-    write_artifact("ablation_strategies", &compopt::report::to_json_lines(&rows));
+    write_artifact(
+        "ablation_strategies",
+        &compopt::report::to_json_lines(&rows),
+    );
 }
 
 #[derive(Serialize)]
@@ -123,18 +138,29 @@ fn dict_sizes(scale: Scale) {
                 None => z.compress(&item.data).len(),
             };
         }
-        rows.push(DictRow { dict_bytes: dict_size, ratio: input as f64 / output as f64 });
+        rows.push(DictRow {
+            dict_bytes: dict_size,
+            ratio: input as f64 / output as f64,
+        });
     }
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![benchkit::fmt_bytes(r.dict_bytes as f64), format!("{:.2}", r.ratio)])
+        .map(|r| {
+            vec![
+                benchkit::fmt_bytes(r.dict_bytes as f64),
+                format!("{:.2}", r.ratio),
+            ]
+        })
         .collect();
     print_table(
         "Ablation 3: dictionary size on CACHE1-style items (zstdx level 3)",
         &["dict size", "ratio"],
         &table,
     );
-    write_artifact("ablation_dict_sizes", &compopt::report::to_json_lines(&rows));
+    write_artifact(
+        "ablation_dict_sizes",
+        &compopt::report::to_json_lines(&rows),
+    );
 }
 
 #[derive(Serialize)]
@@ -166,7 +192,10 @@ fn parallel_scaling(scale: Scale) {
             vec![
                 r.threads.to_string(),
                 format!("{:.1}", r.compress_mbps),
-                format!("{:+.1}%", (r.compressed as f64 / chained as f64 - 1.0) * 100.0),
+                format!(
+                    "{:+.1}%",
+                    (r.compressed as f64 / chained as f64 - 1.0) * 100.0
+                ),
             ]
         })
         .collect();

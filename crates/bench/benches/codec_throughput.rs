@@ -15,11 +15,9 @@ fn bench_codecs(c: &mut Criterion) {
     ] {
         for &level in levels {
             let comp = algo.compressor(level);
-            g.bench_with_input(
-                BenchmarkId::new(algo.name(), level),
-                &data,
-                |b, data| b.iter(|| comp.compress(data)),
-            );
+            g.bench_with_input(BenchmarkId::new(algo.name(), level), &data, |b, data| {
+                b.iter(|| comp.compress(data))
+            });
         }
     }
     g.finish();

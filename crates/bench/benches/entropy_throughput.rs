@@ -16,7 +16,9 @@ fn bench_entropy(c: &mut Criterion) {
     let table = HuffmanTable::build(&freqs, 11).expect("text has many symbols");
     let encoded = table.encode(&data);
     g.bench_function("encode", |b| b.iter(|| table.encode(&data)));
-    g.bench_function("decode", |b| b.iter(|| table.decode(&encoded, data.len()).unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| table.decode(&encoded, data.len()).unwrap())
+    });
     g.finish();
 
     // FSE over a sequence-code-like alphabet.
@@ -30,7 +32,9 @@ fn bench_entropy(c: &mut Criterion) {
     let mut g = c.benchmark_group("fse");
     g.throughput(Throughput::Elements(symbols.len() as u64));
     g.bench_function("encode", |b| b.iter(|| fse.encode(&symbols)));
-    g.bench_function("decode", |b| b.iter(|| fse.decode(&encoded, symbols.len()).unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| fse.decode(&encoded, symbols.len()).unwrap())
+    });
     g.finish();
 }
 

@@ -54,7 +54,14 @@ fn main() {
     }
     print_table(
         "Figure 1: ratio & speed by file class / algorithm / level",
-        &["class", "algo", "level", "ratio", "comp MB/s", "decomp MB/s"],
+        &[
+            "class",
+            "algo",
+            "level",
+            "ratio",
+            "comp MB/s",
+            "decomp MB/s",
+        ],
         &table,
     );
     // Headline check: order-of-magnitude spread in ratios across classes.

@@ -14,8 +14,10 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_env();
-    let profile =
-        profile_fleet(&ProfileConfig { work_units: scale.pick(10, 3), seed: 31 });
+    let profile = profile_fleet(&ProfileConfig {
+        work_units: scale.pick(10, 3),
+        seed: 31,
+    });
     let rows: Vec<Row> = fleet::agg::comp_decomp_split(&profile)
         .into_iter()
         .map(|(scope, comp)| Row {
@@ -40,10 +42,12 @@ fn main() {
         &table,
     );
     // Call-count context the paper highlights.
-    let (c, d) = profile
-        .observations
-        .iter()
-        .fold((0u64, 0u64), |(c, d), o| (c + o.comp_calls, d + o.decomp_calls));
+    let (c, d) = profile.observations.iter().fold((0u64, 0u64), |(c, d), o| {
+        (c + o.comp_calls, d + o.decomp_calls)
+    });
     println!("\ncall counts: {c} compressions vs {d} decompressions");
-    write_artifact("fig03_comp_decomp_split", &compopt::report::to_json_lines(&rows));
+    write_artifact(
+        "fig03_comp_decomp_split",
+        &compopt::report::to_json_lines(&rows),
+    );
 }

@@ -20,8 +20,10 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_env();
-    let profile =
-        profile_fleet(&ProfileConfig { work_units: scale.pick(10, 3), seed: 35 });
+    let profile = profile_fleet(&ProfileConfig {
+        work_units: scale.pick(10, 3),
+        seed: 35,
+    });
     let rows: Vec<Row> = fleet::agg::warehouse_split(&profile)
         .into_iter()
         .map(|w| Row {
@@ -50,5 +52,8 @@ fn main() {
         &table,
     );
     println!("\npaper anchors: DW1 match-find ~80% (level 7), DW4 ~30% (level 1)");
-    write_artifact("fig07_warehouse_split", &compopt::report::to_json_lines(&rows));
+    write_artifact(
+        "fig07_warehouse_split",
+        &compopt::report::to_json_lines(&rows),
+    );
 }

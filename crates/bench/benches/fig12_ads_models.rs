@@ -21,8 +21,7 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_env();
-    let levels: Vec<i32> =
-        scale.pick((-5..=9).collect(), vec![-5, -3, -1, 1, 3, 5, 7, 9]);
+    let levels: Vec<i32> = scale.pick((-5..=9).collect(), vec![-5, -3, -1, 1, 3, 5, 7, 9]);
     let n_reqs = scale.pick(6, 2);
 
     let mut rows = Vec::new();
@@ -51,7 +50,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table("Figure 12: ADS1 model variance", &["model", "level", "ratio", "comp MB/s"], &table);
+    print_table(
+        "Figure 12: ADS1 model variance",
+        &["model", "level", "ratio", "comp MB/s"],
+        &table,
+    );
     for model in Model::ALL {
         let best = rows
             .iter()

@@ -51,5 +51,8 @@ fn main() {
     );
     println!("\nratio monotonically improves with block size; decompression time per block grows;");
     println!("speed is non-monotonic at small blocks (shrunk tables vs fixed per-call costs).");
-    write_artifact("fig13_kvstore_blocks", &compopt::report::to_json_lines(&rows));
+    write_artifact(
+        "fig13_kvstore_blocks",
+        &compopt::report::to_json_lines(&rows),
+    );
 }

@@ -19,7 +19,11 @@ fn main() {
     let mut speeds: Vec<f64> = unconstrained.rows.iter().map(|r| r.compress_mbps).collect();
     speeds.sort_by(f64::total_cmp);
     let median_speed = speeds[speeds.len() / 2];
-    let slo = if speeds.iter().any(|&s| s >= 200.0) { 200.0 } else { median_speed };
+    let slo = if speeds.iter().any(|&s| s >= 200.0) {
+        200.0
+    } else {
+        median_speed
+    };
     let result = study1_ads1(&study_scale, slo);
 
     let table: Vec<Vec<String>> = result
@@ -31,19 +35,35 @@ fn main() {
                 format!("{:.2}", e.ratio),
                 format!("{:.1}", e.compress_mbps),
                 format!("{:.3e}", e.total_cost),
-                if e.feasible { "yes".into() } else { "no".into() },
+                if e.feasible {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]
         })
         .collect();
     print_table(
         &format!("Figure 15a: ADS1 cost (SLO: comp speed >= {slo:.0} MB/s)"),
-        &["config", "ratio", "comp MB/s", "compute+network cost", "feasible"],
+        &[
+            "config",
+            "ratio",
+            "comp MB/s",
+            "compute+network cost",
+            "feasible",
+        ],
         &table,
     );
     println!("\nbest feasible: {:?}", result.best);
     println!("worst: {:?}", result.worst);
     if let Some(s) = result.saving_vs_worst {
-        println!("saving vs worst: {:.0}% (paper: 73% with zstd level-4 winning)", s * 100.0);
+        println!(
+            "saving vs worst: {:.0}% (paper: 73% with zstd level-4 winning)",
+            s * 100.0
+        );
     }
-    write_artifact("fig15a_study1", &compopt::report::to_json_lines(&result.rows));
+    write_artifact(
+        "fig15a_study1",
+        &compopt::report::to_json_lines(&result.rows),
+    );
 }

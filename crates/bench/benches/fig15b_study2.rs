@@ -16,7 +16,11 @@ fn main() {
     // the measured latency range so the constraint still bisects the
     // candidate set.
     let relaxed = study2_kvstore(&study_scale, f64::INFINITY);
-    let mut lats: Vec<f64> = relaxed.rows.iter().map(|r| r.decompress_ms_per_call).collect();
+    let mut lats: Vec<f64> = relaxed
+        .rows
+        .iter()
+        .map(|r| r.decompress_ms_per_call)
+        .collect();
     lats.sort_by(f64::total_cmp);
     let slo = if lats.first().is_some_and(|&l| l <= 0.08) {
         0.08
@@ -34,19 +38,35 @@ fn main() {
                 format!("{:.2}", e.ratio),
                 format!("{:.4}", e.decompress_ms_per_call),
                 format!("{:.3e}", e.total_cost),
-                if e.feasible { "yes".into() } else { "no".into() },
+                if e.feasible {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]
         })
         .collect();
     print_table(
         &format!("Figure 15b: KVSTORE1 cost (SLO: decomp <= {slo:.3} ms/block)"),
-        &["config", "ratio", "decomp ms/block", "compute+storage cost", "feasible"],
+        &[
+            "config",
+            "ratio",
+            "decomp ms/block",
+            "compute+storage cost",
+            "feasible",
+        ],
         &table,
     );
-    println!("\nbest unconstrained: {:?} (paper: zstd-1 @ 64KB)", result.best_unconstrained);
+    println!(
+        "\nbest unconstrained: {:?} (paper: zstd-1 @ 64KB)",
+        result.best_unconstrained
+    );
     println!("best under SLO: {:?} (paper: zstd-1 @ 16KB)", result.best);
     if let Some(s) = result.saving_vs_worst {
         println!("saving vs worst: {:.0}% (paper: 48-53%)", s * 100.0);
     }
-    write_artifact("fig15b_study2", &compopt::report::to_json_lines(&result.rows));
+    write_artifact(
+        "fig15b_study2",
+        &compopt::report::to_json_lines(&result.rows),
+    );
 }

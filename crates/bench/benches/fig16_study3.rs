@@ -40,5 +40,8 @@ fn main() {
         println!("{name} plateau at window 2^{}", plateau.window_log);
     }
     write_artifact("fig16_study3_ads1", &compopt::report::to_json_lines(&ads));
-    write_artifact("fig16_study3_kvstore1", &compopt::report::to_json_lines(&kv));
+    write_artifact(
+        "fig16_study3_kvstore1",
+        &compopt::report::to_json_lines(&kv),
+    );
 }

@@ -18,15 +18,20 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_env();
-    let profile =
-        profile_fleet(&ProfileConfig { work_units: scale.pick(10, 3), seed: 36 });
+    let profile = profile_fleet(&ProfileConfig {
+        work_units: scale.pick(10, 3),
+        seed: 36,
+    });
     let tax = fleet::agg::fleet_compression_tax(&profile);
     let mut rows = vec![Row {
         metric: "all compression".into(),
         pct_of_fleet_cycles: tax * 100.0,
     }];
     for (algo, share) in fleet::agg::algorithm_split(&profile) {
-        rows.push(Row { metric: algo.name().into(), pct_of_fleet_cycles: share * 100.0 });
+        rows.push(Row {
+            metric: algo.name().into(),
+            pct_of_fleet_cycles: share * 100.0,
+        });
     }
     let table: Vec<Vec<String>> = rows
         .iter()

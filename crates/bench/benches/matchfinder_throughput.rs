@@ -9,7 +9,12 @@ fn bench_matchfinders(c: &mut Criterion) {
     let data = corpus::silesia::generate(corpus::silesia::FileClass::Source, 256 << 10, 5);
     let mut g = c.benchmark_group("match_find");
     g.throughput(Throughput::Bytes(data.len() as u64));
-    for strategy in [Strategy::Fast, Strategy::Greedy, Strategy::Lazy, Strategy::Optimal] {
+    for strategy in [
+        Strategy::Fast,
+        Strategy::Greedy,
+        Strategy::Lazy,
+        Strategy::Optimal,
+    ] {
         let params = MatchParams::new(strategy);
         g.bench_with_input(BenchmarkId::from_parameter(strategy), &data, |b, data| {
             b.iter(|| parse(data, 0, &params))

@@ -17,7 +17,13 @@ fn main() {
         .collect();
     print_table(
         "Table I: representative services",
-        &["Service", "Category", "Description", "Boundedness", "Key Takeaway"],
+        &[
+            "Service",
+            "Category",
+            "Description",
+            "Boundedness",
+            "Key Takeaway",
+        ],
         &rows,
     );
 }

@@ -8,8 +8,12 @@ fn main() {
         .iter()
         .map(|s| {
             let classes = fleet::classify(s);
-            let letters: String =
-                classes.iter().map(|c| c.letter()).collect::<Vec<_>>().iter().collect();
+            let letters: String = classes
+                .iter()
+                .map(|c| c.letter())
+                .collect::<Vec<_>>()
+                .iter()
+                .collect();
             let offload = if classes.iter().any(|c| c.suits_hardware_offload()) {
                 "offload candidate"
             } else {

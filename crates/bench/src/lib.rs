@@ -7,7 +7,9 @@
 //! `target/figures/` for EXPERIMENTS.md.
 //!
 //! Set `DATACOMP_QUICK=1` to run reduced workloads (used by CI and the
-//! integration tests).
+//! integration tests). Set `DATACOMP_TELEMETRY=1` to also write each
+//! bench's telemetry snapshot (codec counters, stage spans, latency
+//! histograms) next to its artifact as `<name>.telemetry.json`.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -59,8 +61,18 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -86,6 +98,14 @@ pub fn write_artifact(name: &str, json_lines: &str) {
             }
         }
         Err(e) => eprintln!("warn: cannot create {}: {e}", path.display()),
+    }
+    if std::env::var_os("DATACOMP_TELEMETRY").is_some_and(|v| v != "0") {
+        let tel_path = dir.join(format!("{name}.telemetry.json"));
+        let json = telemetry::export::to_json(&telemetry::snapshot());
+        match std::fs::write(&tel_path, json) {
+            Ok(()) => println!("[artifact] {}", tel_path.display()),
+            Err(e) => eprintln!("warn: cannot write {}: {e}", tel_path.display()),
+        }
     }
 }
 
@@ -199,11 +219,7 @@ pub fn cache_dict_figure(title: &str, artifact: &str, profile: &corpus::cache::C
             for item in test {
                 let dict = dict_mode.then(|| &dicts[&item.type_id]);
                 let single = [item.data.as_slice()];
-                let one = codecs::metrics::measure_with_dict(
-                    &z,
-                    &single,
-                    dict,
-                );
+                let one = codecs::metrics::measure_with_dict(&z, &single, dict);
                 m.accumulate(&one);
             }
             rows.push(Row {
@@ -228,8 +244,14 @@ pub fn cache_dict_figure(title: &str, artifact: &str, profile: &corpus::cache::C
     print_table(title, &["level", "mode", "ratio", "comp MB/s"], &table);
     // Paper's claim: dict beats plain at every level.
     for level in [1, 3, 6, 11] {
-        let plain = rows.iter().find(|r| r.level == level && r.mode == "plain").unwrap();
-        let dict = rows.iter().find(|r| r.level == level && r.mode == "dict").unwrap();
+        let plain = rows
+            .iter()
+            .find(|r| r.level == level && r.mode == "plain")
+            .unwrap();
+        let dict = rows
+            .iter()
+            .find(|r| r.level == level && r.mode == "dict")
+            .unwrap();
         println!(
             "level {level}: dict ratio {:.2} vs plain {:.2} ({:.0}% better)",
             dict.ratio,

@@ -22,8 +22,9 @@ impl Args {
         let mut it = raw.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value =
-                    it.next().ok_or_else(|| format!("option --{name} needs a value"))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option --{name} needs a value"))?;
                 out.options.insert(name.to_string(), value.clone());
             } else {
                 out.positionals.push(a.clone());

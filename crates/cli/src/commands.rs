@@ -7,9 +7,15 @@ use compopt::prelude::*;
 
 use crate::args::Args;
 
-const USAGE: &str = "datacomp <compress|decompress|bench|train-dict|optimize|gen|fleet> ...";
+const USAGE: &str =
+    "datacomp <compress|decompress|bench|train-dict|optimize|gen|fleet|telemetry> ...";
 
 /// Dispatches a parsed command line.
+///
+/// Every command accepts `--telemetry <path>`: after the command runs,
+/// the global telemetry snapshot (codec counters, span timings, latency
+/// histograms) is written to `<path>` as JSON and to `<path>.prom` in
+/// Prometheus text format.
 ///
 /// # Errors
 ///
@@ -19,7 +25,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         return Err(format!("usage: {USAGE}"));
     };
     let args = Args::parse(rest)?;
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "compress" => compress(&args),
         "decompress" => decompress(&args),
         "bench" => bench(&args),
@@ -27,12 +33,51 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "optimize" => optimize(&args),
         "gen" => gen(&args),
         "fleet" => fleet_tables(&args),
+        "telemetry" => telemetry_dump(&args),
         other => Err(format!("unknown command {other}; usage: {USAGE}")),
+    };
+    if result.is_ok() {
+        if let Some(path) = args.options.get("telemetry") {
+            write_telemetry(path)?;
+        }
     }
+    result
+}
+
+/// Writes the global telemetry snapshot to `path` (JSON) and
+/// `path.prom` (Prometheus text exposition).
+fn write_telemetry(path: &str) -> Result<(), String> {
+    let snap = telemetry::snapshot();
+    fs::write(path, telemetry::export::to_json(&snap))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    let prom_path = format!("{path}.prom");
+    fs::write(&prom_path, telemetry::export::to_prometheus(&snap))
+        .map_err(|e| format!("cannot write {prom_path}: {e}"))?;
+    println!(
+        "telemetry: {} series -> {path}, {prom_path}",
+        snap.series.len()
+    );
+    Ok(())
+}
+
+/// `datacomp telemetry [--format json|prom]` — prints the global
+/// snapshot accumulated so far in this process. Mostly useful after
+/// another in-process command populated it (see `--telemetry` for the
+/// file-writing variant that composes with every command).
+fn telemetry_dump(args: &Args) -> Result<(), String> {
+    let snap = telemetry::snapshot();
+    match args.options.get("format").map(String::as_str) {
+        None | Some("json") => println!("{}", telemetry::export::to_json(&snap)),
+        Some("prom") => print!("{}", telemetry::export::to_prometheus(&snap)),
+        Some(other) => return Err(format!("unknown format {other}; pick json|prom")),
+    }
+    Ok(())
 }
 
 fn algo(args: &Args) -> Result<Algorithm, String> {
-    args.options.get("algo").map_or(Ok(Algorithm::Zstdx), |s| s.parse())
+    args.options
+        .get("algo")
+        .map_or(Ok(Algorithm::Zstdx), |s| s.parse())
 }
 
 fn load_dict(args: &Args) -> Result<Option<Dictionary>, String> {
@@ -49,7 +94,10 @@ fn load_dict(args: &Args) -> Result<Option<Dictionary>, String> {
 }
 
 fn compress(args: &Args) -> Result<(), String> {
-    args.need(2, "datacomp compress <in> <out> [--algo A] [--level N] [--dict F]")?;
+    args.need(
+        2,
+        "datacomp compress <in> <out> [--algo A] [--level N] [--dict F]",
+    )?;
     let input = fs::read(&args.positionals[0])
         .map_err(|e| format!("cannot read {}: {e}", args.positionals[0]))?;
     let level = args.opt_or("level", 3)?;
@@ -88,7 +136,10 @@ fn decompress(args: &Args) -> Result<(), String> {
 }
 
 fn bench(args: &Args) -> Result<(), String> {
-    args.need(1, "datacomp bench <in> [--algo A] [--levels 1,3,6] [--block BYTES]")?;
+    args.need(
+        1,
+        "datacomp bench <in> [--algo A] [--levels 1,3,6] [--block BYTES]",
+    )?;
     let input = fs::read(&args.positionals[0])
         .map_err(|e| format!("cannot read {}: {e}", args.positionals[0]))?;
     let a = algo(args)?;
@@ -100,7 +151,10 @@ fn bench(args: &Args) -> Result<(), String> {
         None => vec![1, 3, 6],
     };
     let block: Option<usize> = args.opt("block")?;
-    println!("{:>6} {:>8} {:>12} {:>12}", "level", "ratio", "comp MB/s", "decomp MB/s");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12}",
+        "level", "ratio", "comp MB/s", "decomp MB/s"
+    );
     for level in levels {
         let comp = a.compressor(level);
         let m = match block {
@@ -129,7 +183,11 @@ fn train_dict(args: &Args) -> Result<(), String> {
     let dict = codecs::dict::train(&refs, size, 0);
     fs::write(&args.positionals[0], dict.as_bytes())
         .map_err(|e| format!("cannot write {}: {e}", args.positionals[0]))?;
-    println!("trained {} bytes of dictionary from {} samples", dict.len(), refs.len());
+    println!(
+        "trained {} bytes of dictionary from {} samples",
+        dict.len(),
+        refs.len()
+    );
     Ok(())
 }
 
@@ -190,8 +248,9 @@ fn optimize(args: &Args) -> Result<(), String> {
 
 fn gen(args: &Args) -> Result<(), String> {
     args.need(3, "datacomp gen <class> <bytes> <out> [--seed N]")?;
-    let size: usize =
-        args.positionals[1].parse().map_err(|_| "bad size".to_string())?;
+    let size: usize = args.positionals[1]
+        .parse()
+        .map_err(|_| "bad size".to_string())?;
     let seed = args.opt_or("seed", 1u64)?;
     let class = &args.positionals[0];
     let data = match class.as_str() {
@@ -205,15 +264,13 @@ fn gen(args: &Args) -> Result<(), String> {
         "sst" => corpus::sst::generate_sst(size, seed),
         "orc" => corpus::orc::generate_blocks(size, seed).concat(),
         "ads" => corpus::mlreq::generate_request(corpus::mlreq::Model::A, seed),
-        "cache" => corpus::cache::generate_items(
-            &corpus::cache::cache1_profile(),
-            size / 300 + 1,
-            seed,
-        )
-        .into_iter()
-        .flat_map(|i| i.data)
-        .take(size)
-        .collect(),
+        "cache" => {
+            corpus::cache::generate_items(&corpus::cache::cache1_profile(), size / 300 + 1, seed)
+                .into_iter()
+                .flat_map(|i| i.data)
+                .take(size)
+                .collect()
+        }
         other => {
             return Err(format!(
                 "unknown class {other}; pick text|xml|source|database|binary|log|sst|orc|ads|cache"
@@ -227,9 +284,25 @@ fn gen(args: &Args) -> Result<(), String> {
 }
 
 fn fleet_tables(args: &Args) -> Result<(), String> {
+    // `datacomp fleet` and `datacomp fleet profile` are synonyms; the
+    // positional is accepted for symmetry with the other subcommands.
+    if let Some(p) = args.positionals.first() {
+        if p != "profile" {
+            return Err(format!("unknown fleet subcommand {p}; usage: datacomp fleet [profile] [--units N] [--telemetry PATH]"));
+        }
+    }
     let units = args.opt_or("units", 4usize)?;
-    let profile = fleet::profile_fleet(&fleet::ProfileConfig { work_units: units, seed: 30 });
-    println!("fleet compression tax: {:.2}%", fleet::agg::fleet_compression_tax(&profile) * 100.0);
+    let profile = fleet::profile_fleet(&fleet::ProfileConfig {
+        work_units: units,
+        seed: 30,
+    });
+    // Publish per-service aggregates so a --telemetry snapshot taken
+    // after this command carries the whole profile.
+    profile.record_to(telemetry::global());
+    println!(
+        "fleet compression tax: {:.2}%",
+        fleet::agg::fleet_compression_tax(&profile) * 100.0
+    );
     println!("\nzstdx cycles by category:");
     for (c, f) in fleet::agg::category_zstd_cycles(&profile) {
         println!("  {:<16} {:>5.1}%", c.to_string(), f * 100.0);
@@ -269,7 +342,12 @@ mod tests {
             "5",
         ])
         .unwrap();
-        run_cmd(&["decompress", packed.to_str().unwrap(), out.to_str().unwrap()]).unwrap();
+        run_cmd(&[
+            "decompress",
+            packed.to_str().unwrap(),
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
         assert_eq!(fs::read(&out).unwrap(), fs::read(&input).unwrap());
     }
 
@@ -277,7 +355,11 @@ mod tests {
     fn dictionary_flow_via_files() {
         let dict_path = tmp("d.dict");
         let sample = tmp("sample.json");
-        fs::write(&sample, br#"{"k":"value","k2":"value","k3":"value"}"#.repeat(20)).unwrap();
+        fs::write(
+            &sample,
+            br#"{"k":"value","k2":"value","k3":"value"}"#.repeat(20),
+        )
+        .unwrap();
         run_cmd(&[
             "train-dict",
             dict_path.to_str().unwrap(),
@@ -299,8 +381,12 @@ mod tests {
         ])
         .unwrap();
         // Without the dictionary the frame must refuse to decode.
-        assert!(run_cmd(&["decompress", packed.to_str().unwrap(), out.to_str().unwrap()])
-            .is_err());
+        assert!(run_cmd(&[
+            "decompress",
+            packed.to_str().unwrap(),
+            out.to_str().unwrap()
+        ])
+        .is_err());
         run_cmd(&[
             "decompress",
             packed.to_str().unwrap(),
@@ -330,8 +416,75 @@ mod tests {
     #[test]
     fn usage_errors_are_clear() {
         assert!(run_cmd(&[]).unwrap_err().contains("usage"));
-        assert!(run_cmd(&["frobnicate"]).unwrap_err().contains("unknown command"));
-        assert!(run_cmd(&["compress", "only-one-arg"]).unwrap_err().contains("usage"));
-        assert!(run_cmd(&["gen", "nope", "10", "/tmp/x"]).unwrap_err().contains("unknown class"));
+        assert!(run_cmd(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(run_cmd(&["compress", "only-one-arg"])
+            .unwrap_err()
+            .contains("usage"));
+        assert!(run_cmd(&["gen", "nope", "10", "/tmp/x"])
+            .unwrap_err()
+            .contains("unknown class"));
+        assert!(run_cmd(&["fleet", "nope"])
+            .unwrap_err()
+            .contains("unknown fleet subcommand"));
+        assert!(run_cmd(&["telemetry", "--format", "xml"])
+            .unwrap_err()
+            .contains("unknown format"));
+    }
+
+    #[test]
+    fn telemetry_flag_writes_json_and_prometheus() {
+        let input = tmp("tel-in.txt");
+        let packed = tmp("tel-in.zsx");
+        let tel = tmp("tel.json");
+        fs::write(&input, b"telemetry file flow telemetry file flow").unwrap();
+        run_cmd(&[
+            "compress",
+            input.to_str().unwrap(),
+            packed.to_str().unwrap(),
+            "--telemetry",
+            tel.to_str().unwrap(),
+        ])
+        .unwrap();
+        let json = fs::read_to_string(&tel).unwrap();
+        assert!(
+            json.contains("codecs.compress.calls"),
+            "snapshot missing codec counters"
+        );
+        let prom = fs::read_to_string(tmp("tel.json.prom")).unwrap();
+        assert!(
+            prom.contains("codecs_compress_calls"),
+            "prometheus text missing counters"
+        );
+        // Dump variant runs in both formats.
+        run_cmd(&["telemetry"]).unwrap();
+        run_cmd(&["telemetry", "--format", "prom"]).unwrap();
+    }
+
+    #[test]
+    fn fleet_profile_telemetry_has_per_service_series() {
+        let tel = tmp("fleet-tel.json");
+        run_cmd(&[
+            "fleet",
+            "profile",
+            "--units",
+            "1",
+            "--telemetry",
+            tel.to_str().unwrap(),
+        ])
+        .unwrap();
+        let json = fs::read_to_string(&tel).unwrap();
+        for svc in ["DW1", "CACHE1", "LONGTAIL"] {
+            assert!(json.contains(svc), "fleet snapshot missing service {svc}");
+        }
+        assert!(
+            json.contains("fleet.compress.nanos"),
+            "missing latency histograms"
+        );
+        assert!(
+            json.contains("span.zstdx.match_find"),
+            "missing stage spans"
+        );
     }
 }

@@ -8,8 +8,13 @@
 //! datacomp optimize   <samples...> [--retention DAYS] [--objective all|network|storage]
 //!                     [--min-speed MBPS] [--max-latency MS]
 //! datacomp gen        <class> <bytes> <out> [--seed N]
-//! datacomp fleet      [--units N]
+//! datacomp fleet      [profile] [--units N]
+//! datacomp telemetry  [--format json|prom]
 //! ```
+//!
+//! Every command also accepts `--telemetry <path>`, writing the process
+//! telemetry snapshot to `<path>` (JSON) and `<path>.prom` (Prometheus
+//! text) after the command completes.
 
 mod args;
 mod commands;

@@ -34,16 +34,51 @@ pub const PREDEFINED_TABLE_LOG: u32 = 6;
 
 // (base, extra_bits) for LL codes 16..=35.
 const LL_EXTENDED: [(u32, u32); 20] = [
-    (16, 1), (18, 1), (20, 1), (22, 1), (24, 2), (28, 2), (32, 3), (40, 3),
-    (48, 4), (64, 6), (128, 7), (256, 8), (512, 9), (1024, 10), (2048, 11),
-    (4096, 12), (8192, 13), (16384, 14), (32768, 15), (65536, 16),
+    (16, 1),
+    (18, 1),
+    (20, 1),
+    (22, 1),
+    (24, 2),
+    (28, 2),
+    (32, 3),
+    (40, 3),
+    (48, 4),
+    (64, 6),
+    (128, 7),
+    (256, 8),
+    (512, 9),
+    (1024, 10),
+    (2048, 11),
+    (4096, 12),
+    (8192, 13),
+    (16384, 14),
+    (32768, 15),
+    (65536, 16),
 ];
 
 // (base, extra_bits) for ML codes 32..=52.
 const ML_EXTENDED: [(u32, u32); 21] = [
-    (32, 1), (34, 1), (36, 1), (38, 1), (40, 2), (44, 2), (48, 3), (56, 3),
-    (64, 4), (80, 4), (96, 5), (128, 7), (256, 8), (512, 9), (1024, 10),
-    (2048, 11), (4096, 12), (8192, 13), (16384, 14), (32768, 15), (65536, 16),
+    (32, 1),
+    (34, 1),
+    (36, 1),
+    (38, 1),
+    (40, 2),
+    (44, 2),
+    (48, 3),
+    (56, 3),
+    (64, 4),
+    (80, 4),
+    (96, 5),
+    (128, 7),
+    (256, 8),
+    (512, 9),
+    (1024, 10),
+    (2048, 11),
+    (4096, 12),
+    (8192, 13),
+    (16384, 14),
+    (32768, 15),
+    (65536, 16),
 ];
 
 fn extended_code(v: u32, table: &'static [(u32, u32)], direct: u32) -> u8 {
@@ -175,7 +210,9 @@ pub fn predefined_ll() -> &'static FseTable {
     T.get_or_init(|| {
         // Prior: short literal runs dominate.
         let mut prior = vec![1u32; MAX_LL_CODE as usize + 1];
-        for (i, p) in [24u32, 20, 18, 16, 14, 12, 10, 8, 7, 6, 5, 4, 4, 3, 3, 3].iter().enumerate()
+        for (i, p) in [24u32, 20, 18, 16, 14, 12, 10, 8, 7, 6, 5, 4, 4, 3, 3, 3]
+            .iter()
+            .enumerate()
         {
             prior[i] = *p;
         }
@@ -189,7 +226,9 @@ pub fn predefined_ml() -> &'static FseTable {
     T.get_or_init(|| {
         // Prior: short matches dominate, with a slow tail.
         let mut prior = vec![1u32; MAX_ML_CODE as usize + 1];
-        for (i, p) in [20u32, 18, 16, 14, 12, 10, 8, 7, 6, 5, 4, 4, 3, 3, 2, 2].iter().enumerate()
+        for (i, p) in [20u32, 18, 16, 14, 12, 10, 8, 7, 6, 5, 4, 4, 3, 3, 2, 2]
+            .iter()
+            .enumerate()
         {
             prior[i] = *p;
         }
@@ -294,7 +333,9 @@ mod tests {
                     "code {c} unrepresentable"
                 );
             }
-            let symbols: Vec<u16> = (0..500u32).map(|i| (i % (max_code as u32 + 1)) as u16).collect();
+            let symbols: Vec<u16> = (0..500u32)
+                .map(|i| (i % (max_code as u32 + 1)) as u16)
+                .collect();
             let buf = table.encode(&symbols);
             assert_eq!(table.decode(&buf, symbols.len()).unwrap(), symbols);
         }

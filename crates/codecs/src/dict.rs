@@ -89,13 +89,20 @@ pub fn train(samples: &[&[u8]], max_size: usize, id: u32) -> Dictionary {
                     counts.get(&key).copied().unwrap_or(0) as u64
                 })
                 .sum();
-            segs.push(Seg { score, sample: si, start });
+            segs.push(Seg {
+                score,
+                sample: si,
+                start,
+            });
             start += SEGMENT;
         }
     }
     // Deterministic order: by score descending, ties by (sample, start).
     segs.sort_by(|a, b| {
-        b.score.cmp(&a.score).then(a.sample.cmp(&b.sample)).then(a.start.cmp(&b.start))
+        b.score
+            .cmp(&a.score)
+            .then(a.sample.cmp(&b.sample))
+            .then(a.start.cmp(&b.start))
     });
 
     let mut picked: Vec<&Seg> = Vec::new();

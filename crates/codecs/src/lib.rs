@@ -34,6 +34,7 @@ pub mod codes;
 pub mod dict;
 pub mod lz4x;
 pub mod metrics;
+mod obs;
 pub mod parallel;
 pub mod stream;
 pub mod timing;
@@ -74,7 +75,10 @@ impl std::fmt::Display for CodecError {
             CodecError::Entropy(e) => write!(f, "entropy decode failed: {e}"),
             CodecError::Sequence(e) => write!(f, "sequence apply failed: {e}"),
             CodecError::DictionaryMismatch { expected, got } => {
-                write!(f, "dictionary mismatch: frame wants id {expected}, got {got:?}")
+                write!(
+                    f,
+                    "dictionary mismatch: frame wants id {expected}, got {got:?}"
+                )
             }
         }
     }

@@ -13,6 +13,8 @@
 //! single-probe fast path, 3–9 hash chains of growing depth, 10–12 the
 //! optimal parser.
 
+use std::time::Instant;
+
 use lzkit::{MatchParams, ParsedBlock, Strategy};
 
 use crate::varint::{write_varint, Cursor};
@@ -36,7 +38,10 @@ impl Lz4x {
     /// Creates a compressor at `level` (clamped to 1..=12).
     pub fn new(level: i32) -> Self {
         let level = level.clamp(1, 12);
-        Self { level, params: level_params(level) }
+        Self {
+            level,
+            params: level_params(level),
+        }
     }
 
     /// The match-finding parameters this level maps to.
@@ -92,7 +97,9 @@ fn read_ext_len(c: &mut Cursor<'_>, nibble: u32) -> Result<u32> {
     let mut v = 15u32;
     loop {
         let b = c.read_u8()?;
-        v = v.checked_add(b as u32).ok_or(CodecError::Corrupt("length overflow"))?;
+        v = v
+            .checked_add(b as u32)
+            .ok_or(CodecError::Corrupt("length overflow"))?;
         if b != 255 {
             return Ok(v);
         }
@@ -140,15 +147,23 @@ impl Compressor for Lz4x {
     }
 
     fn compress(&self, src: &[u8]) -> Vec<u8> {
+        let start = Instant::now();
         let mut out = Vec::with_capacity(src.len() / 2 + 16);
         out.extend_from_slice(&MAGIC);
         write_varint(&mut out, src.len() as u64);
+        let reg = telemetry::global();
+        let mf_start = Instant::now();
         let block = lzkit::parse(src, 0, &self.params);
+        telemetry::record_duration(reg, "lz4x.match_find", &[], mf_start.elapsed());
+        let enc_start = Instant::now();
         encode_block(&block, &mut out);
+        telemetry::record_duration(reg, "lz4x.encode", &[], enc_start.elapsed());
+        crate::obs::record_compress("lz4x", self.level, src.len(), out.len(), start);
         out
     }
 
     fn decompress(&self, src: &[u8]) -> Result<Vec<u8>> {
+        let start = Instant::now();
         let mut c = Cursor::new(src);
         if c.read_slice(2)? != MAGIC {
             return Err(CodecError::BadFrame("lz4x magic mismatch"));
@@ -178,6 +193,7 @@ impl Compressor for Lz4x {
         if out.len() != content {
             return Err(CodecError::Corrupt("lz4x decoded length mismatch"));
         }
+        crate::obs::record_decompress("lz4x", self.level, out.len(), start);
         Ok(out)
     }
 }

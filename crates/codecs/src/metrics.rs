@@ -99,7 +99,14 @@ pub fn measure_with_dict(
         }
         .expect("codec must round-trip its own frames");
         m.decompress_secs += t1.elapsed().as_secs_f64();
-        assert_eq!(dec.len(), s.len(), "round-trip length mismatch");
+        // Full content equality, not just length — a codec that decodes
+        // the right number of wrong bytes must fail loudly here. Manual
+        // assert to avoid assert_eq! dumping megabytes on mismatch.
+        assert!(
+            dec.as_slice() == s,
+            "round-trip content mismatch ({} bytes)",
+            s.len()
+        );
         m.original_bytes += s.len() as u64;
         m.compressed_bytes += enc.len() as u64;
         m.calls += 1;
@@ -127,8 +134,9 @@ mod tests {
 
     #[test]
     fn ratio_and_speeds_positive() {
-        let data: Vec<u8> =
-            (0..500u32).flat_map(|i| format!("sample {} ", i % 13).into_bytes()).collect();
+        let data: Vec<u8> = (0..500u32)
+            .flat_map(|i| format!("sample {} ", i % 13).into_bytes())
+            .collect();
         let c = Algorithm::Zstdx.compressor(1);
         let m = measure(c.as_ref(), &[&data]);
         assert!(m.ratio() > 1.5);

@@ -88,8 +88,19 @@ impl<W: Write> CompressWriter<W> {
         self.write_header()?;
         let end = (self.history_len + BLOCK_SIZE).min(self.buf.len());
         let mut block = Vec::with_capacity(end - self.history_len + 64);
-        write_block(&self.buf, self.history_len, end, &self.params, last, &mut block, None);
-        self.inner.as_mut().expect("writer present until finish").write_all(&block)?;
+        write_block(
+            &self.buf,
+            self.history_len,
+            end,
+            &self.params,
+            last,
+            &mut block,
+            None,
+        );
+        self.inner
+            .as_mut()
+            .expect("writer present until finish")
+            .write_all(&block)?;
         self.history_len = end;
         // Trim history beyond the window to bound memory.
         if self.history_len > WINDOW_KEEP {
@@ -133,7 +144,7 @@ impl<W: Write> CompressWriter<W> {
 impl<W: Write> Write for CompressWriter<W> {
     fn write(&mut self, data: &[u8]) -> io::Result<usize> {
         if self.finished {
-            return Err(io::Error::new(io::ErrorKind::Other, "stream already finished"));
+            return Err(io::Error::other("stream already finished"));
         }
         self.hasher.update(data);
         self.buf.extend_from_slice(data);
@@ -293,11 +304,11 @@ impl<R: Read> DecompressReader<R> {
         }
         self.done = true;
         if self.has_checksum {
-            let want = u32::from_le_bytes(
-                self.read_exact_vec(4)?.try_into().expect("4 bytes"),
-            );
+            let want = u32::from_le_bytes(self.read_exact_vec(4)?.try_into().expect("4 bytes"));
             if want != self.hasher.digest() as u32 {
-                return Err(Self::io_err(CodecError::Corrupt("content checksum mismatch")));
+                return Err(Self::io_err(CodecError::Corrupt(
+                    "content checksum mismatch",
+                )));
             }
         }
         Ok(())
@@ -443,7 +454,10 @@ mod tests {
         // The one-shot decoder understands streaming frames too.
         let data = sample(400_000);
         let frame = compress_stream(&data, 3);
-        assert_eq!(crate::zstdx::Zstdx::new(3).decompress(&frame).unwrap(), data);
+        assert_eq!(
+            crate::zstdx::Zstdx::new(3).decompress(&frame).unwrap(),
+            data
+        );
     }
 
     #[test]

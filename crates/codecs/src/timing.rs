@@ -18,6 +18,10 @@ pub struct StageTiming {
     pub entropy: Duration,
     /// Total compression time (includes framing overhead).
     pub total: Duration,
+    /// Number of blocks whose stages were measured. Unlike the wall
+    /// clocks this is deterministic, so tests can assert stage coverage
+    /// without racing timer granularity.
+    pub blocks: u64,
 }
 
 impl StageTiming {
@@ -38,6 +42,7 @@ impl StageTiming {
         self.match_find += other.match_find;
         self.entropy += other.entropy;
         self.total += other.total;
+        self.blocks += other.blocks;
     }
 }
 
@@ -56,15 +61,18 @@ mod tests {
             match_find: Duration::from_millis(80),
             entropy: Duration::from_millis(20),
             total: Duration::from_millis(105),
+            blocks: 1,
         };
         assert!((a.match_find_fraction() - 0.8).abs() < 1e-9);
         let b = StageTiming {
             match_find: Duration::from_millis(20),
             entropy: Duration::from_millis(80),
             total: Duration::from_millis(101),
+            blocks: 2,
         };
         a.accumulate(&b);
         assert!((a.match_find_fraction() - 0.5).abs() < 1e-9);
         assert_eq!(a.total, Duration::from_millis(206));
+        assert_eq!(a.blocks, 3);
     }
 }

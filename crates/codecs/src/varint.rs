@@ -61,7 +61,10 @@ impl<'a> Cursor<'a> {
     ///
     /// Returns [`CodecError::Corrupt`] at end of buffer.
     pub fn read_u8(&mut self) -> Result<u8> {
-        let b = *self.buf.get(self.pos).ok_or(CodecError::Corrupt("truncated: u8"))?;
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(CodecError::Corrupt("truncated: u8"))?;
         self.pos += 1;
         Ok(b)
     }
@@ -125,8 +128,14 @@ impl<'a> Cursor<'a> {
     ///
     /// Returns [`CodecError::Corrupt`] if fewer than `n` bytes remain.
     pub fn read_slice(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end = self.pos.checked_add(n).ok_or(CodecError::Corrupt("length overflow"))?;
-        let s = self.buf.get(self.pos..end).ok_or(CodecError::Corrupt("truncated: slice"))?;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CodecError::Corrupt("length overflow"))?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CodecError::Corrupt("truncated: slice"))?;
         self.pos = end;
         Ok(s)
     }

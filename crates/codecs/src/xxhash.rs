@@ -12,7 +12,9 @@ const P5: u64 = 0x27D4_EB2F_1656_67C5;
 
 #[inline]
 fn round(acc: u64, lane: u64) -> u64 {
-    acc.wrapping_add(lane.wrapping_mul(P2)).rotate_left(31).wrapping_mul(P1)
+    acc.wrapping_add(lane.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
 }
 
 #[inline]
@@ -63,7 +65,10 @@ pub fn xxh64(data: &[u8], seed: u64) -> u64 {
 
     h = h.wrapping_add(len as u64);
     while rest.len() >= 8 {
-        h = (h ^ round(0, read_u64(rest))).rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+        h = (h ^ round(0, read_u64(rest)))
+            .rotate_left(27)
+            .wrapping_mul(P1)
+            .wrapping_add(P4);
         rest = &rest[8..];
     }
     if rest.len() >= 4 {
@@ -74,7 +79,9 @@ pub fn xxh64(data: &[u8], seed: u64) -> u64 {
         rest = &rest[4..];
     }
     for &b in rest {
-        h = (h ^ u64::from(b).wrapping_mul(P5)).rotate_left(11).wrapping_mul(P1);
+        h = (h ^ u64::from(b).wrapping_mul(P5))
+            .rotate_left(11)
+            .wrapping_mul(P1);
     }
 
     h ^= h >> 33;
@@ -185,7 +192,10 @@ impl Xxh64 {
 
         let mut rest = &self.buf[..self.buf_len];
         while rest.len() >= 8 {
-            h = (h ^ round(0, read_u64(rest))).rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+            h = (h ^ round(0, read_u64(rest)))
+                .rotate_left(27)
+                .wrapping_mul(P1)
+                .wrapping_add(P4);
             rest = &rest[8..];
         }
         if rest.len() >= 4 {
@@ -196,7 +206,9 @@ impl Xxh64 {
             rest = &rest[4..];
         }
         for &b in rest {
-            h = (h ^ u64::from(b).wrapping_mul(P5)).rotate_left(11).wrapping_mul(P1);
+            h = (h ^ u64::from(b).wrapping_mul(P5))
+                .rotate_left(11)
+                .wrapping_mul(P1);
         }
 
         h ^= h >> 33;

@@ -8,6 +8,8 @@
 //! stores blocks uncompressed, levels 1–9 deepen the match search —
 //! "Zlib offers ten compression levels from 0 to 9" (paper, §I).
 
+use std::time::Instant;
+
 use entropy::bitio::{BitReader, BitWriter};
 use entropy::huffman::HuffmanTable;
 use lzkit::{MatchParams, Strategy};
@@ -46,7 +48,10 @@ impl Zlibx {
     /// Creates a compressor at `level` (clamped to 0..=9; 0 = stored).
     pub fn new(level: i32) -> Self {
         let level = level.clamp(0, 9);
-        Self { level, params: level_params(level) }
+        Self {
+            level,
+            params: level_params(level),
+        }
     }
 
     /// The match-finding parameters (None at level 0).
@@ -84,7 +89,15 @@ fn level_params(level: i32) -> Option<MatchParams> {
 /// unprofitable, in which case the caller stores the block raw.
 fn encode_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> Option<Vec<u8>> {
     let data = &buf[start..end];
+    let mf_start = Instant::now();
     let block = lzkit::parse(&buf[..end], start, params);
+    telemetry::record_duration(
+        telemetry::global(),
+        "zlibx.match_find",
+        &[],
+        mf_start.elapsed(),
+    );
+    let ent_start = Instant::now();
 
     // Histogram over the merged alphabet and the distance alphabet.
     let mut lit_freq = vec![0u32; LITLEN_ALPHABET];
@@ -149,6 +162,12 @@ fn encode_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> O
     let (bits, nbits) = w.finish();
     write_varint(&mut out, nbits as u64);
     out.extend_from_slice(&bits);
+    telemetry::record_duration(
+        telemetry::global(),
+        "zlibx.entropy",
+        &[],
+        ent_start.elapsed(),
+    );
     (out.len() < data.len()).then_some(out)
 }
 
@@ -222,13 +241,17 @@ impl Compressor for Zlibx {
     }
 
     fn compress(&self, src: &[u8]) -> Vec<u8> {
+        let begin = Instant::now();
         let mut out = Vec::with_capacity(src.len() / 2 + 32);
         out.extend_from_slice(&MAGIC);
         write_varint(&mut out, src.len() as u64);
         let mut start = 0usize;
         while start < src.len() {
             let end = (start + BLOCK_SIZE).min(src.len());
-            let encoded = self.params.as_ref().and_then(|p| encode_block(src, start, end, p));
+            let encoded = self
+                .params
+                .as_ref()
+                .and_then(|p| encode_block(src, start, end, p));
             write_varint(&mut out, (end - start) as u64);
             match encoded {
                 Some(body) => {
@@ -243,10 +266,12 @@ impl Compressor for Zlibx {
             }
             start = end;
         }
+        crate::obs::record_compress("zlibx", self.level, src.len(), out.len(), begin);
         out
     }
 
     fn decompress(&self, src: &[u8]) -> Result<Vec<u8>> {
+        let begin = Instant::now();
         let mut c = Cursor::new(src);
         if c.read_slice(2)? != MAGIC {
             return Err(CodecError::BadFrame("zlibx magic mismatch"));
@@ -272,6 +297,7 @@ impl Compressor for Zlibx {
                 _ => return Err(CodecError::Corrupt("zlibx bad block type")),
             }
         }
+        crate::obs::record_decompress("zlibx", self.level, out.len(), begin);
         Ok(out)
     }
 }
@@ -310,9 +336,13 @@ mod tests {
     #[test]
     fn roundtrip_edge_inputs() {
         let c = Zlibx::new(6);
-        for data in
-            [vec![], vec![1u8], b"ab".to_vec(), vec![9u8; 300_000], (0u8..=255).collect::<Vec<_>>()]
-        {
+        for data in [
+            vec![],
+            vec![1u8],
+            b"ab".to_vec(),
+            vec![9u8; 300_000],
+            (0u8..=255).collect::<Vec<_>>(),
+        ] {
             let enc = c.compress(&data);
             assert_eq!(c.decompress(&enc).unwrap(), data);
         }
@@ -336,12 +366,19 @@ mod tests {
         let data: Vec<u8> = (0..50_000)
             .map(|_| {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                if state % 16 < 11 { 0 } else { (state >> 33) as u8 }
+                if state % 16 < 11 {
+                    0
+                } else {
+                    (state >> 33) as u8
+                }
             })
             .collect();
         let z = Zlibx::new(6).compress(&data).len();
         let l = crate::lz4x::Lz4x::new(9).compress(&data).len();
-        assert!(z < l, "zlibx {z} should beat lz4x {l} on entropy-skewed data");
+        assert!(
+            z < l,
+            "zlibx {z} should beat lz4x {l} on entropy-skewed data"
+        );
     }
 
     #[test]
@@ -351,7 +388,10 @@ mod tests {
         assert!(c.decompress(b"no").is_err());
         let enc = c.compress(&sample());
         for cut in [3, 10, enc.len() / 2, enc.len() - 1] {
-            assert!(c.decompress(&enc[..cut.min(enc.len())]).is_err(), "cut {cut}");
+            assert!(
+                c.decompress(&enc[..cut.min(enc.len())]).is_err(),
+                "cut {cut}"
+            );
         }
     }
 

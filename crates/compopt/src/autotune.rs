@@ -139,7 +139,10 @@ impl AutoTuner {
                 *cur = fresh.clone();
             }
         }
-        let active = self.current.as_ref().expect("some config is active after a feasible round");
+        let active = self
+            .current
+            .as_ref()
+            .expect("some config is active after a feasible round");
         self.history.push(TuneEvent {
             round,
             selected: active.label.clone(),
@@ -165,7 +168,11 @@ mod tests {
         // Byte-priced objective so debug-build compute noise cannot
         // dominate the tests.
         let params = CostParams::from_pricing(&Pricing::aws_2023(), 1.0, 60.0);
-        let weights = CostWeights { compute: 0.0, storage: 1.0, network: 1.0 };
+        let weights = CostWeights {
+            compute: 0.0,
+            storage: 1.0,
+            network: 1.0,
+        };
         AutoTuner::new(configs, params, weights)
     }
 
@@ -187,7 +194,11 @@ mod tests {
         let s = text_samples();
         let refs: Vec<&[u8]> = s.iter().map(|v| v.as_slice()).collect();
         let e = t.retune(&refs).expect("feasible");
-        assert!(e.label.contains("zstdx"), "byte-priced text optimum: {}", e.label);
+        assert!(
+            e.label.contains("zstdx"),
+            "byte-priced text optimum: {}",
+            e.label
+        );
         assert_eq!(t.history().len(), 1);
         assert!(t.history()[0].switched);
     }
@@ -203,7 +214,11 @@ mod tests {
             t.retune(&refs);
         }
         assert_eq!(t.current().unwrap().label, first);
-        assert!(t.history()[1..].iter().all(|e| !e.switched), "{:?}", t.history());
+        assert!(
+            t.history()[1..].iter().all(|e| !e.switched),
+            "{:?}",
+            t.history()
+        );
     }
 
     #[test]

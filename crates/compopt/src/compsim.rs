@@ -39,7 +39,12 @@ pub struct CompSim {
 impl CompSim {
     /// Creates a simulated accelerator for `base`.
     pub fn new(base: CompressionConfig, gamma: f64, alpha_compute: f64) -> Self {
-        Self { base, window_log: None, gamma, alpha_compute }
+        Self {
+            base,
+            window_log: None,
+            gamma,
+            alpha_compute,
+        }
     }
 
     /// Builder-style window restriction (study 3's sweep variable).
@@ -119,7 +124,10 @@ mod tests {
             let c = narrow.compressor();
             c.compress(&data).len()
         };
-        assert!(rw < rn, "wide window {rw} should compress tighter than narrow {rn}");
+        assert!(
+            rw < rn,
+            "wide window {rw} should compress tighter than narrow {rn}"
+        );
         // Both still round-trip.
         let c = narrow.compressor();
         assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);

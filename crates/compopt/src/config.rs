@@ -21,7 +21,11 @@ pub struct CompressionConfig {
 impl CompressionConfig {
     /// Creates a configuration without block chunking.
     pub fn new(algorithm: Algorithm, level: i32) -> Self {
-        Self { algorithm, level, block_size: None }
+        Self {
+            algorithm,
+            level,
+            block_size: None,
+        }
     }
 
     /// Builder-style block size override.

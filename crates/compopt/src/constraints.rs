@@ -28,9 +28,7 @@ impl Constraint {
         match *self {
             Constraint::MinCompressionSpeedMbps(v) => m.compress_mbps() >= v,
             Constraint::MinDecompressionSpeedMbps(v) => m.decompress_mbps() >= v,
-            Constraint::MaxDecompressionLatencyMs(v) => {
-                m.decompress_secs_per_call() * 1e3 <= v
-            }
+            Constraint::MaxDecompressionLatencyMs(v) => m.decompress_secs_per_call() * 1e3 <= v,
             Constraint::MinCompressionRatio(v) => m.ratio() >= v,
         }
     }

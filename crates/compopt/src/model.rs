@@ -120,14 +120,24 @@ pub struct CostWeights {
 
 impl CostWeights {
     /// All three resources, unweighted (Equation 4 as written).
-    pub const ALL: CostWeights = CostWeights { compute: 1.0, storage: 1.0, network: 1.0 };
+    pub const ALL: CostWeights = CostWeights {
+        compute: 1.0,
+        storage: 1.0,
+        network: 1.0,
+    };
     /// Compute + network only (ADS1-style: intermediate data, no
     /// storage — paper's sensitivity study 1).
-    pub const COMPUTE_NETWORK: CostWeights =
-        CostWeights { compute: 1.0, storage: 0.0, network: 1.0 };
+    pub const COMPUTE_NETWORK: CostWeights = CostWeights {
+        compute: 1.0,
+        storage: 0.0,
+        network: 1.0,
+    };
     /// Compute + storage only (KVSTORE1-style — paper's study 2).
-    pub const COMPUTE_STORAGE: CostWeights =
-        CostWeights { compute: 1.0, storage: 1.0, network: 0.0 };
+    pub const COMPUTE_STORAGE: CostWeights = CostWeights {
+        compute: 1.0,
+        storage: 1.0,
+        network: 0.0,
+    };
 }
 
 #[cfg(test)]
@@ -218,7 +228,11 @@ mod tests {
 
     #[test]
     fn weights_zero_out_resources() {
-        let c = Costs { compute: 1.0, storage: 2.0, network: 4.0 };
+        let c = Costs {
+            compute: 1.0,
+            storage: 2.0,
+            network: 4.0,
+        };
         assert_eq!(c.weighted_total(&CostWeights::ALL), 7.0);
         assert_eq!(c.weighted_total(&CostWeights::COMPUTE_NETWORK), 5.0);
         assert_eq!(c.weighted_total(&CostWeights::COMPUTE_STORAGE), 3.0);

@@ -79,7 +79,11 @@ pub fn optimum(evals: &[Evaluation]) -> Option<&Evaluation> {
 /// candidate dominates on both axes. Sorted by descending speed.
 pub fn pareto_front(measured: &[Measured]) -> Vec<&Measured> {
     let mut by_speed: Vec<&Measured> = measured.iter().collect();
-    by_speed.sort_by(|a, b| b.metrics.compress_mbps().total_cmp(&a.metrics.compress_mbps()));
+    by_speed.sort_by(|a, b| {
+        b.metrics
+            .compress_mbps()
+            .total_cmp(&a.metrics.compress_mbps())
+    });
     let mut front = Vec::new();
     let mut best_ratio = f64::NEG_INFINITY;
     for m in by_speed {
@@ -94,11 +98,7 @@ pub fn pareto_front(measured: &[Measured]) -> Vec<&Measured> {
 /// Random-sampling search: evaluates `k` uniformly chosen candidates
 /// and returns the best feasible one. A cheap stand-in for exhaustive
 /// search on large spaces.
-pub fn random_search<'a>(
-    evals: &'a [Evaluation],
-    k: usize,
-    seed: u64,
-) -> Option<&'a Evaluation> {
+pub fn random_search<'a>(evals: &'a [Evaluation], k: usize, seed: u64) -> Option<&'a Evaluation> {
     if evals.is_empty() || k == 0 {
         return None;
     }
@@ -106,7 +106,9 @@ pub fn random_search<'a>(
     let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
     let mut best: Option<&Evaluation> = None;
     for _ in 0..k {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let idx = (state >> 33) as usize % evals.len();
         let e = &evals[idx];
         if !e.feasible {
@@ -149,7 +151,9 @@ pub fn hill_climb(evals_in_param_order: &[Evaluation], start: usize) -> Option<&
         }
         i = next;
     }
-    evals_in_param_order[i].feasible.then(|| &evals_in_param_order[i])
+    evals_in_param_order[i]
+        .feasible
+        .then(|| &evals_in_param_order[i])
 }
 
 #[cfg(test)]
@@ -318,7 +322,12 @@ pub mod genetic {
 
     impl Default for GaParams {
         fn default() -> Self {
-            Self { population: 12, generations: 10, mutation_rate: 0.2, seed: 7 }
+            Self {
+                population: 12,
+                generations: 10,
+                mutation_rate: 0.2,
+                seed: 7,
+            }
         }
     }
 
@@ -346,7 +355,11 @@ pub mod genetic {
             state ^= state << 17;
             state
         };
-        let axes = [space.algorithms.len(), space.levels.len(), space.block_sizes.len()];
+        let axes = [
+            space.algorithms.len(),
+            space.levels.len(),
+            space.block_sizes.len(),
+        ];
 
         let mut population: Vec<[usize; 3]> = (0..params.population)
             .map(|_| [0, 1, 2].map(|a| next() as usize % axes[a]))
@@ -359,9 +372,7 @@ pub mod genetic {
             let mut scored: Vec<([usize; 3], f64)> = population
                 .iter()
                 .map(|&g| {
-                    let cost = *cache
-                        .entry(g)
-                        .or_insert_with(|| fitness(&space.config(g)));
+                    let cost = *cache.entry(g).or_insert_with(|| fitness(&space.config(g)));
                     (g, cost)
                 })
                 .collect();
@@ -424,7 +435,11 @@ pub mod genetic {
             };
             let (best, cost) = search(
                 &space(),
-                &GaParams { population: 16, generations: 25, ..Default::default() },
+                &GaParams {
+                    population: 16,
+                    generations: 25,
+                    ..Default::default()
+                },
                 fit,
             );
             assert_eq!(best, target, "cost {cost}");
@@ -457,7 +472,11 @@ pub mod genetic {
         #[test]
         #[should_panic(expected = "empty search space")]
         fn empty_space_panics() {
-            let s = Space { algorithms: vec![], levels: vec![1], block_sizes: vec![None] };
+            let s = Space {
+                algorithms: vec![],
+                levels: vec![1],
+                block_sizes: vec![None],
+            };
             let _ = search(&s, &GaParams::default(), |_| 0.0);
         }
     }

@@ -42,7 +42,16 @@ mod tests {
 
     #[test]
     fn json_lines_one_per_row() {
-        let rows = vec![Row { name: "a", value: 1.0 }, Row { name: "b", value: 2.0 }];
+        let rows = vec![
+            Row {
+                name: "a",
+                value: 1.0,
+            },
+            Row {
+                name: "b",
+                value: 2.0,
+            },
+        ];
         let s = to_json_lines(&rows);
         assert_eq!(s.lines().count(), 2);
         assert!(s.lines().next().unwrap().contains("\"a\""));

@@ -40,7 +40,12 @@ pub struct StudyScale {
 impl StudyScale {
     /// Full scale, as used by the benchmark harness.
     pub fn full() -> Self {
-        Self { ads_requests: 2, sst_bytes: 4 << 20, max_sample_bytes: None, seed: 2023 }
+        Self {
+            ads_requests: 2,
+            sst_bytes: 4 << 20,
+            max_sample_bytes: None,
+            seed: 2023,
+        }
     }
 
     /// Reduced scale for unit tests.
@@ -78,7 +83,13 @@ fn summarize(rows: Vec<Evaluation>) -> StudyResult {
         (Some(b), Some(w)) if w.total_cost > 0.0 => Some(1.0 - b.total_cost / w.total_cost),
         _ => None,
     };
-    StudyResult { rows, best, best_unconstrained, worst, saving_vs_worst }
+    StudyResult {
+        rows,
+        best,
+        best_unconstrained,
+        worst,
+        saving_vs_worst,
+    }
 }
 
 /// ADS1 sample set: a traffic-weighted mix of the three models.
@@ -86,9 +97,21 @@ pub fn ads1_samples(scale: &StudyScale) -> Vec<Vec<u8>> {
     use corpus::mlreq::{generate_requests, Model};
     let mut samples = Vec::new();
     // Model A carries the most traffic (paper, §IV-D).
-    samples.extend(generate_requests(Model::A, scale.ads_requests * 2, scale.seed));
-    samples.extend(generate_requests(Model::B, scale.ads_requests, scale.seed + 1));
-    samples.extend(generate_requests(Model::C, scale.ads_requests, scale.seed + 2));
+    samples.extend(generate_requests(
+        Model::A,
+        scale.ads_requests * 2,
+        scale.seed,
+    ));
+    samples.extend(generate_requests(
+        Model::B,
+        scale.ads_requests,
+        scale.seed + 1,
+    ));
+    samples.extend(generate_requests(
+        Model::C,
+        scale.ads_requests,
+        scale.seed + 2,
+    ));
     if let Some(cap) = scale.max_sample_bytes {
         for s in &mut samples {
             s.truncate(cap);
@@ -238,7 +261,11 @@ fn window_sweep_rows(
             window_log: w,
             ratio: e.ratio,
             total_cost: e.total_cost,
-            normalized: if max_cost > 0.0 { e.total_cost / max_cost } else { 1.0 },
+            normalized: if max_cost > 0.0 {
+                e.total_cost / max_cost
+            } else {
+                1.0
+            },
         })
         .collect()
 }
@@ -253,14 +280,20 @@ mod tests {
         let r = study1_ads1(&StudyScale::quick(), 0.0);
         assert!(!r.rows.is_empty());
         let best = r.best.as_deref().expect("feasible optimum");
-        assert!(best.contains("zstdx"), "cost optimum should be a zstd config, got {best}");
+        assert!(
+            best.contains("zstdx"),
+            "cost optimum should be a zstd config, got {best}"
+        );
         // Network-dominated objective: the worst config is one of the
         // non-zstd extremes (the paper's Figure 15a finds LZ4 level 10;
         // in an unoptimized test build the compute term can instead
         // push a slow zlibx config to the bottom — either way, no zstd
         // config should rank worst).
         let worst = r.worst.as_deref().unwrap();
-        assert!(!worst.contains("zstdx"), "a zstd config ranked worst: {worst}");
+        assert!(
+            !worst.contains("zstdx"),
+            "a zstd config ranked worst: {worst}"
+        );
         let saving = r.saving_vs_worst.unwrap();
         // The paper reports 73% at production scale; the quick-scale
         // debug-build figure is smaller and timing-noisy.
@@ -271,7 +304,10 @@ mod tests {
     fn study2_larger_blocks_win_unconstrained() {
         let r = study2_kvstore(&StudyScale::quick(), f64::INFINITY);
         let best = r.best.as_deref().unwrap();
-        assert!(best.contains("zstdx"), "storage-weighted optimum must be zstd: {best}");
+        assert!(
+            best.contains("zstdx"),
+            "storage-weighted optimum must be zstd: {best}"
+        );
         assert!(
             best.contains("64KB") || best.contains("32KB"),
             "unconstrained optimum should be a large block: {best}"
@@ -283,7 +319,11 @@ mod tests {
         let relaxed = study2_kvstore(&StudyScale::quick(), f64::INFINITY);
         // Pick an SLO between the fastest and slowest block latencies so
         // it actually binds.
-        let lat: Vec<f64> = relaxed.rows.iter().map(|e| e.decompress_ms_per_call).collect();
+        let lat: Vec<f64> = relaxed
+            .rows
+            .iter()
+            .map(|e| e.decompress_ms_per_call)
+            .collect();
         let min = lat.iter().cloned().fold(f64::MAX, f64::min);
         let max = lat.iter().cloned().fold(f64::MIN, f64::max);
         let slo = (min + max) / 2.0;

@@ -34,13 +34,19 @@ pub struct CacheProfile {
 /// CACHE1: distributed memory object cache — many types, small items
 /// (median ~250 B), long tail.
 pub fn cache1_profile() -> CacheProfile {
-    CacheProfile { n_types: 8, sizes: LogNormal::new(250.0, 1.1, 24, 256 * 1024) }
+    CacheProfile {
+        n_types: 8,
+        sizes: LogNormal::new(250.0, 1.1, 24, 256 * 1024),
+    }
 }
 
 /// CACHE2: social-graph data store — fewer, slightly larger typed
 /// objects (median ~500 B).
 pub fn cache2_profile() -> CacheProfile {
-    CacheProfile { n_types: 5, sizes: LogNormal::new(500.0, 0.9, 48, 512 * 1024) }
+    CacheProfile {
+        n_types: 5,
+        sizes: LogNormal::new(500.0, 0.9, 48, 512 * 1024),
+    }
 }
 
 /// Generates `n` items under `profile`, deterministically in `seed`.
@@ -52,7 +58,9 @@ pub fn generate_items(profile: &CacheProfile, n: usize, seed: u64) -> Vec<CacheI
     let schemas: Vec<Vec<String>> = (0..profile.n_types)
         .map(|_| {
             let nfields = r.gen_range(4..10);
-            (0..nfields).map(|_| vocab[zipf_index(vocab.len(), &mut r)].clone()).collect()
+            (0..nfields)
+                .map(|_| vocab[zipf_index(vocab.len(), &mut r)].clone())
+                .collect()
         })
         .collect();
 
@@ -61,7 +69,14 @@ pub fn generate_items(profile: &CacheProfile, n: usize, seed: u64) -> Vec<CacheI
             // Types are zipf-popular, like production cache key spaces.
             let type_id = zipf_index(profile.n_types, &mut r) as u32;
             let target = profile.sizes.sample(&mut r);
-            let data = render_item(type_id, &schemas[type_id as usize], target, i, &mut r, &vocab);
+            let data = render_item(
+                type_id,
+                &schemas[type_id as usize],
+                target,
+                i,
+                &mut r,
+                &vocab,
+            );
             CacheItem { type_id, data }
         })
         .collect()
@@ -151,6 +166,9 @@ mod tests {
         let b = generate_items(&cache2_profile(), 1000, 14);
         let med_a = percentile(&a.iter().map(|i| i.data.len()).collect::<Vec<_>>(), 50.0);
         let med_b = percentile(&b.iter().map(|i| i.data.len()).collect::<Vec<_>>(), 50.0);
-        assert!(med_b > med_a, "cache2 median {med_b} should exceed cache1 {med_a}");
+        assert!(
+            med_b > med_a,
+            "cache2 median {med_b} should exceed cache1 {med_a}"
+        );
     }
 }

@@ -110,6 +110,11 @@ mod tests {
         for _ in 0..10_000 {
             counts[zipf_index(100, &mut r)] += 1;
         }
-        assert!(counts[0] > counts[50].max(1) * 4, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50].max(1) * 4,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
     }
 }

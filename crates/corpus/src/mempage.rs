@@ -44,7 +44,12 @@ impl PageMix {
     /// A cold-memory mix in the spirit of published far-memory studies:
     /// mostly heap, a solid zero fraction, some text, a random tail.
     pub fn cold_memory() -> Self {
-        Self { zero: 0.2, heap: 0.5, text: 0.2, random: 0.1 }
+        Self {
+            zero: 0.2,
+            heap: 0.5,
+            text: 0.2,
+            random: 0.1,
+        }
     }
 }
 
@@ -61,7 +66,11 @@ pub fn generate_page(class: PageClass, seed: u64) -> Vec<u8> {
             while off + 16 <= PAGE_SIZE {
                 let ptr = heap_base + r.gen_range(0..0x40000u64) * 8;
                 page[off..off + 8].copy_from_slice(&ptr.to_le_bytes());
-                let small: u32 = if r.gen_bool(0.6) { r.gen_range(0..256) } else { r.gen() };
+                let small: u32 = if r.gen_bool(0.6) {
+                    r.gen_range(0..256)
+                } else {
+                    r.gen()
+                };
                 page[off + 8..off + 12].copy_from_slice(&small.to_le_bytes());
                 // 4 bytes of slack stay zero.
                 off += 16;
@@ -93,7 +102,10 @@ pub fn generate_pages(mix: &PageMix, n: usize, seed: u64) -> Vec<(PageClass, Vec
             } else {
                 PageClass::Random
             };
-            (class, generate_page(class, seed.wrapping_add(i as u64 * 131)))
+            (
+                class,
+                generate_page(class, seed.wrapping_add(i as u64 * 131)),
+            )
         })
         .collect()
 }
@@ -104,7 +116,12 @@ mod tests {
 
     #[test]
     fn pages_are_page_sized_and_deterministic() {
-        for class in [PageClass::Zero, PageClass::Heap, PageClass::Text, PageClass::Random] {
+        for class in [
+            PageClass::Zero,
+            PageClass::Heap,
+            PageClass::Text,
+            PageClass::Random,
+        ] {
             let p = generate_page(class, 9);
             assert_eq!(p.len(), PAGE_SIZE);
             assert_eq!(p, generate_page(class, 9));
@@ -117,10 +134,16 @@ mod tests {
         assert!(zero.iter().all(|&b| b == 0));
         let heap = generate_page(PageClass::Heap, 1);
         let heap_zeros = heap.iter().filter(|&&b| b == 0).count();
-        assert!(heap_zeros > PAGE_SIZE / 4, "heap pages carry slack zeros: {heap_zeros}");
+        assert!(
+            heap_zeros > PAGE_SIZE / 4,
+            "heap pages carry slack zeros: {heap_zeros}"
+        );
         let random = generate_page(PageClass::Random, 1);
         let rand_zeros = random.iter().filter(|&&b| b == 0).count();
-        assert!(rand_zeros < PAGE_SIZE / 32, "random pages have no structure");
+        assert!(
+            rand_zeros < PAGE_SIZE / 32,
+            "random pages have no structure"
+        );
     }
 
     #[test]

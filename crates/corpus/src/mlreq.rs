@@ -102,7 +102,14 @@ pub fn generate_request(model: Model, seed: u64) -> Vec<u8> {
         .collect();
 
     let mut out = Vec::with_capacity(n_records * record_size + 128);
-    out.extend(format!("REQ1|model={}|ts={}|", model.name(), 1_700_000_000u64 + seed).as_bytes());
+    out.extend(
+        format!(
+            "REQ1|model={}|ts={}|",
+            model.name(),
+            1_700_000_000u64 + seed
+        )
+        .as_bytes(),
+    );
 
     for rec in 0..n_records {
         let t = crate::zipf_index(n_templates, &mut r);
@@ -128,7 +135,11 @@ pub fn generate_request(model: Model, seed: u64) -> Vec<u8> {
                 for _ in 0..n_sparse {
                     id += r.gen_range(1..300);
                     out.extend_from_slice(&(id as u32).to_le_bytes());
-                    let w: u64 = if r.gen_bool(0.85) { 0 } else { r.gen_range(1..1 << 16) };
+                    let w: u64 = if r.gen_bool(0.85) {
+                        0
+                    } else {
+                        r.gen_range(1..1 << 16)
+                    };
                     out.extend_from_slice(&w.to_le_bytes());
                 }
             }
@@ -140,7 +151,11 @@ pub fn generate_request(model: Model, seed: u64) -> Vec<u8> {
                 for _ in 0..n_sparse {
                     id += r.gen_range(1..300);
                     write_uvarint(&mut out, id);
-                    let w: u64 = if r.gen_bool(0.85) { 0 } else { r.gen_range(1..1 << 16) };
+                    let w: u64 = if r.gen_bool(0.85) {
+                        0
+                    } else {
+                        r.gen_range(1..1 << 16)
+                    };
                     write_uvarint(&mut out, w);
                 }
             }
@@ -151,7 +166,9 @@ pub fn generate_request(model: Model, seed: u64) -> Vec<u8> {
 
 /// Generates `n` requests with distinct seeds derived from `seed`.
 pub fn generate_requests(model: Model, n: usize, seed: u64) -> Vec<Vec<u8>> {
-    (0..n).map(|i| generate_request(model, seed.wrapping_add(i as u64 * 7919))).collect()
+    (0..n)
+        .map(|i| generate_request(model, seed.wrapping_add(i as u64 * 7919)))
+        .collect()
 }
 
 fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
@@ -195,13 +212,15 @@ mod tests {
 
     #[test]
     fn sparse_models_have_more_zero_bytes() {
-        let count_zeros =
-            |v: &[u8]| v.iter().filter(|&&b| b == 0).count() as f64 / v.len() as f64;
+        let count_zeros = |v: &[u8]| v.iter().filter(|&&b| b == 0).count() as f64 / v.len() as f64;
         let a = count_zeros(&generate_request(Model::A, 2));
         let b = count_zeros(&generate_request(Model::B, 2));
         let c = count_zeros(&generate_request(Model::C, 2));
         assert!(b > a, "B zeros {b} should exceed A zeros {a}");
-        assert!(b > c, "varint C must carry fewer explicit zeros: {c} vs {b}");
+        assert!(
+            b > c,
+            "varint C must carry fewer explicit zeros: {c} vs {b}"
+        );
     }
 
     #[test]

@@ -182,7 +182,7 @@ pub fn shuffle_partitions(rows: usize, n_workers: usize, seed: u64) -> Vec<Vec<u
         part.extend(cat.as_bytes());
         part.push(b'|');
         part.extend_from_slice(&r.gen_range(0.0..100.0f32).to_le_bytes());
-        part.extend_from_slice(&[b'\n']);
+        part.extend_from_slice(b"\n");
     }
     parts
 }

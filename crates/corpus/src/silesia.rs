@@ -93,7 +93,11 @@ fn gen_text(out: &mut Vec<u8>, size: usize, r: &mut StdRng) {
         }
         words_in_sentence += 1;
         if words_in_sentence > r.gen_range(6..18) {
-            out.extend(if r.gen_bool(0.2) { b".\n".as_slice() } else { b". ".as_slice() });
+            out.extend(if r.gen_bool(0.2) {
+                b".\n".as_slice()
+            } else {
+                b". ".as_slice()
+            });
             words_in_sentence = 0;
         } else {
             out.push(b' ');
@@ -112,8 +116,11 @@ fn gen_xml(out: &mut Vec<u8>, size: usize, r: &mut StdRng) {
         let attr = ATTRS[r.gen_range(0..ATTRS.len())];
         let word = &vocab[zipf_index(vocab.len(), r)];
         out.extend(
-            format!("  <{tag} {attr}=\"{id}\"><{}>{word}</{}></{tag}>\n", "value", "value")
-                .as_bytes(),
+            format!(
+                "  <{tag} {attr}=\"{id}\"><{}>{word}</{}></{tag}>\n",
+                "value", "value"
+            )
+            .as_bytes(),
         );
         id += 1;
     }
@@ -160,8 +167,12 @@ fn gen_database(out: &mut Vec<u8>, size: usize, r: &mut StdRng) {
 fn gen_binary(out: &mut Vec<u8>, size: usize, r: &mut StdRng) {
     // Instruction-stream flavor: short repeated opcode motifs separated
     // by high-entropy immediates; overall redundancy stays low.
-    const MOTIFS: [&[u8]; 4] =
-        [&[0x55, 0x48, 0x89, 0xe5], &[0xc3, 0x90], &[0x48, 0x8b], &[0xe8]];
+    const MOTIFS: [&[u8]; 4] = [
+        &[0x55, 0x48, 0x89, 0xe5],
+        &[0xc3, 0x90],
+        &[0x48, 0x8b],
+        &[0xe8],
+    ];
     while out.len() < size {
         if r.gen_bool(0.25) {
             out.extend_from_slice(MOTIFS[r.gen_range(0..MOTIFS.len())]);
@@ -175,8 +186,13 @@ fn gen_binary(out: &mut Vec<u8>, size: usize, r: &mut StdRng) {
 
 fn gen_log(out: &mut Vec<u8>, size: usize, r: &mut StdRng) {
     const LEVELS: [&str; 4] = ["INFO", "INFO", "WARN", "ERROR"];
-    const COMPONENTS: [&str; 5] =
-        ["request-router", "cache-shard", "storage-engine", "rpc-server", "auth"];
+    const COMPONENTS: [&str; 5] = [
+        "request-router",
+        "cache-shard",
+        "storage-engine",
+        "rpc-server",
+        "auth",
+    ];
     let mut ts = 1_680_000_000u64;
     while out.len() < size {
         ts += r.gen_range(0..3);
@@ -242,7 +258,10 @@ mod tests {
         let text = compressibility(&generate(FileClass::Text, 50_000, 1));
         let binary = compressibility(&generate(FileClass::Binary, 50_000, 1));
         assert!(log > text, "log {log} should repeat more than text {text}");
-        assert!(text > binary, "text {text} should repeat more than binary {binary}");
+        assert!(
+            text > binary,
+            "text {text} should repeat more than binary {binary}"
+        );
         assert!(binary < 0.05, "binary too redundant: {binary}");
     }
 

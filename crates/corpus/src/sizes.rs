@@ -25,7 +25,12 @@ impl LogNormal {
     /// Creates a sampler with the given median and spread.
     pub fn new(median: f64, sigma: f64, min: usize, max: usize) -> Self {
         assert!(median > 0.0 && sigma >= 0.0 && min <= max);
-        Self { median, sigma, min, max }
+        Self {
+            median,
+            sigma,
+            min,
+            max,
+        }
     }
 
     /// Draws one size.

@@ -50,7 +50,11 @@ impl BitWriter {
 
     /// Creates an empty bit stream with capacity for `bytes` output bytes.
     pub fn with_capacity(bytes: usize) -> Self {
-        Self { buf: Vec::with_capacity(bytes), acc: 0, nbits: 0 }
+        Self {
+            buf: Vec::with_capacity(bytes),
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Total number of bits written so far.
@@ -117,7 +121,11 @@ impl<'a> BitReader<'a> {
     /// Creates a reader over `buf` containing exactly `bit_len` valid bits.
     pub fn new(buf: &'a [u8], bit_len: usize) -> Self {
         debug_assert!(bit_len <= buf.len() * 8);
-        Self { buf, pos: 0, len: bit_len.min(buf.len() * 8) }
+        Self {
+            buf,
+            pos: 0,
+            len: bit_len.min(buf.len() * 8),
+        }
     }
 
     /// Number of unread bits remaining.
@@ -186,12 +194,17 @@ impl<'a> ReverseBitReader<'a> {
     /// Returns [`Error::CorruptData`] if the buffer is empty or its final
     /// byte is zero (no sentinel).
     pub fn from_sentinel(buf: &'a [u8]) -> Result<Self> {
-        let last = *buf.last().ok_or(Error::CorruptData("empty reverse bitstream"))?;
+        let last = *buf
+            .last()
+            .ok_or(Error::CorruptData("empty reverse bitstream"))?;
         if last == 0 {
             return Err(Error::CorruptData("missing sentinel bit"));
         }
         let sentinel_pos = (buf.len() - 1) * 8 + (7 - last.leading_zeros() as usize);
-        Ok(Self { buf, pos: sentinel_pos })
+        Ok(Self {
+            buf,
+            pos: sentinel_pos,
+        })
     }
 
     /// Number of unread bits remaining.
@@ -238,7 +251,11 @@ fn extract_bits(buf: &[u8], pos: usize, n: u32) -> u64 {
         filled += 8;
         idx += 1;
     }
-    if n >= 64 { acc } else { acc & ((1u64 << n) - 1) }
+    if n >= 64 {
+        acc
+    } else {
+        acc & ((1u64 << n) - 1)
+    }
 }
 
 #[cfg(test)]

@@ -74,7 +74,9 @@ impl FseTable {
         let size = 1usize << table_log;
         let total: u64 = norm.iter().map(|&c| c as u64).sum();
         if total != size as u64 {
-            return Err(Error::InvalidParameter("normalized counts must sum to table size"));
+            return Err(Error::InvalidParameter(
+                "normalized counts must sum to table size",
+            ));
         }
         if norm.len() > u16::MAX as usize {
             return Err(Error::InvalidParameter("alphabet too large"));
@@ -260,7 +262,10 @@ pub struct FseEncoder<'t> {
 impl<'t> FseEncoder<'t> {
     /// Starts a new encoder at the canonical initial state `L`.
     pub fn new(table: &'t FseTable) -> Self {
-        Self { table, state: 1 << table.table_log }
+        Self {
+            table,
+            state: 1 << table.table_log,
+        }
     }
 
     /// Encodes one symbol (reverse order!), emitting its refill bits.
@@ -308,7 +313,10 @@ impl<'t> FseDecoder<'t> {
     /// Returns [`Error::UnexpectedEof`] if the stream is too short.
     pub fn init(table: &'t FseTable, r: &mut ReverseBitReader<'_>) -> Result<Self> {
         let raw = r.read_bits(table.table_log)? as u32;
-        Ok(Self { table, state: (1 << table.table_log) + raw })
+        Ok(Self {
+            table,
+            state: (1 << table.table_log) + raw,
+        })
     }
 
     /// The symbol encoded by the current state (no bits consumed).
@@ -356,8 +364,9 @@ mod tests {
 
     #[test]
     fn roundtrip_skewed() {
-        let symbols: Vec<u16> =
-            (0..5000u32).map(|i| if i % 11 == 0 { 3 } else { (i % 3) as u16 }).collect();
+        let symbols: Vec<u16> = (0..5000u32)
+            .map(|i| if i % 11 == 0 { 3 } else { (i % 3) as u16 })
+            .collect();
         let t = build_for(&symbols, 8, 9);
         let buf = t.encode(&symbols);
         assert_eq!(t.decode(&buf, symbols.len()).unwrap(), symbols);
@@ -415,8 +424,9 @@ mod tests {
     #[test]
     fn fse_beats_fixed_width() {
         // 5-symbol alphabet with skew: fixed width needs 3 bits, FSE less.
-        let symbols: Vec<u16> =
-            (0..50_000u32).map(|i| if i % 10 < 6 { 0 } else { (i % 5) as u16 }).collect();
+        let symbols: Vec<u16> = (0..50_000u32)
+            .map(|i| if i % 10 < 6 { 0 } else { (i % 5) as u16 })
+            .collect();
         let t = build_for(&symbols, 5, 11);
         let buf = t.encode(&symbols);
         assert!((buf.len() as f64) < 3.0 * symbols.len() as f64 / 8.0);

@@ -117,7 +117,12 @@ impl HuffmanTable {
             }
         }
 
-        Ok(Self { lens: lens.to_vec(), codes, max_bits, decode })
+        Ok(Self {
+            lens: lens.to_vec(),
+            codes,
+            max_bits,
+            decode,
+        })
     }
 
     /// Per-symbol code lengths (0 = absent). Serializable table form.
@@ -212,7 +217,10 @@ fn package_merge_lengths(freqs: &[u32], present: &[usize], max_bits: u32) -> Vec
 
     let mut items: Vec<Node> = present
         .iter()
-        .map(|&i| Node { weight: freqs[i] as u64, leaves: vec![i as u32] })
+        .map(|&i| Node {
+            weight: freqs[i] as u64,
+            leaves: vec![i as u32],
+        })
         .collect();
     items.sort_by_key(|n| n.weight);
 
@@ -224,7 +232,10 @@ fn package_merge_lengths(freqs: &[u32], present: &[usize], max_bits: u32) -> Vec
         for pair in &mut it {
             let mut leaves = pair[0].leaves.clone();
             leaves.extend_from_slice(&pair[1].leaves);
-            packaged.push(Node { weight: pair[0].weight + pair[1].weight, leaves });
+            packaged.push(Node {
+                weight: pair[0].weight + pair[1].weight,
+                leaves,
+            });
         }
         // Merge with the original items, keeping sorted order.
         let mut merged = Vec::with_capacity(items.len() + packaged.len());
@@ -328,7 +339,10 @@ mod tests {
         let freqs = byte_histogram(&data);
         let table = HuffmanTable::build(&freqs, 11).unwrap();
         let bits = table.encoded_bits(&freqs);
-        assert!(bits < data.len() as u64 * 2, "expected < 2 bits/sym, got {bits}");
+        assert!(
+            bits < data.len() as u64 * 2,
+            "expected < 2 bits/sym, got {bits}"
+        );
     }
 
     #[test]

@@ -35,14 +35,21 @@ where
     if total == 0.0 {
         return 0.0;
     }
-    let part: f64 =
-        p.observations.iter().filter(|o| o.service == service).map(f).sum();
+    let part: f64 = p
+        .observations
+        .iter()
+        .filter(|o| o.service == service)
+        .map(f)
+        .sum();
     part / total
 }
 
 /// Fleet-wide compression tax (paper §III-B: 4.6% of compute cycles).
 pub fn fleet_compression_tax(p: &FleetProfile) -> f64 {
-    p.services.iter().map(|s| s.fleet_weight * s.compression_tax).sum()
+    p.services
+        .iter()
+        .map(|s| s.fleet_weight * s.compression_tax)
+        .sum()
 }
 
 /// Fleet cycle share per algorithm (paper §III-B: Zstd 3.9%, LZ4 0.4%,
@@ -75,21 +82,31 @@ pub fn category_zstd_cycles(p: &FleetProfile) -> Vec<(Category, f64)> {
     Category::ALL
         .iter()
         .map(|&cat| {
-            let (zstd_cycles, total_cycles) = p
-                .services
-                .iter()
-                .filter(|s| s.category == cat)
-                .fold((0.0, 0.0), |(z, t), s| {
-                    let zfrac = fraction_of_service(p, s.name, |o| {
-                        if o.algorithm == Algorithm::Zstdx {
-                            o.compress_secs + o.decompress_secs
-                        } else {
-                            0.0
-                        }
+            let (zstd_cycles, total_cycles) =
+                p.services
+                    .iter()
+                    .filter(|s| s.category == cat)
+                    .fold((0.0, 0.0), |(z, t), s| {
+                        let zfrac = fraction_of_service(p, s.name, |o| {
+                            if o.algorithm == Algorithm::Zstdx {
+                                o.compress_secs + o.decompress_secs
+                            } else {
+                                0.0
+                            }
+                        });
+                        (
+                            z + s.fleet_weight * s.compression_tax * zfrac,
+                            t + s.fleet_weight,
+                        )
                     });
-                    (z + s.fleet_weight * s.compression_tax * zfrac, t + s.fleet_weight)
-                });
-            (cat, if total_cycles > 0.0 { zstd_cycles / total_cycles } else { 0.0 })
+            (
+                cat,
+                if total_cycles > 0.0 {
+                    zstd_cycles / total_cycles
+                } else {
+                    0.0
+                },
+            )
         })
         .collect()
 }
@@ -118,8 +135,12 @@ pub fn comp_decomp_split(p: &FleetProfile) -> Vec<(String, f64)> {
         }
     };
     for cat in Category::ALL {
-        let names: Vec<&str> =
-            p.services.iter().filter(|s| s.category == cat).map(|s| s.name).collect();
+        let names: Vec<&str> = p
+            .services
+            .iter()
+            .filter(|s| s.category == cat)
+            .map(|s| s.name)
+            .collect();
         rows.push((cat.name().to_string(), frac_for(names)));
     }
     let all: Vec<&str> = p.services.iter().map(|s| s.name).collect();
@@ -153,7 +174,10 @@ pub fn level_usage(p: &FleetProfile) -> Vec<(String, f64)> {
         .iter()
         .enumerate()
         .map(|(i, l)| {
-            (l.to_string(), buckets.get(&(i as u8)).copied().unwrap_or(0.0) / total.max(1e-12))
+            (
+                l.to_string(),
+                buckets.get(&(i as u8)).copied().unwrap_or(0.0) / total.max(1e-12),
+            )
         })
         .collect()
 }
@@ -168,7 +192,14 @@ pub fn service_block_sizes(p: &FleetProfile) -> Vec<(&'static str, f64)> {
                 .iter()
                 .filter(|o| o.service == s.name)
                 .fold((0u64, 0u64), |(b, c), o| (b + o.bytes, c + o.comp_calls));
-            (s.name, if calls > 0 { bytes as f64 / calls as f64 } else { 0.0 })
+            (
+                s.name,
+                if calls > 0 {
+                    bytes as f64 / calls as f64
+                } else {
+                    0.0
+                },
+            )
         })
         .collect()
 }
@@ -207,8 +238,11 @@ pub fn warehouse_split(p: &FleetProfile) -> Vec<WarehouseSplit> {
     ["DW1", "DW2", "DW3", "DW4"]
         .iter()
         .map(|&name| {
-            let obs: Vec<&crate::profiler::Observation> =
-                p.observations.iter().filter(|o| o.service == name).collect();
+            let obs: Vec<&crate::profiler::Observation> = p
+                .observations
+                .iter()
+                .filter(|o| o.service == name)
+                .collect();
             let comp: f64 = obs.iter().map(|o| o.compress_secs).sum();
             let decomp: f64 = obs.iter().map(|o| o.decompress_secs).sum();
             let mf: f64 = obs.iter().map(|o| o.match_find_secs).sum();
@@ -230,7 +264,12 @@ mod tests {
 
     fn profile() -> &'static FleetProfile {
         static P: OnceLock<FleetProfile> = OnceLock::new();
-        P.get_or_init(|| profile_fleet(&ProfileConfig { work_units: 3, seed: 99 }))
+        P.get_or_init(|| {
+            profile_fleet(&ProfileConfig {
+                work_units: 3,
+                seed: 99,
+            })
+        })
     }
 
     #[test]
@@ -258,7 +297,12 @@ mod tests {
         let rows = category_zstd_cycles(profile());
         let get = |c: Category| rows.iter().find(|(x, _)| *x == c).unwrap().1;
         let dw = get(Category::DataWarehouse);
-        for c in [Category::Web, Category::Feed, Category::Ads, Category::Cache] {
+        for c in [
+            Category::Web,
+            Category::Feed,
+            Category::Ads,
+            Category::Cache,
+        ] {
             assert!(dw > get(c), "DW {dw} should exceed {c}");
         }
         // Paper range: 1.8% to 21.2%.
@@ -272,10 +316,9 @@ mod tests {
         // calls across services" — while cycles can still lean toward
         // compression because decompression is 3-100x faster.
         let p = profile();
-        let (comp_calls, decomp_calls) = p
-            .observations
-            .iter()
-            .fold((0u64, 0u64), |(c, d), o| (c + o.comp_calls, d + o.decomp_calls));
+        let (comp_calls, decomp_calls) = p.observations.iter().fold((0u64, 0u64), |(c, d), o| {
+            (c + o.comp_calls, d + o.decomp_calls)
+        });
         assert!(
             decomp_calls > comp_calls * 2,
             "decomp calls {decomp_calls} vs comp calls {comp_calls}"
@@ -284,7 +327,11 @@ mod tests {
         let fleet = rows.last().unwrap();
         assert_eq!(fleet.0, "Fleet");
         // Cycle split stays in a sane band and every category varies.
-        assert!((0.2..=0.9).contains(&fleet.1), "fleet compression fraction {}", fleet.1);
+        assert!(
+            (0.2..=0.9).contains(&fleet.1),
+            "fleet compression fraction {}",
+            fleet.1
+        );
         let dw = rows.iter().find(|(n, _)| n == "Data Warehouse").unwrap();
         assert!(dw.1 > 0.4, "write-heavy warehouse split {}", dw.1);
     }
@@ -303,7 +350,12 @@ mod tests {
         let rows = service_block_sizes(profile());
         let get = |n: &str| rows.iter().find(|(s, _)| *s == n).unwrap().1;
         // Warehouse blocks are orders of magnitude bigger than cache items.
-        assert!(get("DW1") > 50.0 * get("CACHE1"), "DW1 {} CACHE1 {}", get("DW1"), get("CACHE1"));
+        assert!(
+            get("DW1") > 50.0 * get("CACHE1"),
+            "DW1 {} CACHE1 {}",
+            get("DW1"),
+            get("CACHE1")
+        );
         assert!(get("ADS1") > get("CACHE2"));
     }
 
@@ -322,11 +374,11 @@ mod tests {
         let get = |n: &str| rows.iter().find(|r| r.service == n).unwrap().clone();
         let dw1 = get("DW1"); // level 7
         let dw4 = get("DW4"); // level 1
-        // Paper: up to ~80% for DW1, ~30% for DW4. The ordering is a
-        // *relative speed* property of the two stages, which unoptimized
-        // builds distort (the fast single-probe finder is
-        // disproportionately slowed by debug checks); assert it only on
-        // optimized builds — the fig07 bench demonstrates it at scale.
+                              // Paper: up to ~80% for DW1, ~30% for DW4. The ordering is a
+                              // *relative speed* property of the two stages, which unoptimized
+                              // builds distort (the fast single-probe finder is
+                              // disproportionately slowed by debug checks); assert it only on
+                              // optimized builds — the fig07 bench demonstrates it at scale.
         if !cfg!(debug_assertions) {
             assert!(
                 dw1.match_find_fraction > dw4.match_find_fraction,

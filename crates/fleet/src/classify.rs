@@ -65,8 +65,11 @@ pub fn classify(spec: &ServiceSpec) -> Vec<ServiceClass> {
     let mut classes = Vec::new();
 
     // Weighted average zstd level tells the speed/ratio preference.
-    let avg_level: f64 =
-        spec.level_mix.iter().map(|&(l, f)| l as f64 * f).sum::<f64>();
+    let avg_level: f64 = spec
+        .level_mix
+        .iter()
+        .map(|&(l, f)| l as f64 * f)
+        .sum::<f64>();
     if avg_level <= 2.0 {
         classes.push(ServiceClass::CompressionSpeedSensitive);
     }
@@ -76,7 +79,10 @@ pub fn classify(spec: &ServiceSpec) -> Vec<ServiceClass> {
 
     // Read-dominated block workloads care about per-block decompression.
     if spec.reads_per_write >= 3.0
-        && matches!(spec.workload, Workload::SstBlocks | Workload::CacheItems1 | Workload::CacheItems2)
+        && matches!(
+            spec.workload,
+            Workload::SstBlocks | Workload::CacheItems1 | Workload::CacheItems2
+        )
     {
         classes.push(ServiceClass::DecompressionSpeedSensitive);
     }
@@ -121,21 +127,30 @@ mod tests {
     #[test]
     fn dw2_shuffle_is_speed_sensitive() {
         let c = classes_of("DW2");
-        assert!(c.contains(&ServiceClass::CompressionSpeedSensitive), "{c:?}");
+        assert!(
+            c.contains(&ServiceClass::CompressionSpeedSensitive),
+            "{c:?}"
+        );
     }
 
     #[test]
     fn caches_are_small_data_friendly() {
         for name in ["CACHE1", "CACHE2"] {
             let c = classes_of(name);
-            assert!(c.contains(&ServiceClass::SmallDataFriendly), "{name}: {c:?}");
+            assert!(
+                c.contains(&ServiceClass::SmallDataFriendly),
+                "{name}: {c:?}"
+            );
         }
     }
 
     #[test]
     fn kvstore_is_decompression_sensitive() {
         let c = classes_of("KVSTORE1");
-        assert!(c.contains(&ServiceClass::DecompressionSpeedSensitive), "{c:?}");
+        assert!(
+            c.contains(&ServiceClass::DecompressionSpeedSensitive),
+            "{c:?}"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct DriftConfig {
 
 impl Default for DriftConfig {
     fn default() -> Self {
-        Self { days: 30, work_units_per_day: 4, seed: 99 }
+        Self {
+            days: 30,
+            work_units_per_day: 4,
+            seed: 99,
+        }
     }
 }
 
@@ -74,7 +78,11 @@ fn day_report(day: usize, profile: &FleetProfile) -> DayReport {
         .map(|&(_, s)| s)
         .unwrap_or(0.0);
     let levels = crate::agg::level_usage(profile);
-    let low = levels.iter().find(|(l, _)| l == "1-4").map(|&(_, f)| f).unwrap_or(0.0);
+    let low = levels
+        .iter()
+        .find(|(l, _)| l == "1-4")
+        .map(|&(_, f)| f)
+        .unwrap_or(0.0);
 
     // The profiler tracks time, not compressed sizes; approximate the
     // fleet's achieved ratio by re-measuring one work unit per service
@@ -123,12 +131,19 @@ mod tests {
 
     #[test]
     fn produces_one_report_per_day() {
-        let reports =
-            simulate_days(&DriftConfig { days: 3, work_units_per_day: 1, seed: 5 });
+        let reports = simulate_days(&DriftConfig {
+            days: 3,
+            work_units_per_day: 1,
+            seed: 5,
+        });
         assert_eq!(reports.len(), 3);
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.day, i);
-            assert!(r.fleet_tax > 0.0 && r.fleet_tax < 0.2, "tax {}", r.fleet_tax);
+            assert!(
+                r.fleet_tax > 0.0 && r.fleet_tax < 0.2,
+                "tax {}",
+                r.fleet_tax
+            );
             assert!(r.zstd_share > 0.5, "zstd share {}", r.zstd_share);
             assert!(r.achieved_ratio > 1.0, "ratio {}", r.achieved_ratio);
         }
@@ -136,10 +151,18 @@ mod tests {
 
     #[test]
     fn low_levels_dominate_every_day() {
-        let reports =
-            simulate_days(&DriftConfig { days: 2, work_units_per_day: 2, seed: 6 });
+        let reports = simulate_days(&DriftConfig {
+            days: 2,
+            work_units_per_day: 2,
+            seed: 6,
+        });
         for r in &reports {
-            assert!(r.low_level_share > 0.5, "day {}: {}", r.day, r.low_level_share);
+            assert!(
+                r.low_level_share > 0.5,
+                "day {}: {}",
+                r.day,
+                r.low_level_share
+            );
         }
     }
 
@@ -147,8 +170,11 @@ mod tests {
     fn content_drift_moves_ratio() {
         // Fresh content each day: the achieved ratio fluctuates (no two
         // days identical) while staying in a plausible band.
-        let reports =
-            simulate_days(&DriftConfig { days: 4, work_units_per_day: 1, seed: 7 });
+        let reports = simulate_days(&DriftConfig {
+            days: 4,
+            work_units_per_day: 1,
+            seed: 7,
+        });
         let ratios: Vec<f64> = reports.iter().map(|r| r.achieved_ratio).collect();
         let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
         let max = ratios.iter().cloned().fold(f64::MIN, f64::max);

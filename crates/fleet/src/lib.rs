@@ -36,6 +36,6 @@ pub mod drift;
 pub mod profiler;
 pub mod services;
 
-pub use profiler::{profile_fleet, FleetProfile, Observation, ProfileConfig};
 pub use classify::{classify, ServiceClass};
+pub use profiler::{profile_fleet, FleetProfile, Observation, ProfileConfig};
 pub use services::{registry, table1, Category, ServiceSpec, Workload};

@@ -33,7 +33,10 @@ pub struct ProfileConfig {
 
 impl Default for ProfileConfig {
     fn default() -> Self {
-        Self { work_units: 12, seed: 30 }
+        Self {
+            work_units: 12,
+            seed: 30,
+        }
     }
 }
 
@@ -56,6 +59,10 @@ pub struct Observation {
     pub match_find_secs: f64,
     /// Of `compress_secs` (zstdx only): entropy-stage seconds.
     pub entropy_secs: f64,
+    /// Blocks whose stage split was measured (zstdx only, both plain
+    /// and dictionary paths). Deterministic, unlike the stage clocks,
+    /// which can round to zero on tiny work units.
+    pub stage_blocks: u64,
     /// Uncompressed bytes compressed.
     pub bytes: u64,
     /// Compression calls.
@@ -89,6 +96,43 @@ impl FleetProfile {
     /// Total modeled seconds (compression + application) of a service.
     pub fn total_secs(&self, service: &str) -> f64 {
         self.compression_secs(service) + self.app_secs.get(service).copied().unwrap_or(0.0)
+    }
+
+    /// Publishes this profile into a telemetry registry: per-service
+    /// call/byte counters and seconds gauges, labeled `{service=...}`.
+    /// Per-call latency histograms (`fleet.compress.nanos`,
+    /// `fleet.decompress.nanos`) are recorded live during profiling into
+    /// the global registry; this publishes the aggregated totals, so a
+    /// snapshot taken afterwards carries the whole profile.
+    pub fn record_to(&self, reg: &telemetry::Registry) {
+        for spec in &self.services {
+            let labels = [("service", spec.name)];
+            let mut comp = 0.0;
+            let mut decomp = 0.0;
+            let mut mf = 0.0;
+            let mut ent = 0.0;
+            let (mut bytes, mut ccalls, mut dcalls, mut blocks) = (0u64, 0u64, 0u64, 0u64);
+            for o in self.observations.iter().filter(|o| o.service == spec.name) {
+                comp += o.compress_secs;
+                decomp += o.decompress_secs;
+                mf += o.match_find_secs;
+                ent += o.entropy_secs;
+                bytes += o.bytes;
+                ccalls += o.comp_calls;
+                dcalls += o.decomp_calls;
+                blocks += o.stage_blocks;
+            }
+            reg.counter("fleet.compress.calls", &labels).add(ccalls);
+            reg.counter("fleet.decompress.calls", &labels).add(dcalls);
+            reg.counter("fleet.bytes", &labels).add(bytes);
+            reg.counter("fleet.stage_blocks", &labels).add(blocks);
+            reg.gauge("fleet.compress.secs", &labels).set(comp);
+            reg.gauge("fleet.decompress.secs", &labels).set(decomp);
+            reg.gauge("fleet.match_find.secs", &labels).set(mf);
+            reg.gauge("fleet.entropy.secs", &labels).set(ent);
+            reg.gauge("fleet.app.secs", &labels)
+                .set(self.app_secs.get(spec.name).copied().unwrap_or(0.0));
+        }
     }
 }
 
@@ -125,7 +169,11 @@ pub fn profile_fleet(config: &ProfileConfig) -> FleetProfile {
         app_secs.insert(spec.name, app);
     }
 
-    FleetProfile { observations, app_secs, services }
+    FleetProfile {
+        observations,
+        app_secs,
+        services,
+    }
 }
 
 fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec<Observation> {
@@ -142,7 +190,9 @@ fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec
     });
 
     for unit_idx in 0..config.work_units {
-        let unit = spec.workload.generate_unit(config.seed ^ (salt << 32) ^ unit_idx as u64);
+        let unit = spec
+            .workload
+            .generate_unit(config.seed ^ (salt << 32) ^ unit_idx as u64);
         let algorithm = sample_mix(spec.algorithm_mix, &mut rng);
         let level = if algorithm == Algorithm::Zstdx {
             sample_mix(spec.level_mix, &mut rng)
@@ -150,22 +200,26 @@ fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec
             1
         };
 
-        let cell = cells.entry((algorithm, level)).or_insert_with(|| Observation {
-            service: spec.name,
-            category: spec.category,
-            algorithm,
-            level,
-            compress_secs: 0.0,
-            decompress_secs: 0.0,
-            match_find_secs: 0.0,
-            entropy_secs: 0.0,
-            bytes: 0,
-            comp_calls: 0,
-            decomp_calls: 0,
-        });
+        let cell = cells
+            .entry((algorithm, level))
+            .or_insert_with(|| Observation {
+                service: spec.name,
+                category: spec.category,
+                algorithm,
+                level,
+                compress_secs: 0.0,
+                decompress_secs: 0.0,
+                match_find_secs: 0.0,
+                entropy_secs: 0.0,
+                stage_blocks: 0,
+                bytes: 0,
+                comp_calls: 0,
+                decomp_calls: 0,
+            });
 
         for block in &unit {
             let reads = sample_reads(spec.reads_per_write, &mut rng);
+            let comp_elapsed;
             match (algorithm, &dictionary) {
                 (Algorithm::Zstdx, None) => {
                     let z = Zstdx::new(level);
@@ -173,28 +227,32 @@ fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec
                     cell.compress_secs += timing.total.as_secs_f64();
                     cell.match_find_secs += timing.match_find.as_secs_f64();
                     cell.entropy_secs += timing.entropy.as_secs_f64();
+                    cell.stage_blocks += timing.blocks;
+                    comp_elapsed = timing.total;
                     decompress_n(&z, &frame, None, reads, cell, block.len());
                 }
                 (Algorithm::Zstdx, Some(d)) => {
                     let z = Zstdx::new(level);
-                    let t0 = Instant::now();
-                    let frame = z.compress_with_dict(block, d);
-                    let dt = t0.elapsed().as_secs_f64();
-                    cell.compress_secs += dt;
-                    // Stage split is not instrumented on the dict path;
-                    // approximate with the level's typical share later
-                    // (these cells are excluded from Figure 7, which
-                    // covers warehouse services only).
+                    let (frame, timing) = z.compress_with_dict_timed(block, d);
+                    cell.compress_secs += timing.total.as_secs_f64();
+                    cell.match_find_secs += timing.match_find.as_secs_f64();
+                    cell.entropy_secs += timing.entropy.as_secs_f64();
+                    cell.stage_blocks += timing.blocks;
+                    comp_elapsed = timing.total;
                     decompress_n(&z, &frame, Some(d), reads, cell, block.len());
                 }
                 (algo, _) => {
                     let c = algo.compressor(level);
                     let t0 = Instant::now();
                     let frame = c.compress(block);
-                    cell.compress_secs += t0.elapsed().as_secs_f64();
+                    comp_elapsed = t0.elapsed();
+                    cell.compress_secs += comp_elapsed.as_secs_f64();
                     decompress_n(c.as_ref(), &frame, None, reads, cell, block.len());
                 }
             }
+            telemetry::global()
+                .histogram("fleet.compress.nanos", &[("service", spec.name)])
+                .observe_duration(comp_elapsed);
             cell.bytes += block.len() as u64;
             cell.comp_calls += 1;
         }
@@ -216,8 +274,12 @@ fn decompress_n(
             Some(d) => comp.decompress_with_dict(frame, d),
             None => comp.decompress(frame),
         };
-        cell.decompress_secs += t0.elapsed().as_secs_f64();
+        let elapsed = t0.elapsed();
+        cell.decompress_secs += elapsed.as_secs_f64();
         out.expect("own frames round-trip");
+        telemetry::global()
+            .histogram("fleet.decompress.nanos", &[("service", cell.service)])
+            .observe_duration(elapsed);
         cell.decomp_calls += 1;
     }
 }
@@ -244,7 +306,10 @@ mod tests {
     use super::*;
 
     fn quick_profile() -> FleetProfile {
-        profile_fleet(&ProfileConfig { work_units: 2, seed: 7 })
+        profile_fleet(&ProfileConfig {
+            work_units: 2,
+            seed: 7,
+        })
     }
 
     #[test]
@@ -256,7 +321,15 @@ mod tests {
                 "{} missing",
                 spec.name
             );
-            assert!(p.compression_secs(spec.name) > 0.0, "{}", spec.name);
+            // Deterministic: call counts cannot round to zero the way
+            // wall-clock sums can on very fast work units.
+            let calls: u64 = p
+                .observations
+                .iter()
+                .filter(|o| o.service == spec.name)
+                .map(|o| o.comp_calls)
+                .sum();
+            assert!(calls > 0, "{} recorded no compression calls", spec.name);
         }
     }
 
@@ -282,7 +355,9 @@ mod tests {
                 .observations
                 .iter()
                 .filter(|o| o.service == name)
-                .fold((0u64, 0u64), |(c, d), o| (c + o.comp_calls, d + o.decomp_calls));
+                .fold((0u64, 0u64), |(c, d), o| {
+                    (c + o.comp_calls, d + o.decomp_calls)
+                });
             (c, d)
         };
         let (c, d) = calls("CACHE2"); // reads_per_write = 8
@@ -294,14 +369,72 @@ mod tests {
     #[test]
     fn zstd_observations_carry_stage_split() {
         let p = quick_profile();
-        let dw1: Vec<&Observation> =
-            p.observations.iter().filter(|o| o.service == "DW1").collect();
+        let dw1: Vec<&Observation> = p
+            .observations
+            .iter()
+            .filter(|o| o.service == "DW1")
+            .collect();
         assert!(!dw1.is_empty());
         for o in dw1 {
             assert_eq!(o.algorithm, Algorithm::Zstdx);
-            assert!(o.match_find_secs > 0.0);
-            assert!(o.entropy_secs > 0.0);
+            // The block counter is the deterministic witness that the
+            // stage split was measured; the second sums can round to
+            // zero on a timer with coarse granularity.
+            assert!(o.stage_blocks > 0, "DW1 cell measured no blocks");
+            assert!(o.match_find_secs >= 0.0 && o.entropy_secs >= 0.0);
+            assert!(o.match_find_secs + o.entropy_secs <= o.compress_secs + 1e-6);
         }
+    }
+
+    #[test]
+    fn dictionary_services_carry_stage_split_too() {
+        // CACHE1/CACHE2 compress through the dictionary path, which used
+        // to report zero stage time; it now goes through
+        // `compress_with_dict_timed` and measures blocks like the rest.
+        let p = quick_profile();
+        for svc in ["CACHE1", "CACHE2"] {
+            let blocks: u64 = p
+                .observations
+                .iter()
+                .filter(|o| o.service == svc && o.algorithm == Algorithm::Zstdx)
+                .map(|o| o.stage_blocks)
+                .sum();
+            assert!(blocks > 0, "{svc} dict path measured no stage blocks");
+        }
+    }
+
+    #[test]
+    fn record_to_publishes_per_service_series() {
+        let p = quick_profile();
+        let reg = telemetry::Registry::new();
+        p.record_to(&reg);
+        let snap = reg.snapshot();
+        for spec in &p.services {
+            let labels = [("service", spec.name)];
+            assert!(
+                snap.counter("fleet.compress.calls", &labels) > 0,
+                "{} missing call counter",
+                spec.name
+            );
+            assert!(
+                snap.get("fleet.compress.secs", &labels).is_some(),
+                "{}",
+                spec.name
+            );
+            assert!(
+                snap.get("fleet.app.secs", &labels).is_some(),
+                "{}",
+                spec.name
+            );
+        }
+        // Live per-call latency histograms land in the global registry.
+        let global = telemetry::snapshot();
+        assert!(
+            global
+                .histogram("fleet.compress.nanos", &[("service", "DW1")])
+                .is_some_and(|h| h.count() > 0),
+            "profiling left no latency histogram for DW1"
+        );
     }
 
     #[test]

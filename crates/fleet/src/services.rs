@@ -108,14 +108,12 @@ impl Workload {
             Workload::WebPayloads => (0..8)
                 .map(|i| generate(FileClass::Xml, 4 * 1024, seed.wrapping_add(i)))
                 .collect(),
-            Workload::MemPages => corpus::mempage::generate_pages(
-                &corpus::mempage::PageMix::cold_memory(),
-                48,
-                seed,
-            )
-            .into_iter()
-            .map(|(_, p)| p)
-            .collect(),
+            Workload::MemPages => {
+                corpus::mempage::generate_pages(&corpus::mempage::PageMix::cold_memory(), 48, seed)
+                    .into_iter()
+                    .map(|(_, p)| p)
+                    .collect()
+            }
             Workload::FeedPayloads => (0..6)
                 .map(|i| generate(FileClass::Text, 8 * 1024, seed.wrapping_add(i * 31)))
                 .collect(),
@@ -358,11 +356,18 @@ pub fn registry() -> Vec<ServiceSpec> {
 
 /// The eight case-study services of Table I, in paper order.
 pub fn table1() -> Vec<ServiceSpec> {
-    let names = ["DW1", "DW2", "DW3", "DW4", "ADS1", "CACHE1", "CACHE2", "KVSTORE1"];
+    let names = [
+        "DW1", "DW2", "DW3", "DW4", "ADS1", "CACHE1", "CACHE2", "KVSTORE1",
+    ];
     let all = registry();
     names
         .iter()
-        .map(|n| all.iter().find(|s| s.name == *n).expect("table1 service in registry").clone())
+        .map(|n| {
+            all.iter()
+                .find(|s| s.name == *n)
+                .expect("table1 service in registry")
+                .clone()
+        })
         .collect()
 }
 
@@ -380,9 +385,17 @@ mod tests {
     fn mixes_sum_to_one() {
         for s in registry() {
             let algo: f64 = s.algorithm_mix.iter().map(|(_, f)| f).sum();
-            assert!((algo - 1.0).abs() < 1e-9, "{}: algorithm mix sums to {algo}", s.name);
+            assert!(
+                (algo - 1.0).abs() < 1e-9,
+                "{}: algorithm mix sums to {algo}",
+                s.name
+            );
             let lvl: f64 = s.level_mix.iter().map(|(_, f)| f).sum();
-            assert!((lvl - 1.0).abs() < 1e-9, "{}: level mix sums to {lvl}", s.name);
+            assert!(
+                (lvl - 1.0).abs() < 1e-9,
+                "{}: level mix sums to {lvl}",
+                s.name
+            );
         }
     }
 
@@ -390,7 +403,10 @@ mod tests {
     fn fleet_tax_near_paper() {
         // Weighted fleet-wide compression tax must land near the
         // paper's 4.6%.
-        let tax: f64 = registry().iter().map(|s| s.fleet_weight * s.compression_tax).sum();
+        let tax: f64 = registry()
+            .iter()
+            .map(|s| s.fleet_weight * s.compression_tax)
+            .sum();
         assert!((0.035..=0.06).contains(&tax), "fleet tax {tax}");
     }
 

@@ -228,7 +228,11 @@ pub(crate) fn parse(buf: &[u8], start: usize, p: &MatchParams, lazy: bool) -> Pa
         debug_assert_eq!(mpos - src, moff);
 
         block.literals.extend_from_slice(&buf[anchor..mpos]);
-        block.sequences.push(Sequence::new((mpos - anchor) as u32, mlen as u32, moff as u32));
+        block.sequences.push(Sequence::new(
+            (mpos - anchor) as u32,
+            mlen as u32,
+            moff as u32,
+        ));
         last_offset = moff;
         // Index the interior of the match so later repeats are visible.
         finder.insert_through(mpos + mlen - 1);
@@ -271,7 +275,10 @@ mod tests {
         let block = parse(data, 0, &p, true);
         assert_eq!(reconstruct(&block, &[]).unwrap(), data);
         let max_match = block.sequences.iter().map(|s| s.match_len).max().unwrap();
-        assert!(max_match >= 13, "expected 'match_longer_' match, got {max_match}");
+        assert!(
+            max_match >= 13,
+            "expected 'match_longer_' match, got {max_match}"
+        );
     }
 
     #[test]

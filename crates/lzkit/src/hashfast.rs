@@ -66,8 +66,7 @@ pub(crate) fn parse(buf: &[u8], start: usize, p: &MatchParams) -> ParsedBlock {
                 let fwd = 4 + match_length(buf, c + 4, pos + 4, len);
                 // Extend backward into pending literals.
                 let mut back = 0usize;
-                while pos - back > anchor && c > back && buf[pos - back - 1] == buf[c - back - 1]
-                {
+                while pos - back > anchor && c > back && buf[pos - back - 1] == buf[c - back - 1] {
                     back += 1;
                 }
                 let mpos = pos - back;
@@ -129,8 +128,16 @@ mod tests {
         let data = b"xyzw_abcdefgh_longer_abcdefgh_longer_tail";
         let block = parse(data, 0, &params().shrunk_for_input(data.len()));
         assert_eq!(reconstruct(&block, &[]).unwrap(), data);
-        let max_match = block.sequences.iter().map(|s| s.match_len).max().unwrap_or(0);
-        assert!(max_match >= 15, "expected full '_abcdefgh_longer' match, got {max_match}");
+        let max_match = block
+            .sequences
+            .iter()
+            .map(|s| s.match_len)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_match >= 15,
+            "expected full '_abcdefgh_longer' match, got {max_match}"
+        );
     }
 
     #[test]

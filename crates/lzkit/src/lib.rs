@@ -198,7 +198,12 @@ mod tests {
             data.extend_from_slice(format!("record-{}|{}|", i % 17, i).as_bytes());
             data.extend_from_slice(&i.to_le_bytes());
         }
-        for strategy in [Strategy::Fast, Strategy::Greedy, Strategy::Lazy, Strategy::Optimal] {
+        for strategy in [
+            Strategy::Fast,
+            Strategy::Greedy,
+            Strategy::Lazy,
+            Strategy::Optimal,
+        ] {
             let params = MatchParams::new(strategy);
             let block = parse(&data, 0, &params);
             let restored = reconstruct(&block, &[]).unwrap();
@@ -217,7 +222,12 @@ mod tests {
         let mut buf = dict.to_vec();
         let start = buf.len();
         buf.extend_from_slice(msg);
-        for strategy in [Strategy::Fast, Strategy::Greedy, Strategy::Lazy, Strategy::Optimal] {
+        for strategy in [
+            Strategy::Fast,
+            Strategy::Greedy,
+            Strategy::Lazy,
+            Strategy::Optimal,
+        ] {
             let params = MatchParams::new(strategy);
             let block = parse(&buf, start, &params);
             let restored = reconstruct(&block, dict).unwrap();
@@ -247,7 +257,10 @@ mod tests {
         let optimal = approx_cost(Strategy::Optimal);
         assert!(greedy <= fast, "greedy {greedy} worse than fast {fast}");
         assert!(lazy <= greedy, "lazy {lazy} worse than greedy {greedy}");
-        assert!(optimal <= lazy + lazy / 10, "optimal {optimal} much worse than lazy {lazy}");
+        assert!(
+            optimal <= lazy + lazy / 10,
+            "optimal {optimal} much worse than lazy {lazy}"
+        );
     }
 
     #[test]
@@ -256,7 +269,9 @@ mod tests {
         let mut state = 0x1234_5678_9abc_def0u64;
         let data: Vec<u8> = (0..8192)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 56) as u8
             })
             .collect();

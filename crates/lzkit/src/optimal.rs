@@ -167,7 +167,10 @@ mod tests {
         assert_eq!(reconstruct(&o, &[]).unwrap(), data);
         let price = |b: &ParsedBlock| {
             b.literals.len() as u32 * LITERAL_PRICE
-                + b.sequences.iter().map(|s| match_price(s.match_len, s.offset, 3)).sum::<u32>()
+                + b.sequences
+                    .iter()
+                    .map(|s| match_price(s.match_len, s.offset, 3))
+                    .sum::<u32>()
         };
         assert!(price(&o) <= price(&g));
     }

@@ -25,7 +25,11 @@ impl Sequence {
     /// Panics in debug builds if `offset == 0` while `match_len > 0`.
     pub fn new(literal_len: u32, match_len: u32, offset: u32) -> Self {
         debug_assert!(match_len == 0 || offset >= 1);
-        Self { literal_len, match_len, offset }
+        Self {
+            literal_len,
+            match_len,
+            offset,
+        }
     }
 }
 
@@ -53,7 +57,11 @@ impl ParsedBlock {
     /// Decoded (original) size this block reconstructs to.
     pub fn decoded_len(&self) -> usize {
         self.literals.len()
-            + self.sequences.iter().map(|s| s.match_len as usize).sum::<usize>()
+            + self
+                .sequences
+                .iter()
+                .map(|s| s.match_len as usize)
+                .sum::<usize>()
     }
 
     /// Total literal bytes consumed by sequences (excludes the tail).
@@ -99,14 +107,16 @@ pub fn reconstruct(block: &ParsedBlock, prefix: &[u8]) -> Result<Vec<u8>> {
 
         let offset = seq.offset as usize;
         if offset == 0 || offset > out.len() {
-            return Err(Error::OffsetOutOfRange { position: i, offset: seq.offset });
+            return Err(Error::OffsetOutOfRange {
+                position: i,
+                offset: seq.offset,
+            });
         }
         // Overlapping copies must proceed byte-serially.
-        let mut src = out.len() - offset;
-        for _ in 0..seq.match_len {
+        let start = out.len() - offset;
+        for src in start..start + seq.match_len as usize {
             let b = out[src];
             out.push(b);
-            src += 1;
         }
     }
     out.extend_from_slice(&block.literals[lit_pos..]);
@@ -120,8 +130,10 @@ mod tests {
 
     #[test]
     fn reconstruct_literal_only() {
-        let block =
-            ParsedBlock { literals: b"hello".to_vec(), sequences: vec![] };
+        let block = ParsedBlock {
+            literals: b"hello".to_vec(),
+            sequences: vec![],
+        };
         assert_eq!(reconstruct(&block, &[]).unwrap(), b"hello");
         assert_eq!(block.decoded_len(), 5);
         assert_eq!(block.match_coverage(), 0.0);
@@ -166,7 +178,10 @@ mod tests {
         };
         assert_eq!(
             reconstruct(&block, &[]),
-            Err(Error::OffsetOutOfRange { position: 0, offset: 10 })
+            Err(Error::OffsetOutOfRange {
+                position: 0,
+                offset: 10
+            })
         );
     }
 

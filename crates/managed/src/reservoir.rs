@@ -75,7 +75,9 @@ mod tests {
         assert_eq!(r.seen(), 100);
         // With 100 offers, at least one late element should have landed.
         assert!(
-            r.samples().iter().any(|s| u32::from_le_bytes(s[..4].try_into().unwrap()) >= 4),
+            r.samples()
+                .iter()
+                .any(|s| u32::from_le_bytes(s[..4].try_into().unwrap()) >= 4),
             "reservoir never replaced an early sample"
         );
     }

@@ -3,9 +3,12 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
 
 use codecs::zstdx::Zstdx;
 use codecs::{Compressor, Dictionary};
+use telemetry::Registry;
 
 use crate::reservoir::Reservoir;
 use crate::{ManagedError, Result};
@@ -41,6 +44,10 @@ impl Default for ManagedConfig {
 }
 
 /// Per-use-case observability counters.
+///
+/// Backed by the service's per-instance [telemetry registry]
+/// ([`ManagedCompression::telemetry`]); this struct is the stable view
+/// [`ManagedCompression::stats`] reconstructs from it.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct UseCaseStats {
     /// Compress calls served.
@@ -73,7 +80,6 @@ struct UseCase {
     versions: Vec<(u32, Dictionary)>,
     next_version: u32,
     calls_since_train: u64,
-    stats: UseCaseStats,
 }
 
 /// The stateful service. See the [crate docs](crate).
@@ -81,12 +87,31 @@ pub struct ManagedCompression {
     config: ManagedConfig,
     codec: Zstdx,
     use_cases: HashMap<String, UseCase>,
+    /// Per-instance registry: counters under `managed.*{use_case=...}`.
+    /// Not the global one, so concurrent service instances (and tests)
+    /// never see each other's traffic.
+    registry: Arc<Registry>,
 }
 
 impl ManagedCompression {
     /// Creates a service with `config`.
     pub fn new(config: ManagedConfig) -> Self {
-        Self { config, codec: Zstdx::new(config.level), use_cases: HashMap::new() }
+        Self {
+            config,
+            codec: Zstdx::new(config.level),
+            use_cases: HashMap::new(),
+            registry: Arc::new(Registry::new()),
+        }
+    }
+
+    /// The per-instance telemetry registry backing [`Self::stats`]:
+    /// `managed.compress.calls`, `managed.decompress.calls`,
+    /// `managed.versions_trained`, `managed.bytes_in`,
+    /// `managed.bytes_out` counters and `managed.compress.nanos` /
+    /// `managed.decompress.nanos` latency histograms, all labeled
+    /// `{use_case=...}`.
+    pub fn telemetry(&self) -> &Registry {
+        &self.registry
     }
 
     fn dict_id(use_case: &str, version: u32) -> u32 {
@@ -102,13 +127,14 @@ impl ManagedCompression {
         let mut h = DefaultHasher::new();
         use_case.hash(&mut h);
         let seed = config.seed ^ h.finish();
-        self.use_cases.entry(use_case.to_string()).or_insert_with(|| UseCase {
-            reservoir: Reservoir::new(config.reservoir_capacity, seed),
-            versions: Vec::new(),
-            next_version: 1,
-            calls_since_train: 0,
-            stats: UseCaseStats::default(),
-        })
+        self.use_cases
+            .entry(use_case.to_string())
+            .or_insert_with(|| UseCase {
+                reservoir: Reservoir::new(config.reservoir_capacity, seed),
+                versions: Vec::new(),
+                next_version: 1,
+                calls_since_train: 0,
+            })
     }
 
     /// Compresses `data` under `use_case`, transparently using (and
@@ -116,29 +142,34 @@ impl ManagedCompression {
     pub fn compress(&mut self, use_case: &str, data: &[u8]) -> Vec<u8> {
         let codec = self.codec.clone();
         let config = self.config;
+        let reg = Arc::clone(&self.registry);
+        let labels = [("use_case", use_case)];
+        let start = Instant::now();
         let case = self.case_mut(use_case);
         case.reservoir.offer(data);
         case.calls_since_train += 1;
-        case.stats.compress_calls += 1;
-        case.stats.bytes_in += data.len() as u64;
+        reg.counter("managed.compress.calls", &labels).inc();
+        reg.counter("managed.bytes_in", &labels)
+            .add(data.len() as u64);
 
         // Rollout: train a new version when the interval elapses (or on
         // the first warm reservoir).
         let due = case.calls_since_train >= config.retrain_interval
             || (case.versions.is_empty() && case.reservoir.is_warm());
         if due && case.reservoir.is_warm() {
-            let refs: Vec<&[u8]> =
-                case.reservoir.samples().iter().map(|v| v.as_slice()).collect();
+            let refs: Vec<&[u8]> = case
+                .reservoir
+                .samples()
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
             let version = case.next_version;
-            let dict = codecs::dict::train(
-                &refs,
-                config.dict_size,
-                Self::dict_id(use_case, version),
-            );
+            let dict =
+                codecs::dict::train(&refs, config.dict_size, Self::dict_id(use_case, version));
             if !dict.is_empty() {
                 case.versions.push((version, dict));
                 case.next_version += 1;
-                case.stats.versions_trained += 1;
+                reg.counter("managed.versions_trained", &labels).inc();
                 while case.versions.len() > config.versions_kept {
                     case.versions.remove(0);
                 }
@@ -150,7 +181,10 @@ impl ManagedCompression {
             Some((_, dict)) => codec.compress_with_dict(data, dict),
             None => codec.compress(data),
         };
-        case.stats.bytes_out += frame.len() as u64;
+        reg.counter("managed.bytes_out", &labels)
+            .add(frame.len() as u64);
+        reg.histogram("managed.compress.nanos", &labels)
+            .observe_duration(start.elapsed());
         frame
     }
 
@@ -166,15 +200,19 @@ impl ManagedCompression {
     /// * [`ManagedError::Codec`] for malformed frames.
     pub fn decompress(&mut self, use_case: &str, frame: &[u8]) -> Result<Vec<u8>> {
         let codec = self.codec.clone();
+        let start = Instant::now();
         let case = self
             .use_cases
             .get_mut(use_case)
             .ok_or_else(|| ManagedError::UnknownUseCase(use_case.to_string()))?;
-        case.stats.decompress_calls += 1;
+        let labels = [("use_case", use_case)];
+        self.registry
+            .counter("managed.decompress.calls", &labels)
+            .inc();
 
         // Try dict-less first; on a dictionary mismatch error the frame
         // tells us which id it wants.
-        match codec.decompress(frame) {
+        let out = match codec.decompress(frame) {
             Ok(data) => Ok(data),
             Err(codecs::CodecError::DictionaryMismatch { expected, .. }) => {
                 let version = expected & 0xfffff;
@@ -190,12 +228,28 @@ impl ManagedCompression {
                 Ok(codec.decompress_with_dict(frame, dict)?)
             }
             Err(e) => Err(e.into()),
-        }
+        };
+        self.registry
+            .histogram("managed.decompress.nanos", &labels)
+            .observe_duration(start.elapsed());
+        out
     }
 
-    /// Observability counters for a use case.
+    /// Observability counters for a use case, reconstructed from the
+    /// [per-instance registry](Self::telemetry).
     pub fn stats(&self, use_case: &str) -> Option<UseCaseStats> {
-        self.use_cases.get(use_case).map(|c| c.stats)
+        if !self.use_cases.contains_key(use_case) {
+            return None;
+        }
+        let labels = [("use_case", use_case)];
+        let snap = self.registry.snapshot();
+        Some(UseCaseStats {
+            compress_calls: snap.counter("managed.compress.calls", &labels),
+            decompress_calls: snap.counter("managed.decompress.calls", &labels),
+            versions_trained: snap.counter("managed.versions_trained", &labels) as u32,
+            bytes_in: snap.counter("managed.bytes_in", &labels),
+            bytes_out: snap.counter("managed.bytes_out", &labels),
+        })
     }
 
     /// Names of all use cases the service has seen.
@@ -259,7 +313,10 @@ mod tests {
 
     #[test]
     fn old_frames_decode_after_retrain() {
-        let cfg = ManagedConfig { retrain_interval: 20, ..Default::default() };
+        let cfg = ManagedConfig {
+            retrain_interval: 20,
+            ..Default::default()
+        };
         let mut svc = ManagedCompression::new(cfg);
         let mut kept: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         for i in 0..70 {
@@ -277,7 +334,11 @@ mod tests {
 
     #[test]
     fn retired_versions_are_reported() {
-        let cfg = ManagedConfig { retrain_interval: 10, versions_kept: 1, ..Default::default() };
+        let cfg = ManagedConfig {
+            retrain_interval: 10,
+            versions_kept: 1,
+            ..Default::default()
+        };
         let mut svc = ManagedCompression::new(cfg);
         let p0 = typed_payload(0);
         let mut first_dict_frame = None;
@@ -332,6 +393,29 @@ mod tests {
         assert_eq!(st.compress_calls, 5);
         assert_eq!(st.decompress_calls, 5);
         assert!(st.ratio() > 0.5);
+    }
+
+    #[test]
+    fn telemetry_registry_is_per_instance() {
+        let mut a = ManagedCompression::new(ManagedConfig::default());
+        let mut b = ManagedCompression::new(ManagedConfig::default());
+        for i in 0..3 {
+            a.compress("s", &typed_payload(i));
+        }
+        b.compress("s", &typed_payload(0));
+        // Exact counts hold because each instance owns its registry.
+        let sa = a.telemetry().snapshot();
+        let sb = b.telemetry().snapshot();
+        let labels = [("use_case", "s")];
+        assert_eq!(sa.counter("managed.compress.calls", &labels), 3);
+        assert_eq!(sb.counter("managed.compress.calls", &labels), 1);
+        let h = sa
+            .histogram("managed.compress.nanos", &labels)
+            .expect("latency histogram");
+        assert_eq!(h.count(), 3);
+        // The snapshot serializes through both exporters.
+        assert!(telemetry::export::to_json(&sa).contains("managed.compress.calls"));
+        assert!(telemetry::export::to_prometheus(&sa).contains("managed_compress_calls"));
     }
 }
 

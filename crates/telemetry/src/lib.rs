@@ -1,0 +1,81 @@
+//! Unified metrics and tracing for the datacomp stack.
+//!
+//! The paper's methodology (§III-A) is fleet-wide observability: sampled
+//! call stacks filtered to compression APIs, with cycles attributed per
+//! `(service, algorithm, level)` and per pipeline stage (Figure 7's
+//! match-find vs entropy split). This crate is the measurement substrate
+//! that replaces the ad-hoc `Instant::now()` pairs previously scattered
+//! across the profiler, the codec metrics, and the managed service:
+//!
+//! * [`Registry`] — a sharded table of named series. Three kinds:
+//!   monotonic [`Counter`]s, last-value [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s (power-of-two buckets, p50/p90/p99/max, mergeable
+//!   across threads because every cell is atomic).
+//! * [`Span`] — scoped stage timing. `let _s = span!("zstdx.match_find");`
+//!   records the guard's lifetime into the histogram
+//!   `span.zstdx.match_find` on drop. [`record_duration`] is the
+//!   non-scoped variant for externally measured intervals.
+//! * [`export`] — machine-readable exporters: JSON (for `BENCH_*.json`
+//!   style cross-PR trend tracking) and the Prometheus text exposition
+//!   format.
+//!
+//! The crate is dependency-free (std only) so every layer of the stack
+//! can use it without weight.
+//!
+//! # Example
+//!
+//! ```
+//! use telemetry::Registry;
+//!
+//! let reg = Registry::new();
+//! reg.counter("requests", &[("service", "DW1")]).inc();
+//! reg.histogram("latency.nanos", &[]).observe(1500);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("requests", &[("service", "DW1")]), 1);
+//! let json = telemetry::export::to_json(&snap);
+//! assert!(json.contains("\"requests\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, Registry, Series, SeriesKey, SeriesValue, Snapshot};
+pub use span::{record_duration, Span};
+
+use std::sync::OnceLock;
+
+/// The process-wide registry that the instrumented crates (codecs,
+/// fleet, managed) record into by default.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Snapshot of the process-wide registry.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Opens a [`Span`] recording into the global registry on drop.
+///
+/// ```
+/// {
+///     let _guard = telemetry::span!("demo.stage");
+///     // ... stage work ...
+/// } // recorded into histogram "span.demo.stage" here
+/// let _labeled = telemetry::span!("demo.stage", &[("service", "DW1")]);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name)
+    };
+    ($name:expr, $labels:expr) => {
+        $crate::Span::enter_in($crate::global(), $name, $labels)
+    };
+}

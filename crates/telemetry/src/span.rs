@@ -1,0 +1,104 @@
+//! Scoped stage timing.
+//!
+//! A [`Span`] attributes the wall-clock lifetime of a scope to a named
+//! stage — the generalization of the codec's one-off `StageTiming`: the
+//! zstdx match-find/entropy split, the lz4x/zlibx stages, and the
+//! dictionary path all report through this one mechanism. Dropping the
+//! guard records the elapsed nanoseconds into the histogram
+//! `span.<name>`, so every stage automatically gets call counts and
+//! p50/p90/p99/max latency without bespoke accumulator structs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::histogram::Histogram;
+use crate::registry::Registry;
+
+/// Prefix applied to span histogram names.
+pub const SPAN_PREFIX: &str = "span.";
+
+/// An in-flight stage timing; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span recording into the [global](crate::global) registry.
+    pub fn enter(name: &str) -> Span {
+        Self::enter_in(crate::global(), name, &[])
+    }
+
+    /// Opens a span recording into `registry` with `labels`.
+    pub fn enter_in(registry: &Registry, name: &str, labels: &[(&str, &str)]) -> Span {
+        let hist = registry.histogram(&format!("{SPAN_PREFIX}{name}"), labels);
+        Span {
+            hist,
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since the span was opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.observe_duration(self.start.elapsed());
+    }
+}
+
+/// Records an externally measured interval under the span name `name`,
+/// for call sites that already hold a `Duration` (e.g. the codec block
+/// loop, which times match-find and entropy stages back to back).
+pub fn record_duration(registry: &Registry, name: &str, labels: &[(&str, &str)], d: Duration) {
+    registry
+        .histogram(&format!("{SPAN_PREFIX}{name}"), labels)
+        .observe_duration(d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = Registry::new();
+        {
+            let _s = Span::enter_in(&reg, "stage.a", &[("svc", "t")]);
+            std::hint::black_box(0u64);
+        }
+        let snap = reg.snapshot();
+        let h = snap
+            .histogram("span.stage.a", &[("svc", "t")])
+            .expect("span recorded");
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn record_duration_is_equivalent() {
+        let reg = Registry::new();
+        record_duration(&reg, "stage.b", &[], Duration::from_nanos(1500));
+        let snap = reg.snapshot();
+        let h = snap.histogram("span.stage.b", &[]).unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum, 1500);
+    }
+
+    #[test]
+    fn global_span_macro_compiles_and_records() {
+        let before = crate::snapshot()
+            .histogram("span.test.macro", &[])
+            .map_or(0, |h| h.count());
+        {
+            let _s = crate::span!("test.macro");
+        }
+        let after = crate::snapshot()
+            .histogram("span.test.macro", &[])
+            .map_or(0, |h| h.count());
+        assert!(after > before);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the log-bucketed histogram (ISSUE 1 satellite):
+//! quantile monotonicity, merge ≡ concatenation, and bucket boundary
+//! placement.
+
+use proptest::prelude::*;
+use telemetry::histogram::{bucket_index, bucket_upper, Histogram, NUM_BUCKETS};
+use telemetry::HistogramSnapshot;
+
+fn observe_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Quantiles never decrease as q grows, and are bounded by max.
+    #[test]
+    fn quantiles_are_monotone(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let s = observe_all(&values);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let estimates: Vec<u64> = qs.iter().map(|&q| s.quantile(q)).collect();
+        prop_assert!(estimates.windows(2).all(|w| w[0] <= w[1]), "{estimates:?}");
+        prop_assert!(*estimates.last().unwrap() <= s.max);
+        prop_assert_eq!(s.quantile(1.0), *values.iter().max().unwrap());
+    }
+
+    /// Merging two snapshots equals observing the concatenated stream.
+    #[test]
+    fn merge_equals_concat(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut merged = observe_all(&a);
+        merged.merge(&observe_all(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, observe_all(&concat));
+    }
+
+    /// A quantile estimate is never below the true quantile's bucket
+    /// lower bound nor above its bucket upper bound.
+    #[test]
+    fn quantile_brackets_true_rank(
+        mut values in proptest::collection::vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let s = observe_all(&values);
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let truth = values[rank - 1];
+        let est = s.quantile(q);
+        prop_assert!(est <= bucket_upper(bucket_index(truth)), "est {est} truth {truth}");
+        let lower = if truth == 0 { 0 } else { bucket_upper(bucket_index(truth) - 1) };
+        prop_assert!(est >= lower, "est {est} truth {truth} lower {lower}");
+    }
+
+    /// Every value lands in the bucket whose bounds contain it, and
+    /// powers of two start a fresh bucket.
+    #[test]
+    fn bucket_boundary_placement(k in 0u32..63) {
+        let v = 1u64 << k;
+        for (value, expect_idx) in [(v, k as usize + 1), (v - 1, bucket_index(v - 1))] {
+            let s = observe_all(&[value]);
+            let idx = s.buckets.iter().position(|&c| c == 1).unwrap();
+            prop_assert_eq!(idx, expect_idx);
+            prop_assert!(value <= bucket_upper(idx));
+            if idx > 0 {
+                prop_assert!(value > bucket_upper(idx - 1));
+            }
+        }
+        prop_assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    /// Count and sum are exact regardless of bucketing.
+    #[test]
+    fn count_and_sum_exact(values in proptest::collection::vec(any::<u32>(), 0..200)) {
+        let wide: Vec<u64> = values.iter().map(|&v| v as u64).collect();
+        let s = observe_all(&wide);
+        prop_assert_eq!(s.count(), wide.len() as u64);
+        prop_assert_eq!(s.sum, wide.iter().sum::<u64>());
+    }
+}

@@ -21,13 +21,24 @@ fn main() {
     let (ads, kv) = study3_window_sweep(&StudyScale::quick(), 10.0);
     println!("normalized cost by window size:");
     println!("{:>8} {:>10} {:>10}", "window", "ADS1", "KVSTORE1");
-    for (a, k) in ads.iter().zip(kv.iter().chain(std::iter::repeat(kv.last().unwrap()))) {
-        println!("{:>8} {:>10.3} {:>10.3}", format!("2^{}", a.window_log), a.normalized, k.normalized);
+    for (a, k) in ads
+        .iter()
+        .zip(kv.iter().chain(std::iter::repeat(kv.last().unwrap())))
+    {
+        println!(
+            "{:>8} {:>10.3} {:>10.3}",
+            format!("2^{}", a.window_log),
+            a.normalized,
+            k.normalized
+        );
     }
 
     let plateau = |rows: &[compopt::studies::WindowRow]| {
         let last = rows.last().unwrap().normalized;
-        rows.iter().find(|r| (r.normalized - last).abs() / last < 0.01).unwrap().window_log
+        rows.iter()
+            .find(|r| (r.normalized - last).abs() / last < 0.01)
+            .unwrap()
+            .window_log
     };
     println!(
         "\nADS1 stops improving at 2^{}; KVSTORE1 at 2^{}.",

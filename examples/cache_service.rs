@@ -80,7 +80,10 @@ fn main() {
         let (type_id, frame) = shard.get_wire(i as u64).expect("item present");
         wire_bytes += frame.len() as u64;
         let dict = &shard.dicts[type_id];
-        let data = shard.codec.decompress_with_dict(frame, dict).expect("valid frame");
+        let data = shard
+            .codec
+            .decompress_with_dict(frame, dict)
+            .expect("valid frame");
         assert_eq!(&data, &item.data);
         client_ok += 1;
     }
@@ -90,7 +93,10 @@ fn main() {
     );
 
     // Comparison: what the ratio would be without dictionaries.
-    let plain: u64 = live.iter().map(|i| shard.codec.compress(&i.data).len() as u64).sum();
+    let plain: u64 = live
+        .iter()
+        .map(|i| shard.codec.compress(&i.data).len() as u64)
+        .sum();
     println!(
         "without dictionaries the same store would hold {} bytes ({:.2}x) — dictionary gain {:.0}%",
         plain,

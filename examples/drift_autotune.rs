@@ -16,8 +16,15 @@ fn main() {
     // Fleet-level drift over a simulated month (reduced days for demo).
     let days = 10;
     println!("fleet drift over {days} simulated days:");
-    let reports = simulate_days(&DriftConfig { days, work_units_per_day: 2, seed: 42 });
-    println!("{:>4} {:>10} {:>12} {:>14}", "day", "tax", "zstd share", "achieved ratio");
+    let reports = simulate_days(&DriftConfig {
+        days,
+        work_units_per_day: 2,
+        seed: 42,
+    });
+    println!(
+        "{:>4} {:>10} {:>12} {:>14}",
+        "day", "tax", "zstd share", "achieved ratio"
+    );
     for r in &reports {
         println!(
             "{:>4} {:>9.2}% {:>11.0}% {:>14.2}",

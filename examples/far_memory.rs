@@ -13,11 +13,20 @@ use datacomp::corpus::mempage::{generate_pages, PageClass, PageMix, PAGE_SIZE};
 
 fn main() {
     let pages = generate_pages(&PageMix::cold_memory(), 2000, 17);
-    println!("cold-page population: {} pages of {} B\n", pages.len(), PAGE_SIZE);
+    println!(
+        "cold-page population: {} pages of {} B\n",
+        pages.len(),
+        PAGE_SIZE
+    );
 
     // Per-class compressibility at the fastest zstdx level.
     let z = Algorithm::Zstdx.compressor(1);
-    for class in [PageClass::Zero, PageClass::Heap, PageClass::Text, PageClass::Random] {
+    for class in [
+        PageClass::Zero,
+        PageClass::Heap,
+        PageClass::Text,
+        PageClass::Random,
+    ] {
         let of_class: Vec<&[u8]> = pages
             .iter()
             .filter(|(c, _)| *c == class)

@@ -8,11 +8,13 @@ use managed::{ManagedCompression, ManagedConfig};
 
 fn payload(case: &str, i: usize) -> Vec<u8> {
     match case {
-        "profiles" => format!(
+        "profiles" => {
+            format!(
             "{{\"schema\":\"user.profile.v3\",\"uid\":{},\"locale\":\"en_US\",\"flags\":[{},{}]}}",
             i, i % 7, i % 3
         )
-        .into_bytes(),
+            .into_bytes()
+        }
         _ => format!(
             "{{\"schema\":\"media.meta.v1\",\"id\":{},\"codec\":\"av1\",\"bitrate\":{}}}",
             i * 31,

@@ -44,8 +44,9 @@ fn main() {
     );
 
     // --- 3. Ask CompOpt for the cheapest configuration -----------------
-    let samples: Vec<Vec<u8>> =
-        (0..4).map(|i| corpus::silesia::generate(corpus::silesia::FileClass::Database, 64 * 1024, i)).collect();
+    let samples: Vec<Vec<u8>> = (0..4)
+        .map(|i| corpus::silesia::generate(corpus::silesia::FileClass::Database, 64 * 1024, i))
+        .collect();
     let refs: Vec<&[u8]> = samples.iter().map(|v| v.as_slice()).collect();
     let mut engine = CompEngine::new();
     for algo in Algorithm::ALL {

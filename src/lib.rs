@@ -11,6 +11,8 @@
 //! * [`compopt`] — the paper's contribution: the CompOpt cost optimizer.
 //! * [`managed`] — the Managed Compression dictionary-lifecycle service
 //!   (the paper's reference \[27\]).
+//! * [`telemetry`] — the unified metrics/tracing layer (registry,
+//!   spans, JSON/Prometheus exporters).
 //! * [`entropy`] / [`lzkit`] — the shared compression substrates.
 //!
 //! See `DESIGN.md` for the full system inventory and the per-experiment
@@ -18,8 +20,9 @@
 
 pub use codecs;
 pub use compopt;
-pub use managed;
 pub use corpus;
 pub use entropy;
 pub use fleet;
 pub use lzkit;
+pub use managed;
+pub use telemetry;

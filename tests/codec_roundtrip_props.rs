@@ -16,7 +16,9 @@ fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
         (any::<u8>(), 0usize..8192).prop_map(|(b, n)| vec![b; n]),
         // Structured records.
         (0u32..500).prop_map(|n| {
-            (0..n).flat_map(|i| format!("k{}={};", i % 13, i % 7).into_bytes()).collect()
+            (0..n)
+                .flat_map(|i| format!("k{}={};", i % 13, i % 7).into_bytes())
+                .collect()
         }),
     ]
 }

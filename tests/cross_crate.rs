@@ -10,9 +10,18 @@ fn every_workload_roundtrips_through_every_codec() {
     let workloads: Vec<(&str, Vec<u8>)> = vec![
         ("orc", corpus::orc::generate_stripe(800, 1)),
         ("sst", corpus::sst::generate_sst(40_000, 2)),
-        ("ads-b", corpus::mlreq::generate_request(corpus::mlreq::Model::B, 3)),
-        ("xml", corpus::silesia::generate(corpus::silesia::FileClass::Xml, 30_000, 4)),
-        ("binary", corpus::silesia::generate(corpus::silesia::FileClass::Binary, 30_000, 5)),
+        (
+            "ads-b",
+            corpus::mlreq::generate_request(corpus::mlreq::Model::B, 3),
+        ),
+        (
+            "xml",
+            corpus::silesia::generate(corpus::silesia::FileClass::Xml, 30_000, 4),
+        ),
+        (
+            "binary",
+            corpus::silesia::generate(corpus::silesia::FileClass::Binary, 30_000, 5),
+        ),
     ];
     for (name, data) in &workloads {
         for algo in Algorithm::ALL {
@@ -48,7 +57,11 @@ fn compopt_end_to_end_on_cache_items_with_dictionary() {
     // build, measured compute time would otherwise swamp the tiny
     // sample's byte costs and the comparison would test the build
     // profile, not the model.
-    let weights = CostWeights { compute: 0.0, storage: 1.0, network: 1.0 };
+    let weights = CostWeights {
+        compute: 0.0,
+        storage: 1.0,
+        network: 1.0,
+    };
     let evals = evaluate_all(&measured, &params, weights, &[]);
     assert_eq!(evals.len(), 3);
     let best = optimum(&evals).expect("feasible");
@@ -59,7 +72,10 @@ fn compopt_end_to_end_on_cache_items_with_dictionary() {
 
 #[test]
 fn fleet_profile_feeds_all_figure_queries() {
-    let profile = fleet::profile_fleet(&fleet::ProfileConfig { work_units: 2, seed: 5 });
+    let profile = fleet::profile_fleet(&fleet::ProfileConfig {
+        work_units: 2,
+        seed: 5,
+    });
     assert!(fleet::agg::fleet_compression_tax(&profile) > 0.0);
     assert_eq!(fleet::agg::category_zstd_cycles(&profile).len(), 6);
     assert_eq!(fleet::agg::comp_decomp_split(&profile).len(), 7);
@@ -99,7 +115,10 @@ fn compsim_candidates_compete_with_software_in_one_engine() {
 fn stage_timing_flows_from_codec_to_fleet_figure() {
     // DW1 (level 7) must show a higher match-finding share than DW4
     // (level 1) all the way through the figure pipeline.
-    let profile = fleet::profile_fleet(&fleet::ProfileConfig { work_units: 2, seed: 6 });
+    let profile = fleet::profile_fleet(&fleet::ProfileConfig {
+        work_units: 2,
+        seed: 6,
+    });
     let rows = fleet::agg::warehouse_split(&profile);
     let dw1 = rows.iter().find(|r| r.service == "DW1").unwrap();
     let dw4 = rows.iter().find(|r| r.service == "DW4").unwrap();
@@ -113,7 +132,11 @@ fn stage_timing_flows_from_codec_to_fleet_figure() {
 
 #[test]
 fn report_rows_serialize_for_artifacts() {
-    let samples = vec![corpus::silesia::generate(corpus::silesia::FileClass::Log, 8 << 10, 1)];
+    let samples = vec![corpus::silesia::generate(
+        corpus::silesia::FileClass::Log,
+        8 << 10,
+        1,
+    )];
     let refs: Vec<&[u8]> = samples.iter().map(|v| v.as_slice()).collect();
     let mut engine = CompEngine::new();
     engine.add_levels(Algorithm::Zstdx, [1]);

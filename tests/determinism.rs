@@ -56,12 +56,18 @@ fn all_generators_are_seed_pure() {
         corpus::silesia::generate(FileClass::Log, 10_000, 9),
         corpus::silesia::generate(FileClass::Log, 10_000, 9)
     );
-    assert_eq!(corpus::sst::generate_sst(10_000, 9), corpus::sst::generate_sst(10_000, 9));
+    assert_eq!(
+        corpus::sst::generate_sst(10_000, 9),
+        corpus::sst::generate_sst(10_000, 9)
+    );
     assert_eq!(
         corpus::mlreq::generate_request(corpus::mlreq::Model::B, 9),
         corpus::mlreq::generate_request(corpus::mlreq::Model::B, 9)
     );
-    assert_eq!(corpus::orc::generate_stripe(100, 9), corpus::orc::generate_stripe(100, 9));
+    assert_eq!(
+        corpus::orc::generate_stripe(100, 9),
+        corpus::orc::generate_stripe(100, 9)
+    );
     assert_eq!(
         corpus::mempage::generate_pages(&corpus::mempage::PageMix::cold_memory(), 10, 9),
         corpus::mempage::generate_pages(&corpus::mempage::PageMix::cold_memory(), 10, 9)

@@ -40,7 +40,12 @@ fn entropy_stage_tradeoff_holds() {
     };
     let z = best_of(Algorithm::Zstdx);
     let l = best_of(Algorithm::Lz4x);
-    assert!(z.ratio() > l.ratio(), "zstdx ratio {} vs lz4x {}", z.ratio(), l.ratio());
+    assert!(
+        z.ratio() > l.ratio(),
+        "zstdx ratio {} vs lz4x {}",
+        z.ratio(),
+        l.ratio()
+    );
     assert!(
         l.decompress_mbps() > z.decompress_mbps(),
         "lz4x decomp {} vs zstdx {}",
@@ -97,7 +102,8 @@ fn fig13_block_size_tradeoff() {
         (0..3)
             .map(|_| measure_blocks(z.as_ref(), &sst, bs))
             .min_by(|a, b| {
-                a.decompress_secs_per_call().total_cmp(&b.decompress_secs_per_call())
+                a.decompress_secs_per_call()
+                    .total_cmp(&b.decompress_secs_per_call())
             })
             .expect("three runs")
     };
@@ -117,7 +123,11 @@ fn study2_slo_shrinks_optimal_block() {
     let scale = StudyScale::quick();
     let unconstrained = study2_kvstore(&scale, f64::INFINITY);
     let block_of = |label: &str| -> usize {
-        label.split(", ").nth(2).and_then(|s| s.trim_end_matches("KB)").parse().ok()).unwrap_or(0)
+        label
+            .split(", ")
+            .nth(2)
+            .and_then(|s| s.trim_end_matches("KB)").parse().ok())
+            .unwrap_or(0)
     };
     let free_block = block_of(unconstrained.best.as_deref().unwrap());
     // Tight SLO: only the fastest-decompressing configs qualify.
@@ -145,7 +155,10 @@ fn study3_plateaus_are_service_specific() {
     let (ads, kv) = study3_window_sweep(&StudyScale::quick(), 10.0);
     let plateau = |rows: &[datacomp::compopt::studies::WindowRow]| {
         let last = rows.last().unwrap().normalized;
-        rows.iter().find(|r| (r.normalized - last).abs() / last < 0.02).unwrap().window_log
+        rows.iter()
+            .find(|r| (r.normalized - last).abs() / last < 0.02)
+            .unwrap()
+            .window_log
     };
     let ads_plateau = plateau(&ads);
     let kv_plateau = plateau(&kv);

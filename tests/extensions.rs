@@ -56,7 +56,11 @@ fn managed_service_over_cache_items() {
     let mut frames = Vec::new();
     for item in &items {
         let case = format!("type-{}", item.type_id);
-        frames.push((case.clone(), item.data.clone(), svc.compress(&case, &item.data)));
+        frames.push((
+            case.clone(),
+            item.data.clone(),
+            svc.compress(&case, &item.data),
+        ));
     }
     // All frames (across all dictionary rollouts) decode.
     for (case, original, frame) in &frames {
@@ -76,14 +80,22 @@ fn autotuner_tracks_kvstore_workload() {
         CompressionConfig::new(datacomp::codecs::Algorithm::Lz4x, 1).with_block_size(16 << 10),
     ];
     let params = CostParams::from_pricing(&Pricing::aws_2023(), 1.0, 90.0);
-    let weights = CostWeights { compute: 0.0, storage: 1.0, network: 0.0 };
+    let weights = CostWeights {
+        compute: 0.0,
+        storage: 1.0,
+        network: 0.0,
+    };
     let mut tuner = AutoTuner::new(configs, params, weights);
     let sst = corpus::sst::generate_sst(256 << 10, 6);
     let refs: Vec<&[u8]> = vec![&sst];
     let e = tuner.retune(&refs).expect("feasible");
     // Storage-only objective: the best-ratio config (zstd, large blocks)
     // must win.
-    assert!(e.label.contains("zstdx") && e.label.contains("64KB"), "{}", e.label);
+    assert!(
+        e.label.contains("zstdx") && e.label.contains("64KB"),
+        "{}",
+        e.label
+    );
     // A second round on the same data keeps the choice.
     tuner.retune(&refs);
     assert!(!tuner.history()[1].switched);
