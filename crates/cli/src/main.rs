@@ -9,12 +9,16 @@
 //!                     [--min-speed MBPS] [--max-latency MS]
 //! datacomp gen        <class> <bytes> <out> [--seed N]
 //! datacomp fleet      [profile] [--units N]
+//! datacomp profile    [--units N]            (same as fleet profile)
+//! datacomp trace      <out.json> [--units N]
 //! datacomp telemetry  [--format json|prom]
 //! ```
 //!
 //! Every command also accepts `--telemetry <path>`, writing the process
 //! telemetry snapshot to `<path>` (JSON) and `<path>.prom` (Prometheus
-//! text) after the command completes.
+//! text) after the command completes, and `--trace <path>`, draining
+//! the flight recorder to `<path>` as Chrome trace-event JSON for
+//! Perfetto / `chrome://tracing`.
 
 mod args;
 mod commands;

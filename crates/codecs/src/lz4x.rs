@@ -154,10 +154,10 @@ impl Compressor for Lz4x {
         let reg = telemetry::global();
         let mf_start = Instant::now();
         let block = lzkit::parse(src, 0, &self.params);
-        telemetry::record_duration(reg, "lz4x.match_find", &[], mf_start.elapsed());
+        telemetry::record_stage(reg, "lz4x.match_find", &[], mf_start, mf_start.elapsed());
         let enc_start = Instant::now();
         encode_block(&block, &mut out);
-        telemetry::record_duration(reg, "lz4x.encode", &[], enc_start.elapsed());
+        telemetry::record_stage(reg, "lz4x.encode", &[], enc_start, enc_start.elapsed());
         crate::obs::record_compress("lz4x", self.level, src.len(), out.len(), start);
         out
     }

@@ -91,10 +91,11 @@ fn encode_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> O
     let data = &buf[start..end];
     let mf_start = Instant::now();
     let block = lzkit::parse(&buf[..end], start, params);
-    telemetry::record_duration(
+    telemetry::record_stage(
         telemetry::global(),
         "zlibx.match_find",
         &[],
+        mf_start,
         mf_start.elapsed(),
     );
     let ent_start = Instant::now();
@@ -162,10 +163,11 @@ fn encode_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> O
     let (bits, nbits) = w.finish();
     write_varint(&mut out, nbits as u64);
     out.extend_from_slice(&bits);
-    telemetry::record_duration(
+    telemetry::record_stage(
         telemetry::global(),
         "zlibx.entropy",
         &[],
+        ent_start,
         ent_start.elapsed(),
     );
     (out.len() < data.len()).then_some(out)

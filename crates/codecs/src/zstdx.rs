@@ -284,8 +284,8 @@ pub(crate) fn write_block_opts(
             t.blocks += 1;
         }
         let reg = telemetry::global();
-        telemetry::record_duration(reg, "zstdx.match_find", &[], mf_elapsed);
-        telemetry::record_duration(reg, "zstdx.entropy", &[], ent_elapsed);
+        telemetry::record_stage(reg, "zstdx.match_find", &[], mf_start, mf_elapsed);
+        telemetry::record_stage(reg, "zstdx.entropy", &[], ent_start, ent_elapsed);
 
         if payload.len() < data.len() {
             out.push(BLOCK_COMPRESSED | last_bit);

@@ -34,10 +34,21 @@ pub struct Evaluation {
     pub total_cost: f64,
     /// Whether every constraint is satisfied.
     pub feasible: bool,
+    /// The first violated constraint when infeasible (human-readable),
+    /// `None` when feasible. This is the "why was this candidate
+    /// rejected" half of decision explainability.
+    pub pruned_by: Option<String>,
 }
 
 /// Evaluates every measured candidate under the cost model, weights,
 /// and constraints; returns evaluations sorted by total cost ascending.
+///
+/// Every candidate additionally emits a [`decision`
+/// event](telemetry::trace::Decision) on the calling thread's trace
+/// track carrying its Eq. 1–3 cost terms, the Eq. 4 total, and whether
+/// it won the argmin or was pruned by a constraint — so a Perfetto
+/// trace of an optimization run explains the choice, not just the
+/// outcome.
 pub fn evaluate_all(
     measured: &[Measured],
     params: &CostParams,
@@ -53,6 +64,10 @@ pub fn evaluate_all(
                 None => *params,
             };
             let costs = Costs::from_metrics(&m.metrics, &p);
+            let pruned_by = constraints
+                .iter()
+                .find(|c| !c.satisfied(&m.metrics))
+                .map(|c| c.to_string());
             Evaluation {
                 label: m.label.clone(),
                 ratio: m.metrics.ratio(),
@@ -61,11 +76,25 @@ pub fn evaluate_all(
                 decompress_ms_per_call: m.metrics.decompress_secs_per_call() * 1e3,
                 costs,
                 total_cost: costs.weighted_total(&weights),
-                feasible: constraints.iter().all(|c| c.satisfied(&m.metrics)),
+                feasible: pruned_by.is_none(),
+                pruned_by,
             }
         })
         .collect();
     evals.sort_by(|a, b| a.total_cost.total_cmp(&b.total_cost));
+    let winner = evals.iter().position(|e| e.feasible);
+    for (i, e) in evals.iter().enumerate() {
+        telemetry::trace::decision(telemetry::Decision {
+            label: e.label.as_str().into(),
+            compute: e.costs.compute,
+            storage: e.costs.storage,
+            network: e.costs.network,
+            total: e.total_cost,
+            feasible: e.feasible,
+            won: Some(i) == winner,
+            pruned_by: e.pruned_by.as_deref().unwrap_or("").into(),
+        });
+    }
     evals
 }
 
@@ -206,6 +235,43 @@ mod tests {
         // lower-ratio config; at minimum the constrained winner differs
         // or equals the max-ratio config.
         let _ = best_any;
+    }
+
+    #[test]
+    fn evaluation_emits_decision_events_with_cost_terms() {
+        // The only test in this binary that drains the global tracer.
+        let tid = telemetry::trace::current_track().tid();
+        let min_mbps = 1e9; // impossible: every candidate gets pruned
+        let evals = evaluations(&[Constraint::MinCompressionSpeedMbps(min_mbps)]);
+        let snap = telemetry::global_tracer().drain();
+        let track = snap
+            .tracks
+            .iter()
+            .find(|t| t.tid == tid)
+            .expect("this thread's track was drained");
+        let decisions: Vec<&telemetry::Decision> = track
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                telemetry::trace::EventKind::Decision(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert!(decisions.len() >= evals.len(), "one decision per candidate");
+        for d in &decisions {
+            assert!(
+                (d.compute + d.storage + d.network - d.total).abs() <= d.total.abs() * 1e-9,
+                "cost terms of {} do not sum under ALL weights",
+                d.label
+            );
+        }
+        // Everything was pruned: no winner, and each decision says why.
+        let recent = &decisions[decisions.len() - evals.len()..];
+        assert!(recent.iter().all(|d| !d.won && !d.feasible));
+        assert!(recent.iter().all(|d| !d.pruned_by.is_empty()));
+        assert!(evals
+            .iter()
+            .all(|e| e.pruned_by.as_deref().is_some_and(|p| !p.is_empty())));
     }
 
     #[test]

@@ -177,6 +177,10 @@ pub fn profile_fleet(config: &ProfileConfig) -> FleetProfile {
 }
 
 fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec<Observation> {
+    // One flight-recorder track per service: this runs on its own
+    // crossbeam thread, so naming the thread's track gives the Perfetto
+    // export one timeline row per service.
+    telemetry::trace::set_track_name(&format!("svc:{}", spec.name));
     let mut rng = StdRng::seed_from_u64(config.seed ^ (salt << 32));
     let mut cells: HashMap<(Algorithm, i32), Observation> = HashMap::new();
 
@@ -218,6 +222,12 @@ fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec
             });
 
         for block in &unit {
+            // Block boundary on the service's timeline; dictionary
+            // blocks additionally mark the dict hit.
+            telemetry::trace::instant("fleet.block");
+            if dictionary.is_some() && algorithm == Algorithm::Zstdx {
+                telemetry::trace::instant("fleet.dict_hit");
+            }
             let reads = sample_reads(spec.reads_per_write, &mut rng);
             let comp_elapsed;
             match (algorithm, &dictionary) {
@@ -255,6 +265,7 @@ fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec
                 .observe_duration(comp_elapsed);
             cell.bytes += block.len() as u64;
             cell.comp_calls += 1;
+            telemetry::trace::counter("fleet.bytes", cell.bytes as f64);
         }
     }
     cells.into_values().collect()
@@ -435,6 +446,38 @@ mod tests {
                 .is_some_and(|h| h.count() > 0),
             "profiling left no latency histogram for DW1"
         );
+    }
+
+    #[test]
+    fn profiling_records_one_trace_track_per_service() {
+        // The only test in this binary that drains the global tracer
+        // (a drain steals events from concurrent assertions).
+        let p = quick_profile();
+        let snap = telemetry::global_tracer().drain();
+        for spec in &p.services {
+            let name = format!("svc:{}", spec.name);
+            let track = snap
+                .tracks
+                .iter()
+                .find(|t| t.name == name)
+                .unwrap_or_else(|| panic!("no trace track for {name}"));
+            assert!(
+                track.events.iter().any(|e| matches!(
+                    e.kind,
+                    telemetry::trace::EventKind::Instant {
+                        name: "fleet.block"
+                    }
+                )),
+                "{name} has no block-boundary instants"
+            );
+            assert!(
+                track
+                    .events
+                    .windows(2)
+                    .all(|w| w[0].ts_nanos <= w[1].ts_nanos),
+                "{name} events out of order"
+            );
+        }
     }
 
     #[test]

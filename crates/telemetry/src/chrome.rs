@@ -1,0 +1,258 @@
+//! Chrome trace-event JSON serialization for drained traces.
+//!
+//! [`to_chrome_json`] renders a [`TraceSnapshot`] in the Chrome
+//! trace-event "JSON object format": `{"traceEvents":[...]}` with one
+//! object per event. The output loads directly in Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`.
+//!
+//! Mapping:
+//!
+//! * every track becomes a named thread (`thread_name` metadata, `tid`
+//!   = track id) inside one `datacomp` process (`pid` 1);
+//! * [`EventKind::Begin`]/[`EventKind::End`] → `ph:"B"`/`ph:"E"`
+//!   duration events;
+//! * [`EventKind::Instant`] → `ph:"i"` thread-scoped instants;
+//! * [`EventKind::Counter`] → `ph:"C"` counter samples;
+//! * [`EventKind::Decision`] → a `ph:"i"` event named
+//!   `compopt.decision` whose `args` carry the full Eq. 1–4 cost-term
+//!   breakdown (`c_compute`, `c_storage`, `c_network`, `total_cost`)
+//!   plus `feasible`/`won`/`pruned_by` — click one in Perfetto to see
+//!   why a candidate was chosen or rejected;
+//! * per-track drop counts surface both as a trailing `trace.dropped`
+//!   counter event and in the top-level `otherData` object.
+//!
+//! Timestamps (`ts`) are microseconds with nanosecond fraction, per
+//! the format's convention. Every event — metadata included — carries
+//! `ph`, `ts`, `pid`, and `tid` so downstream tooling can rely on a
+//! uniform shape.
+
+use crate::export::{json_number, json_string};
+use crate::trace::{EventKind, TraceSnapshot};
+
+/// The single process id the exporter attributes all tracks to.
+pub const TRACE_PID: u64 = 1;
+
+/// Serializes a drained trace as Chrome trace-event JSON.
+pub fn to_chrome_json(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(snap.event_count() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":");
+    out.push_str(&snap.dropped_total().to_string());
+    out.push_str("},\"traceEvents\":[");
+    let mut first = true;
+    meta_event(&mut out, &mut first, 0, "process_name", "datacomp");
+    for track in &snap.tracks {
+        meta_event(&mut out, &mut first, track.tid, "thread_name", &track.name);
+        let mut last_ts = 0u64;
+        for ev in &track.events {
+            last_ts = ev.ts_nanos;
+            event_open(&mut out, &mut first);
+            match &ev.kind {
+                EventKind::Begin { name } => {
+                    field_str(&mut out, "name", name);
+                    out.push_str(",\"cat\":\"stage\",\"ph\":\"B\"");
+                }
+                EventKind::End { name } => {
+                    field_str(&mut out, "name", name);
+                    out.push_str(",\"cat\":\"stage\",\"ph\":\"E\"");
+                }
+                EventKind::Instant { name } => {
+                    field_str(&mut out, "name", name);
+                    out.push_str(",\"cat\":\"mark\",\"ph\":\"i\",\"s\":\"t\"");
+                }
+                EventKind::Counter { name, value } => {
+                    field_str(&mut out, "name", name);
+                    out.push_str(",\"cat\":\"counter\",\"ph\":\"C\",\"args\":{\"value\":");
+                    json_number(&mut out, *value);
+                    out.push('}');
+                }
+                EventKind::Decision(d) => {
+                    out.push_str("\"name\":\"compopt.decision\",\"cat\":\"compopt\",");
+                    out.push_str("\"ph\":\"i\",\"s\":\"t\",\"args\":{");
+                    field_str(&mut out, "label", d.label.as_str());
+                    out.push_str(",\"c_compute\":");
+                    json_number(&mut out, d.compute);
+                    out.push_str(",\"c_storage\":");
+                    json_number(&mut out, d.storage);
+                    out.push_str(",\"c_network\":");
+                    json_number(&mut out, d.network);
+                    out.push_str(",\"total_cost\":");
+                    json_number(&mut out, d.total);
+                    out.push_str(",\"feasible\":");
+                    out.push_str(if d.feasible { "true" } else { "false" });
+                    out.push_str(",\"won\":");
+                    out.push_str(if d.won { "true" } else { "false" });
+                    out.push(',');
+                    field_str(&mut out, "pruned_by", d.pruned_by.as_str());
+                    out.push('}');
+                }
+            }
+            event_close(&mut out, ev.ts_nanos, track.tid);
+        }
+        if track.dropped > 0 {
+            event_open(&mut out, &mut first);
+            out.push_str("\"name\":\"trace.dropped\",\"cat\":\"counter\",\"ph\":\"C\",");
+            out.push_str(&format!("\"args\":{{\"dropped\":{}}}", track.dropped));
+            event_close(&mut out, last_ts, track.tid);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn meta_event(out: &mut String, first: &mut bool, tid: u64, kind: &str, name: &str) {
+    event_open(out, first);
+    out.push_str(&format!("\"name\":\"{kind}\",\"ph\":\"M\",\"args\":{{"));
+    field_str(out, "name", name);
+    out.push('}');
+    event_close(out, 0, tid);
+}
+
+fn event_open(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('{');
+}
+
+fn event_close(out: &mut String, ts_nanos: u64, tid: u64) {
+    out.push_str(&format!(
+        ",\"ts\":{}.{:03},\"pid\":{TRACE_PID},\"tid\":{tid}}}",
+        ts_nanos / 1000,
+        ts_nanos % 1000
+    ));
+}
+
+fn field_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    json_string(out, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Decision, Tracer};
+    use std::time::{Duration, Instant};
+
+    fn sample_trace() -> TraceSnapshot {
+        let tracer = Tracer::with_capacity(64);
+        let svc = tracer.new_track("svc:DW1");
+        let start = Instant::now();
+        svc.stage("zstdx.match_find", start, Duration::from_micros(40));
+        svc.stage("zstdx.entropy", start, Duration::from_micros(15));
+        svc.instant("block");
+        svc.counter("bytes_out", 512.0);
+        let opt = tracer.new_track("compopt");
+        opt.decision(Decision {
+            label: "(zstdx, 3)".into(),
+            compute: 1.0,
+            storage: 2.0,
+            network: 3.0,
+            total: 6.0,
+            feasible: true,
+            won: true,
+            pruned_by: "".into(),
+        });
+        tracer.drain()
+    }
+
+    #[test]
+    fn output_is_structurally_balanced() {
+        let json = to_chrome_json(&sample_trace());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn every_event_has_required_fields() {
+        let json = to_chrome_json(&sample_trace());
+        let events = json
+            .split_once("\"traceEvents\":[")
+            .expect("traceEvents array")
+            .1;
+        let mut count = 0;
+        for obj in events.split("},{") {
+            count += 1;
+            for field in ["\"ph\":", "\"ts\":", "\"pid\":", "\"tid\":"] {
+                assert!(obj.contains(field), "missing {field} in {obj}");
+            }
+        }
+        // process_name + 2 thread_name + 7 recorded events.
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn tracks_become_named_threads() {
+        let json = to_chrome_json(&sample_trace());
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(
+            json.contains("\"name\":\"thread_name\",\"ph\":\"M\",\"args\":{\"name\":\"svc:DW1\"}")
+        );
+        assert!(
+            json.contains("\"name\":\"thread_name\",\"ph\":\"M\",\"args\":{\"name\":\"compopt\"}")
+        );
+    }
+
+    #[test]
+    fn stage_pairs_and_instants_map_to_chrome_phases() {
+        let json = to_chrome_json(&sample_trace());
+        assert!(json.contains("\"name\":\"zstdx.match_find\",\"cat\":\"stage\",\"ph\":\"B\""));
+        assert!(json.contains("\"name\":\"zstdx.match_find\",\"cat\":\"stage\",\"ph\":\"E\""));
+        assert!(json.contains("\"name\":\"block\",\"cat\":\"mark\",\"ph\":\"i\",\"s\":\"t\""));
+        assert!(json.contains("\"name\":\"bytes_out\",\"cat\":\"counter\",\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn decision_args_carry_all_four_cost_terms() {
+        let json = to_chrome_json(&sample_trace());
+        assert!(json.contains("\"name\":\"compopt.decision\""));
+        for term in [
+            "\"c_compute\":1",
+            "\"c_storage\":2",
+            "\"c_network\":3",
+            "\"total_cost\":6",
+        ] {
+            assert!(json.contains(term), "missing {term}");
+        }
+        assert!(json.contains("\"label\":\"(zstdx, 3)\""));
+        assert!(json.contains("\"won\":true"));
+    }
+
+    #[test]
+    fn dropped_events_surface_in_other_data_and_counter() {
+        let tracer = Tracer::with_capacity(2);
+        let t = tracer.new_track("tiny");
+        for i in 0..5 {
+            t.counter("c", i as f64);
+        }
+        let json = to_chrome_json(&tracer.drain());
+        assert!(json.contains("\"otherData\":{\"droppedEvents\":3}"));
+        assert!(json.contains("\"name\":\"trace.dropped\""));
+        assert!(json.contains("\"args\":{\"dropped\":3}"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_with_nano_fraction() {
+        let tracer = Tracer::with_capacity(4);
+        let t = tracer.new_track("t");
+        let start = Instant::now();
+        t.stage("s", start, Duration::from_nanos(1234));
+        let json = to_chrome_json(&tracer.drain());
+        // 1234 ns after the begin ts: the delta must render as
+        // 1.234 µs exactly (no float rounding).
+        let begin_ts = extract_ts(&json, "\"ph\":\"B\"");
+        let end_ts = extract_ts(&json, "\"ph\":\"E\"");
+        assert!((end_ts - begin_ts - 1.234).abs() < 1e-9);
+    }
+
+    fn extract_ts(json: &str, marker: &str) -> f64 {
+        let obj_start = json.find(marker).expect("marker");
+        let rest = &json[obj_start..];
+        let ts = rest.split_once("\"ts\":").expect("ts").1;
+        ts.split(',').next().unwrap().parse().expect("ts number")
+    }
+}

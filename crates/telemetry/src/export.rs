@@ -44,11 +44,14 @@ pub fn to_json(snap: &Snapshot) -> String {
             }
             SeriesValue::Histogram(h) => {
                 out.push_str(&format!(
-                    "\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\
-                     \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                    "\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\"mean\":",
                     h.count(),
                     h.sum,
                     h.max,
+                ));
+                json_number(&mut out, h.mean());
+                out.push_str(&format!(
+                    ",\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
                     h.quantile(0.50),
                     h.quantile(0.90),
                     h.quantile(0.99),
@@ -73,7 +76,7 @@ pub fn to_json(snap: &Snapshot) -> String {
     out
 }
 
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -89,7 +92,7 @@ fn json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn json_number(out: &mut String, v: f64) {
+pub(crate) fn json_number(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&format!("{v}"));
         // `{}` on a whole f64 prints no decimal point; that is still
@@ -181,6 +184,20 @@ pub fn prom_name(name: &str) -> String {
     out
 }
 
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline (the three characters that would otherwise break
+/// the `name{label="value"} sample` line structure).
+pub fn prom_escape(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
 fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
     if labels.is_empty() && le.is_none() {
         return String::new();
@@ -194,14 +211,7 @@ fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
         first = false;
         out.push_str(&prom_name(k));
         out.push_str("=\"");
-        for c in v.chars() {
-            match c {
-                '\\' => out.push_str("\\\\"),
-                '"' => out.push_str("\\\""),
-                '\n' => out.push_str("\\n"),
-                c => out.push(c),
-            }
-        }
+        prom_escape(&mut out, v);
         out.push('"');
     }
     if let Some(le) = le {
@@ -285,6 +295,33 @@ mod tests {
                 "bad metric name in {line}"
             );
         }
+    }
+
+    #[test]
+    fn json_histogram_exposes_mean() {
+        let json = to_json(&sample_snapshot());
+        // sum 11100 over 3 observations.
+        assert!(json.contains("\"mean\":3700"), "{json}");
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let reg = Registry::new();
+        reg.counter("evil", &[("path", "C:\\tmp\"x\ny")]).inc();
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("evil{path=\"C:\\\\tmp\\\"x\\ny\"} 1\n"));
+        // Every sample stays on one physical line with balanced quotes.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let unescaped = line.replace("\\\\", "").replace("\\\"", "");
+            assert_eq!(unescaped.matches('"').count() % 2, 0, "bad line {line}");
+        }
+    }
+
+    #[test]
+    fn prom_escape_passes_clean_values_through() {
+        let mut out = String::new();
+        prom_escape(&mut out, "zstdx-19/dict");
+        assert_eq!(out, "zstdx-19/dict");
     }
 
     #[test]

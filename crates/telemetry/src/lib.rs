@@ -18,6 +18,11 @@
 //! * [`export`] — machine-readable exporters: JSON (for `BENCH_*.json`
 //!   style cross-PR trend tracking) and the Prometheus text exposition
 //!   format.
+//! * [`trace`] — the flight recorder: always-on per-thread ring
+//!   buffers of fixed-size events (stage begin/end, instants, counter
+//!   samples, CompOpt decisions) with bounded memory and drop
+//!   counting. [`chrome`] serializes a drained trace to Chrome
+//!   trace-event JSON loadable in Perfetto.
 //!
 //! The crate is dependency-free (std only) so every layer of the stack
 //! can use it without weight.
@@ -38,14 +43,17 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod export;
 pub mod histogram;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Registry, Series, SeriesKey, SeriesValue, Snapshot};
-pub use span::{record_duration, Span};
+pub use span::{record_duration, record_stage, Span};
+pub use trace::{global_tracer, Decision, TraceEvent, TraceSnapshot, Tracer};
 
 use std::sync::OnceLock;
 

@@ -7,6 +7,12 @@
 //! guard records the elapsed nanoseconds into the histogram
 //! `span.<name>`, so every stage automatically gets call counts and
 //! p50/p90/p99/max latency without bespoke accumulator structs.
+//!
+//! Stages that should appear on the [flight recorder](crate::trace)
+//! timeline as well use [`Span::enter_traced`] or — for externally
+//! timed intervals like the codec block loops — [`record_stage`],
+//! which feed the histogram *and* the calling thread's trace track
+//! from one instrumentation point.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -22,6 +28,7 @@ pub const SPAN_PREFIX: &str = "span.";
 pub struct Span {
     hist: Arc<Histogram>,
     start: Instant,
+    trace_name: Option<&'static str>,
 }
 
 impl Span {
@@ -36,7 +43,18 @@ impl Span {
         Span {
             hist,
             start: Instant::now(),
+            trace_name: None,
         }
+    }
+
+    /// Opens a span that also emits begin/end events on the calling
+    /// thread's [trace track](crate::trace::current_track). The name
+    /// must be `'static` so trace events stay fixed-size.
+    pub fn enter_traced(name: &'static str) -> Span {
+        let mut span = Self::enter_in(crate::global(), name, &[]);
+        span.trace_name = Some(name);
+        crate::trace::begin(name);
+        span
     }
 
     /// Time elapsed since the span was opened.
@@ -48,7 +66,26 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         self.hist.observe_duration(self.start.elapsed());
+        if let Some(name) = self.trace_name {
+            crate::trace::end(name);
+        }
     }
+}
+
+/// Records an externally timed stage into both `registry` (histogram
+/// `span.<name>`) and the calling thread's trace track (a begin/end
+/// pair at `start..start + elapsed`). This is the single
+/// instrumentation point for the codec block loops, so the Figure 7
+/// stage splits and the Perfetto timeline always agree.
+pub fn record_stage(
+    registry: &Registry,
+    name: &'static str,
+    labels: &[(&str, &str)],
+    start: Instant,
+    elapsed: Duration,
+) {
+    record_duration(registry, name, labels, elapsed);
+    crate::trace::stage(name, start, elapsed);
 }
 
 /// Records an externally measured interval under the span name `name`,
@@ -86,6 +123,29 @@ mod tests {
         let h = snap.histogram("span.stage.b", &[]).unwrap();
         assert_eq!(h.count(), 1);
         assert_eq!(h.sum, 1500);
+    }
+
+    #[test]
+    fn record_stage_feeds_histogram_and_trace() {
+        let reg = Registry::new();
+        let start = Instant::now();
+        record_stage(&reg, "stage.traced", &[], start, Duration::from_nanos(900));
+        let snap = reg.snapshot();
+        let h = snap.histogram("span.stage.traced", &[]).unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum, 900);
+        // The trace side lands on this thread's global track; a full
+        // drain assertion lives in the trace e2e test (the global
+        // tracer is shared across concurrently running tests).
+        assert!(crate::trace::global_tracer().track_count() >= 1);
+    }
+
+    #[test]
+    fn traced_span_emits_begin_end_pair() {
+        {
+            let _s = Span::enter_traced("span.test.traced");
+        }
+        assert!(crate::trace::global_tracer().track_count() >= 1);
     }
 
     #[test]
