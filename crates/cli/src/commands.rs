@@ -8,7 +8,7 @@ use compopt::prelude::*;
 use crate::args::Args;
 
 const USAGE: &str =
-    "datacomp <compress|decompress|bench|train-dict|optimize|gen|fleet|profile|trace|telemetry> ...";
+    "datacomp <compress|decompress|bench|train-dict|optimize|gen|fleet|profile|trace|telemetry|fault-inject> ...";
 
 /// Dispatches a parsed command line.
 ///
@@ -41,6 +41,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "fleet" | "profile" => fleet_tables(&args),
         "trace" => trace_cmd(&args),
         "telemetry" => telemetry_dump(&args),
+        "fault-inject" => fault_inject(&args),
         other => Err(format!("unknown command {other}; usage: {USAGE}")),
     };
     if result.is_ok() {
@@ -142,6 +143,89 @@ fn telemetry_dump(args: &Args) -> Result<(), String> {
         Some("prom") => print!("{}", telemetry::export::to_prometheus(&snap)),
         Some(other) => return Err(format!("unknown format {other}; pick json|prom")),
     }
+    Ok(())
+}
+
+/// `datacomp fault-inject [--seed N] [--injector A,B] [--algo X,Y]
+/// [--budget N] [--block-size BYTES] [--level N] [--checksums on|off]`
+/// — sweeps corruption injectors over every codec and corpus class,
+/// asserting the decode contract (no panics, no silent wrong bytes, no
+/// allocation past the decode limit). Prints the outcome table and
+/// fails the process on any contract violation, so CI can gate on it.
+fn fault_inject(args: &Args) -> Result<(), String> {
+    use faultline::{dict_skew_probe, sweep, Injector, Outcome, SweepConfig};
+
+    let cfg = SweepConfig {
+        seed: args.opt_or("seed", 0x5157u64)?,
+        budget_per_block: args.opt_or("budget", 64usize)?,
+        level: args.opt_or("level", 3)?,
+        checksums: match args.options.get("checksums").map(String::as_str) {
+            None | Some("on") => true,
+            Some("off") => false,
+            Some(other) => return Err(format!("bad --checksums {other}; pick on|off")),
+        },
+    };
+    let injectors: Vec<Injector> = match args.options.get("injector") {
+        None => Injector::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                Injector::from_name(s.trim()).ok_or_else(|| {
+                    format!(
+                        "unknown injector {s}; pick one of {}",
+                        Injector::ALL.map(|i| i.name()).join(",")
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let algos: Vec<Algorithm> = match args.options.get("algo") {
+        None => Algorithm::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse())
+            .collect::<Result<_, _>>()?,
+    };
+    let block_size = args.opt_or("block-size", 64usize << 10)?;
+    let blocks: Vec<Vec<u8>> = corpus::silesia::FileClass::ALL
+        .into_iter()
+        .map(|c| corpus::silesia::generate(c, block_size, cfg.seed ^ c.name().len() as u64))
+        .collect();
+
+    let report = sweep(&blocks, &injectors, &algos, &cfg);
+    print!("{}", report.render_table());
+    let kinds = report.error_kinds();
+    if !kinds.is_empty() {
+        let summary: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        println!("error kinds: {}", summary.join(" "));
+    }
+    // The true dictionary-skew path (wrong generation supplied) on top
+    // of the header-level dict-skew injector.
+    for algo in &algos {
+        let (outcome, kind) = dict_skew_probe(*algo, &blocks[0], &cfg);
+        println!(
+            "dict-skew probe   {:<8} {:?}{}",
+            algo.name(),
+            outcome,
+            kind.map(|k| format!(" ({k})")).unwrap_or_default()
+        );
+        if matches!(outcome, Outcome::Panicked | Outcome::SilentCorruption) {
+            return Err(format!(
+                "dict-skew probe violated the decode contract on {algo}"
+            ));
+        }
+    }
+    if report.violations() > 0 {
+        return Err(format!(
+            "{} decode-contract violations (of {} cases)",
+            report.violations(),
+            report.total_cases()
+        ));
+    }
+    println!(
+        "decode contract held: {} cases, 0 violations",
+        report.total_cases()
+    );
     Ok(())
 }
 
@@ -509,6 +593,33 @@ mod tests {
             .unwrap_err()
             .contains("unknown format"));
         assert!(run_cmd(&["trace"]).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn fault_inject_reports_clean_sweep() {
+        // Small sweep: one injector, one codec, tiny blocks.
+        run_cmd(&[
+            "fault-inject",
+            "--injector",
+            "truncate",
+            "--algo",
+            "lz4x",
+            "--budget",
+            "8",
+            "--block-size",
+            "4096",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn fault_inject_rejects_bad_flags() {
+        assert!(run_cmd(&["fault-inject", "--injector", "gamma-ray"])
+            .unwrap_err()
+            .contains("unknown injector"));
+        assert!(run_cmd(&["fault-inject", "--checksums", "maybe"])
+            .unwrap_err()
+            .contains("pick on|off"));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! datacomp profile    [--units N]            (same as fleet profile)
 //! datacomp trace      <out.json> [--units N]
 //! datacomp telemetry  [--format json|prom]
+//! datacomp fault-inject [--seed N] [--injector A,B] [--algo X,Y] [--budget N]
+//!                     [--block-size BYTES] [--level N] [--checksums on|off]
 //! ```
 //!
 //! Every command also accepts `--telemetry <path>`, writing the process

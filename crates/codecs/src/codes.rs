@@ -100,14 +100,19 @@ pub fn ll_code(v: u32) -> u8 {
 
 /// `(base, extra_bits)` for a literal-length code.
 ///
-/// # Panics
-///
-/// Panics if `code > MAX_LL_CODE`.
+/// Total: codes above [`MAX_LL_CODE`] return `(0, 0)`. Decoders validate
+/// the code range first and reject such streams as corrupt, so the
+/// fallback never reaches output.
+#[deny(clippy::indexing_slicing)]
 pub fn ll_extra(code: u8) -> (u32, u32) {
     if code < 16 {
         (code as u32, 0)
     } else {
-        LL_EXTENDED[code as usize - 16]
+        debug_assert!(code <= MAX_LL_CODE);
+        LL_EXTENDED
+            .get(code as usize - 16)
+            .copied()
+            .unwrap_or((0, 0))
     }
 }
 
@@ -122,14 +127,19 @@ pub fn ml_code(v: u32) -> u8 {
 
 /// `(base, extra_bits)` for a match-length code.
 ///
-/// # Panics
-///
-/// Panics if `code > MAX_ML_CODE`.
+/// Total: codes above [`MAX_ML_CODE`] return `(0, 0)`. Decoders validate
+/// the code range first and reject such streams as corrupt, so the
+/// fallback never reaches output.
+#[deny(clippy::indexing_slicing)]
 pub fn ml_extra(code: u8) -> (u32, u32) {
     if code < 32 {
         (code as u32, 0)
     } else {
-        ML_EXTENDED[code as usize - 32]
+        debug_assert!(code <= MAX_ML_CODE);
+        ML_EXTENDED
+            .get(code as usize - 32)
+            .copied()
+            .unwrap_or((0, 0))
     }
 }
 
@@ -356,14 +366,16 @@ pub fn write_nibble_lengths(out: &mut Vec<u8>, lens: &[u8]) {
 ///
 /// # Errors
 ///
-/// Returns [`crate::CodecError::Corrupt`] on truncation.
+/// Returns [`crate::CodecError::Truncated`] on truncation.
+#[deny(clippy::indexing_slicing)]
 pub fn read_nibble_lengths(c: &mut crate::varint::Cursor<'_>, n: usize) -> crate::Result<Vec<u8>> {
     let bytes = c.read_slice(n.div_ceil(2))?;
     let mut lens = Vec::with_capacity(n);
-    for i in 0..n {
-        let b = bytes[i / 2];
-        lens.push(if i % 2 == 0 { b & 0x0f } else { b >> 4 });
+    for b in bytes {
+        lens.push(b & 0x0f);
+        lens.push(b >> 4);
     }
+    lens.truncate(n);
     Ok(lens)
 }
 

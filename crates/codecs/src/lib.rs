@@ -47,39 +47,117 @@ pub use dict::Dictionary;
 pub use metrics::{measure, measure_blocks, CompressionMetrics};
 
 /// Errors returned by decompression.
+///
+/// The taxonomy distinguishes *why* a frame was rejected so callers can
+/// react differently: [`Truncated`](CodecError::Truncated) frames may be
+/// retried after refetching, [`UnknownDictVersion`](CodecError::UnknownDictVersion)
+/// frames after a dictionary lookup, while
+/// [`Corrupt`](CodecError::Corrupt) and
+/// [`ChecksumMismatch`](CodecError::ChecksumMismatch) frames are
+/// permanently damaged and belong in quarantine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// Frame magic or structural headers are malformed.
     BadFrame(&'static str),
+    /// The input ended before the named field or payload was complete.
+    Truncated(&'static str),
     /// The compressed payload is internally inconsistent.
-    Corrupt(&'static str),
-    /// An entropy table or stream failed to decode.
-    Entropy(entropy::Error),
-    /// LZ sequence application failed (bad offset / lengths).
-    Sequence(lzkit::Error),
-    /// The frame requires a dictionary that was not provided (or the
-    /// wrong one was).
-    DictionaryMismatch {
+    Corrupt {
+        /// Decode stage that rejected the payload (e.g. `"zstdx block"`).
+        stage: &'static str,
+        /// Byte offset into the frame where the inconsistency surfaced.
+        offset: usize,
+    },
+    /// A header-declared size exceeds the caller's [`DecodeLimits`].
+    LimitExceeded {
+        /// Bytes the frame asked the decoder to produce or allocate.
+        requested: usize,
+        /// The configured budget that was exceeded.
+        limit: usize,
+    },
+    /// The decoded content hashed differently than the stored checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the frame trailer.
+        expected: u32,
+        /// Checksum of the bytes actually decoded.
+        got: u32,
+    },
+    /// The frame references a dictionary version that was not provided
+    /// (or the wrong one was).
+    UnknownDictVersion {
         /// Dictionary id the frame was written with.
         expected: u32,
         /// Dictionary id supplied by the caller, if any.
         got: Option<u32>,
     },
+    /// An entropy table or stream failed to decode.
+    Entropy(entropy::Error),
+    /// LZ sequence application failed (bad offset / lengths).
+    Sequence(lzkit::Error),
+}
+
+impl CodecError {
+    /// Shorthand for [`CodecError::Corrupt`].
+    #[inline]
+    pub(crate) fn corrupt(stage: &'static str, offset: usize) -> Self {
+        CodecError::Corrupt { stage, offset }
+    }
+
+    /// Shifts a [`CodecError::Corrupt`] offset by `base` bytes, so an
+    /// error produced against a nested payload cursor points at the
+    /// right byte of the enclosing frame. Other variants pass through.
+    #[inline]
+    pub(crate) fn rebase(self, base: usize) -> Self {
+        match self {
+            CodecError::Corrupt { stage, offset } => CodecError::Corrupt {
+                stage,
+                offset: offset.saturating_add(base),
+            },
+            other => other,
+        }
+    }
+
+    /// Stable lowercase kind name, used for telemetry labels and the
+    /// fault-injection report table.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CodecError::BadFrame(_) => "bad_frame",
+            CodecError::Truncated(_) => "truncated",
+            CodecError::Corrupt { .. } => "corrupt",
+            CodecError::LimitExceeded { .. } => "limit_exceeded",
+            CodecError::ChecksumMismatch { .. } => "checksum_mismatch",
+            CodecError::UnknownDictVersion { .. } => "unknown_dict_version",
+            CodecError::Entropy(_) => "entropy",
+            CodecError::Sequence(_) => "sequence",
+        }
+    }
 }
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::BadFrame(m) => write!(f, "bad frame: {m}"),
-            CodecError::Corrupt(m) => write!(f, "corrupt payload: {m}"),
-            CodecError::Entropy(e) => write!(f, "entropy decode failed: {e}"),
-            CodecError::Sequence(e) => write!(f, "sequence apply failed: {e}"),
-            CodecError::DictionaryMismatch { expected, got } => {
+            CodecError::Truncated(m) => write!(f, "truncated input: {m}"),
+            CodecError::Corrupt { stage, offset } => {
+                write!(f, "corrupt payload: {stage} (offset {offset})")
+            }
+            CodecError::LimitExceeded { requested, limit } => {
+                write!(f, "decode limit exceeded: {requested} > {limit} bytes")
+            }
+            CodecError::ChecksumMismatch { expected, got } => {
                 write!(
                     f,
-                    "dictionary mismatch: frame wants id {expected}, got {got:?}"
+                    "checksum mismatch: stored {expected:#010x}, computed {got:#010x}"
                 )
             }
+            CodecError::UnknownDictVersion { expected, got } => {
+                write!(
+                    f,
+                    "unknown dictionary version: frame wants id {expected}, got {got:?}"
+                )
+            }
+            CodecError::Entropy(e) => write!(f, "entropy decode failed: {e}"),
+            CodecError::Sequence(e) => write!(f, "sequence apply failed: {e}"),
         }
     }
 }
@@ -112,6 +190,62 @@ pub type Result<T> = std::result::Result<T, CodecError>;
 /// Upper bound accepted for declared content sizes (1 GiB). Guards
 /// decoders against memory exhaustion on corrupt or hostile frames.
 pub const MAX_CONTENT_SIZE: usize = 1 << 30;
+
+/// Caller-supplied allocation budget for decompression.
+///
+/// Hostile frames can declare arbitrarily large content sizes in a
+/// handful of header bytes; every decoder validates header-declared
+/// sizes against these limits *before* allocating. The default budget
+/// is [`MAX_CONTENT_SIZE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Maximum decompressed output size accepted, in bytes.
+    pub max_output: usize,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        DecodeLimits {
+            max_output: MAX_CONTENT_SIZE,
+        }
+    }
+}
+
+impl DecodeLimits {
+    /// A budget of `max_output` decompressed bytes.
+    pub const fn with_max_output(max_output: usize) -> Self {
+        DecodeLimits { max_output }
+    }
+
+    /// Rejects a header-declared output size that exceeds the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::LimitExceeded`] when `requested` is larger
+    /// than `max_output`.
+    #[inline]
+    pub fn check_output(&self, requested: usize) -> Result<()> {
+        if requested > self.max_output {
+            return Err(CodecError::LimitExceeded {
+                requested,
+                limit: self.max_output,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Initial output-buffer capacity for a frame declaring `declared`
+/// content bytes. Clamped to the caller's budget and to a plausibility
+/// bound derived from the compressed size, so a 10-byte hostile frame
+/// declaring 1 GiB cannot force a 1 GiB allocation up front — the
+/// buffer grows only as real decoded data arrives.
+#[inline]
+pub(crate) fn initial_capacity(declared: usize, src_len: usize, limits: &DecodeLimits) -> usize {
+    declared
+        .min(limits.max_output)
+        .min(src_len.saturating_mul(512).saturating_add(4096))
+}
 
 /// Appends `len` bytes copied from `offset` back in `out` — the LZ match
 /// copy. Overlapping copies (offset < len) replicate the period, with a
@@ -149,12 +283,31 @@ pub trait Compressor: Send + Sync {
     /// Compresses `src` into a fresh self-describing frame.
     fn compress(&self, src: &[u8]) -> Vec<u8>;
 
-    /// Decompresses a frame produced by [`Self::compress`].
+    /// Decompresses a frame produced by [`Self::compress`] under the
+    /// default [`DecodeLimits`].
     ///
     /// # Errors
     ///
     /// Returns a [`CodecError`] on any malformed input; never panics.
-    fn decompress(&self, src: &[u8]) -> Result<Vec<u8>>;
+    fn decompress(&self, src: &[u8]) -> Result<Vec<u8>> {
+        self.decompress_limited(src, &DecodeLimits::default())
+    }
+
+    /// Decompresses a frame, refusing to produce (or pre-allocate) more
+    /// than `limits.max_output` bytes.
+    ///
+    /// This is the decode contract the `faultline` harness enforces:
+    /// for *any* byte string — corrupt, truncated, spliced, or hostile —
+    /// this either returns the original content or a structured
+    /// [`CodecError`]. It never panics and never allocates beyond the
+    /// caller's budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on any malformed input, including
+    /// [`CodecError::LimitExceeded`] when a header-declared size is
+    /// over budget.
+    fn decompress_limited(&self, src: &[u8], limits: &DecodeLimits) -> Result<Vec<u8>>;
 
     /// Compresses with a shared dictionary as LZ history.
     ///
@@ -169,10 +322,25 @@ pub trait Compressor: Send + Sync {
     /// # Errors
     ///
     /// Same as [`Self::decompress`], plus
-    /// [`CodecError::DictionaryMismatch`] when the frame references a
+    /// [`CodecError::UnknownDictVersion`] when the frame references a
     /// different dictionary.
-    fn decompress_with_dict(&self, src: &[u8], _dict: &Dictionary) -> Result<Vec<u8>> {
-        self.decompress(src)
+    fn decompress_with_dict(&self, src: &[u8], dict: &Dictionary) -> Result<Vec<u8>> {
+        self.decompress_with_dict_limited(src, dict, &DecodeLimits::default())
+    }
+
+    /// Dictionary variant of [`Self::decompress_limited`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::decompress_with_dict`] plus
+    /// [`CodecError::LimitExceeded`].
+    fn decompress_with_dict_limited(
+        &self,
+        src: &[u8],
+        _dict: &Dictionary,
+        limits: &DecodeLimits,
+    ) -> Result<Vec<u8>> {
+        self.decompress_limited(src, limits)
     }
 
     /// Whether [`Self::compress_with_dict`] actually uses the dictionary.
@@ -225,6 +393,19 @@ impl Algorithm {
         match self {
             Algorithm::Lz4x => Box::new(lz4x::Lz4x::new(level)),
             Algorithm::Zlibx => Box::new(zlibx::Zlibx::new(level)),
+            Algorithm::Zstdx => Box::new(zstdx::Zstdx::new(level)),
+        }
+    }
+
+    /// Instantiates a compressor at `level` with content checksums
+    /// enabled, so decoders detect payload corruption that preserves
+    /// valid framing. Zstdx frames carry a checksum by default; lz4x and
+    /// zlibx opt in here via their checksummed frame magic.
+    pub fn compressor_checked(&self, level: i32) -> Box<dyn Compressor> {
+        let level = level.clamp(*self.levels().start(), *self.levels().end());
+        match self {
+            Algorithm::Lz4x => Box::new(lz4x::Lz4x::new(level).with_checksum(true)),
+            Algorithm::Zlibx => Box::new(zlibx::Zlibx::new(level).with_checksum(true)),
             Algorithm::Zstdx => Box::new(zstdx::Zstdx::new(level)),
         }
     }

@@ -18,10 +18,15 @@ use std::time::Instant;
 use lzkit::{MatchParams, ParsedBlock, Strategy};
 
 use crate::varint::{write_varint, Cursor};
-use crate::{CodecError, Compressor, Result};
+use crate::{CodecError, Compressor, DecodeLimits, Result};
 
 /// Frame magic ("X4").
 const MAGIC: [u8; 2] = [0x58, 0x34];
+/// Frame magic of a checksummed frame ("X4" with the high bit of the
+/// second byte set): a 4-byte XXH64 content checksum trails the body.
+/// Plain-magic frames keep decoding unchanged — the checksum is opt-in
+/// and backward compatible.
+const MAGIC_CK: [u8; 2] = [0x58, 0xb4];
 /// Format minimum match length (as in LZ4).
 const MIN_MATCH: u32 = 4;
 /// Offsets are encoded in 2 bytes.
@@ -32,6 +37,7 @@ const MAX_WINDOW_LOG: u32 = 16;
 pub struct Lz4x {
     level: i32,
     params: MatchParams,
+    checksum: bool,
 }
 
 impl Lz4x {
@@ -41,7 +47,17 @@ impl Lz4x {
         Self {
             level,
             params: level_params(level),
+            checksum: false,
         }
+    }
+
+    /// Builder-style checksum toggle (`false` by default, matching LZ4's
+    /// checksum-free block format). Checksummed frames carry a distinct
+    /// magic plus a trailing XXH64 content checksum; frames written
+    /// either way decode everywhere.
+    pub fn with_checksum(mut self, checksum: bool) -> Self {
+        self.checksum = checksum;
+        self
     }
 
     /// The match-finding parameters this level maps to.
@@ -90,6 +106,7 @@ fn write_ext_len(out: &mut Vec<u8>, mut v: u32) {
     out.push(v as u8);
 }
 
+#[deny(clippy::indexing_slicing)]
 fn read_ext_len(c: &mut Cursor<'_>, nibble: u32) -> Result<u32> {
     if nibble < 15 {
         return Ok(nibble);
@@ -99,7 +116,7 @@ fn read_ext_len(c: &mut Cursor<'_>, nibble: u32) -> Result<u32> {
         let b = c.read_u8()?;
         v = v
             .checked_add(b as u32)
-            .ok_or(CodecError::Corrupt("length overflow"))?;
+            .ok_or(c.corrupt("lz4x length overflow"))?;
         if b != 255 {
             return Ok(v);
         }
@@ -149,7 +166,7 @@ impl Compressor for Lz4x {
     fn compress(&self, src: &[u8]) -> Vec<u8> {
         let start = Instant::now();
         let mut out = Vec::with_capacity(src.len() / 2 + 16);
-        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(if self.checksum { &MAGIC_CK } else { &MAGIC });
         write_varint(&mut out, src.len() as u64);
         let reg = telemetry::global();
         let mf_start = Instant::now();
@@ -158,21 +175,45 @@ impl Compressor for Lz4x {
         let enc_start = Instant::now();
         encode_block(&block, &mut out);
         telemetry::record_stage(reg, "lz4x.encode", &[], enc_start, enc_start.elapsed());
+        if self.checksum {
+            out.extend_from_slice(&crate::xxhash::content_checksum(src).to_le_bytes());
+        }
         crate::obs::record_compress("lz4x", self.level, src.len(), out.len(), start);
         out
     }
 
-    fn decompress(&self, src: &[u8]) -> Result<Vec<u8>> {
+    #[deny(clippy::indexing_slicing)]
+    fn decompress_limited(&self, src: &[u8], limits: &DecodeLimits) -> Result<Vec<u8>> {
         let start = Instant::now();
         let mut c = Cursor::new(src);
-        if c.read_slice(2)? != MAGIC {
-            return Err(CodecError::BadFrame("lz4x magic mismatch"));
-        }
+        let has_checksum = match c.read_slice(2)? {
+            m if m == MAGIC => false,
+            m if m == MAGIC_CK => true,
+            _ => return Err(CodecError::BadFrame("lz4x magic mismatch")),
+        };
         let content = c.read_varint()? as usize;
         if content > crate::MAX_CONTENT_SIZE {
             return Err(CodecError::BadFrame("content size implausible"));
         }
-        let mut out = Vec::with_capacity(content);
+        limits.check_output(content)?;
+        let header = c.position();
+        let mut body = c.read_slice_remaining()?;
+        let mut want = 0u32;
+        if has_checksum {
+            let n = body
+                .len()
+                .checked_sub(4)
+                .ok_or(CodecError::Truncated("lz4x checksum trailer"))?;
+            let (rest, trailer) = body.split_at(n);
+            body = rest;
+            want = u32::from_le_bytes(
+                trailer
+                    .try_into()
+                    .map_err(|_| CodecError::Truncated("lz4x checksum trailer"))?,
+            );
+        }
+        let mut c = Cursor::new(body);
+        let mut out = Vec::with_capacity(crate::initial_capacity(content, src.len(), limits));
         while out.len() < content {
             let token = c.read_u8()?;
             let ll = read_ext_len(&mut c, (token >> 4) as u32)? as usize;
@@ -183,15 +224,33 @@ impl Compressor for Lz4x {
             let offset = c.read_u16()? as usize;
             let ml = read_ext_len(&mut c, (token & 0x0f) as u32)? as usize + MIN_MATCH as usize;
             if offset == 0 || offset > out.len() {
-                return Err(CodecError::Corrupt("lz4x offset out of range"));
+                return Err(CodecError::corrupt(
+                    "lz4x offset out of range",
+                    header + c.position(),
+                ));
             }
             if out.len() + ml > content {
-                return Err(CodecError::Corrupt("lz4x match overruns content"));
+                return Err(CodecError::corrupt(
+                    "lz4x match overruns content",
+                    header + c.position(),
+                ));
             }
             crate::lz_copy(&mut out, offset, ml);
         }
         if out.len() != content {
-            return Err(CodecError::Corrupt("lz4x decoded length mismatch"));
+            return Err(CodecError::corrupt(
+                "lz4x decoded length mismatch",
+                header + c.position(),
+            ));
+        }
+        if has_checksum {
+            let got = crate::xxhash::content_checksum(&out);
+            if want != got {
+                return Err(CodecError::ChecksumMismatch {
+                    expected: want,
+                    got,
+                });
+            }
         }
         crate::obs::record_decompress("lz4x", self.level, out.len(), start);
         Ok(out)
@@ -284,5 +343,46 @@ mod tests {
         for cut in [0, 1, 2, 5, enc.len() / 2, enc.len() - 1] {
             assert!(c.decompress(&enc[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn checksum_is_opt_in_and_detects_corruption() {
+        let data = sample();
+        let plain = Lz4x::new(4).compress(&data);
+        let checked = Lz4x::new(4).with_checksum(true).compress(&data);
+        assert_eq!(checked.len(), plain.len() + 4);
+        // Both magics decode with any decoder instance.
+        assert_eq!(Lz4x::new(1).decompress(&plain).unwrap(), data);
+        assert_eq!(Lz4x::new(1).decompress(&checked).unwrap(), data);
+        // Flipping a literal byte is invisible to the plain format but
+        // caught by the checksummed one.
+        let mut bad = checked.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        match Lz4x::new(1).decompress(&bad) {
+            Ok(got) => panic!("corruption decoded silently: {} bytes", got.len()),
+            Err(
+                CodecError::ChecksumMismatch { .. }
+                | CodecError::Corrupt { .. }
+                | CodecError::Truncated(_),
+            ) => {}
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limits_reject_oversized_content() {
+        let data = sample();
+        let c = Lz4x::new(1);
+        let enc = c.compress(&data);
+        assert!(matches!(
+            c.decompress_limited(&enc, &DecodeLimits::with_max_output(16)),
+            Err(CodecError::LimitExceeded { .. })
+        ));
+        assert_eq!(
+            c.decompress_limited(&enc, &DecodeLimits::with_max_output(data.len()))
+                .unwrap(),
+            data
+        );
     }
 }

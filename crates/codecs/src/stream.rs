@@ -225,12 +225,15 @@ impl<R: Read> DecompressReader<R> {
         let mut v = 0u64;
         for i in 0..10 {
             let b = self.read_u8()?;
+            if i == 9 && b > 0x01 {
+                return Err(Self::io_err(CodecError::corrupt("varint overflows u64", i)));
+            }
             v |= u64::from(b & 0x7f) << (7 * i);
             if b & 0x80 == 0 {
                 return Ok(v);
             }
         }
-        Err(Self::io_err(CodecError::Corrupt("varint overlong")))
+        Err(Self::io_err(CodecError::corrupt("varint overlong", 10)))
     }
 
     fn read_header(&mut self) -> io::Result<()> {
@@ -271,28 +274,31 @@ impl<R: Read> DecompressReader<R> {
         let decoded = self.read_varint()? as usize;
         let payload_len = self.read_varint()? as usize;
         if decoded > BLOCK_SIZE || (decoded == 0 && !self.saw_last) {
-            return Err(Self::io_err(CodecError::Corrupt("zstdx bad block size")));
+            return Err(Self::io_err(CodecError::corrupt("zstdx bad block size", 0)));
         }
         let payload = self.read_exact_vec(payload_len)?;
         let before = self.out.len();
         match block_type {
             BLOCK_RAW => {
                 if payload.len() != decoded {
-                    return Err(Self::io_err(CodecError::Corrupt("raw block size mismatch")));
+                    return Err(Self::io_err(CodecError::corrupt(
+                        "raw block size mismatch",
+                        0,
+                    )));
                 }
                 self.out.extend_from_slice(&payload);
             }
             BLOCK_RLE => {
                 let b = *payload
                     .first()
-                    .ok_or_else(|| Self::io_err(CodecError::Corrupt("empty rle block")))?;
+                    .ok_or_else(|| Self::io_err(CodecError::corrupt("empty rle block", 0)))?;
                 self.out.resize(before + decoded, b);
             }
             BLOCK_COMPRESSED => {
                 decode_block_payload(&payload, &mut self.out, decoded).map_err(Self::io_err)?;
             }
             _ if decoded == 0 => {}
-            _ => return Err(Self::io_err(CodecError::Corrupt("zstdx bad block type"))),
+            _ => return Err(Self::io_err(CodecError::corrupt("zstdx bad block type", 0))),
         }
         self.hasher.update(&self.out[before..]);
         Ok(true)
@@ -304,11 +310,17 @@ impl<R: Read> DecompressReader<R> {
         }
         self.done = true;
         if self.has_checksum {
-            let want = u32::from_le_bytes(self.read_exact_vec(4)?.try_into().expect("4 bytes"));
-            if want != self.hasher.digest() as u32 {
-                return Err(Self::io_err(CodecError::Corrupt(
-                    "content checksum mismatch",
-                )));
+            let trailer: [u8; 4] = self
+                .read_exact_vec(4)?
+                .try_into()
+                .map_err(|_| Self::io_err(CodecError::Truncated("checksum trailer")))?;
+            let want = u32::from_le_bytes(trailer);
+            let got = self.hasher.digest() as u32;
+            if want != got {
+                return Err(Self::io_err(CodecError::ChecksumMismatch {
+                    expected: want,
+                    got,
+                }));
             }
         }
         Ok(())

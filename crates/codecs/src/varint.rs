@@ -1,4 +1,10 @@
 //! LEB128-style variable-length integers used by the frame formats.
+//!
+//! Decoding is strict: only the *canonical* encoding of each value is
+//! accepted. Redundant trailing continuation groups (`[0x80, 0x00]` for
+//! zero) and tenth-byte payloads that overflow `u64` are rejected with
+//! [`CodecError::Corrupt`], so every value has exactly one wire form and
+//! a flipped continuation bit cannot silently alias another value.
 
 use crate::{CodecError, Result};
 
@@ -19,20 +25,38 @@ pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
 ///
 /// # Errors
 ///
-/// Returns [`CodecError::Corrupt`] on truncation or a varint longer than
-/// 10 bytes.
+/// Returns [`CodecError::Truncated`] when the buffer ends mid-varint,
+/// and [`CodecError::Corrupt`] for non-canonical encodings: more than
+/// 10 bytes, a final byte of `0x00` after at least one continuation
+/// byte (a shorter encoding exists), or tenth-byte bits that would
+/// shift past the top of `u64`.
 pub fn read_varint(buf: &[u8]) -> Result<(u64, usize)> {
     let mut v: u64 = 0;
     for (i, &byte) in buf.iter().enumerate().take(10) {
+        if i == 9 && byte > 0x01 {
+            // Bits 1..7 of the tenth byte would shift past u64::MAX.
+            return Err(CodecError::corrupt("varint overflows u64", i));
+        }
         v |= u64::from(byte & 0x7f) << (7 * i);
         if byte & 0x80 == 0 {
+            if byte == 0 && i > 0 {
+                // A trailing zero group encodes nothing; the canonical
+                // form is one byte shorter.
+                return Err(CodecError::corrupt("varint non-canonical", i));
+            }
             return Ok((v, i + 1));
         }
     }
-    Err(CodecError::Corrupt("varint truncated or overlong"))
+    if buf.len() < 10 {
+        return Err(CodecError::Truncated("varint"));
+    }
+    Err(CodecError::corrupt("varint overlong", 10))
 }
 
 /// Cursor-style reader over a byte buffer with checked primitives.
+///
+/// All read failures carry the cursor position, so frame decoders get
+/// `Corrupt { offset }` values that point at the offending byte.
 #[derive(Debug, Clone)]
 pub struct Cursor<'a> {
     buf: &'a [u8],
@@ -55,16 +79,18 @@ impl<'a> Cursor<'a> {
         self.buf.len() - self.pos
     }
 
+    /// A [`CodecError::Corrupt`] anchored at the current position.
+    pub fn corrupt(&self, stage: &'static str) -> CodecError {
+        CodecError::corrupt(stage, self.pos)
+    }
+
     /// Reads one byte.
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::Corrupt`] at end of buffer.
+    /// Returns [`CodecError::Truncated`] at end of buffer.
     pub fn read_u8(&mut self) -> Result<u8> {
-        let b = *self
-            .buf
-            .get(self.pos)
-            .ok_or(CodecError::Corrupt("truncated: u8"))?;
+        let b = *self.buf.get(self.pos).ok_or(CodecError::Truncated("u8"))?;
         self.pos += 1;
         Ok(b)
     }
@@ -73,7 +99,7 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::Corrupt`] at end of buffer.
+    /// Returns [`CodecError::Truncated`] at end of buffer.
     pub fn read_u16(&mut self) -> Result<u16> {
         let s = self.read_slice(2)?;
         Ok(u16::from_le_bytes([s[0], s[1]]))
@@ -83,7 +109,7 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::Corrupt`] at end of buffer.
+    /// Returns [`CodecError::Truncated`] at end of buffer.
     pub fn read_u32(&mut self) -> Result<u32> {
         let s = self.read_slice(4)?;
         Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
@@ -93,9 +119,15 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::Corrupt`] on truncation.
+    /// Returns [`CodecError::Truncated`] on truncation and
+    /// [`CodecError::Corrupt`] on non-canonical encodings (see
+    /// [`read_varint`]).
     pub fn read_varint(&mut self) -> Result<u64> {
-        let (v, n) = read_varint(&self.buf[self.pos..])?;
+        let rest = self.buf.get(self.pos..).unwrap_or(&[]);
+        let (v, n) = read_varint(rest).map_err(|e| match e {
+            CodecError::Corrupt { stage, offset } => CodecError::corrupt(stage, self.pos + offset),
+            other => other,
+        })?;
         self.pos += n;
         Ok(v)
     }
@@ -106,17 +138,17 @@ impl<'a> Cursor<'a> {
     ///
     /// Infallible in practice (kept `Result` for call-site uniformity).
     pub fn read_slice_remaining(&self) -> Result<&'a [u8]> {
-        Ok(&self.buf[self.pos..])
+        Ok(self.buf.get(self.pos..).unwrap_or(&[]))
     }
 
     /// Skips `n` bytes.
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::Corrupt`] if fewer than `n` bytes remain.
+    /// Returns [`CodecError::Truncated`] if fewer than `n` bytes remain.
     pub fn advance(&mut self, n: usize) -> Result<()> {
         if n > self.remaining() {
-            return Err(CodecError::Corrupt("truncated: advance"));
+            return Err(CodecError::Truncated("advance"));
         }
         self.pos += n;
         Ok(())
@@ -126,16 +158,16 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::Corrupt`] if fewer than `n` bytes remain.
+    /// Returns [`CodecError::Truncated`] if fewer than `n` bytes remain.
     pub fn read_slice(&mut self, n: usize) -> Result<&'a [u8]> {
         let end = self
             .pos
             .checked_add(n)
-            .ok_or(CodecError::Corrupt("length overflow"))?;
+            .ok_or(self.corrupt("length overflow"))?;
         let s = self
             .buf
             .get(self.pos..end)
-            .ok_or(CodecError::Corrupt("truncated: slice"))?;
+            .ok_or(CodecError::Truncated("slice"))?;
         self.pos = end;
         Ok(s)
     }
@@ -158,9 +190,57 @@ mod tests {
 
     #[test]
     fn varint_rejects_truncated() {
-        assert!(read_varint(&[]).is_err());
-        assert!(read_varint(&[0x80]).is_err());
+        assert!(matches!(read_varint(&[]), Err(CodecError::Truncated(_))));
+        assert!(matches!(
+            read_varint(&[0x80]),
+            Err(CodecError::Truncated(_))
+        ));
         assert!(read_varint(&[0x80; 11]).is_err());
+    }
+
+    #[test]
+    fn varint_rejects_non_canonical() {
+        // 0 padded to two bytes: a shorter encoding exists.
+        assert!(matches!(
+            read_varint(&[0x80, 0x00]),
+            Err(CodecError::Corrupt { .. })
+        ));
+        // 1 padded to three bytes.
+        assert!(matches!(
+            read_varint(&[0x81, 0x80, 0x00]),
+            Err(CodecError::Corrupt { .. })
+        ));
+        // Single zero byte IS canonical.
+        assert_eq!(read_varint(&[0x00]).unwrap(), (0, 1));
+    }
+
+    #[test]
+    fn varint_rejects_u64_overflow() {
+        // Ten continuation groups with a tenth byte carrying bits that
+        // shift past bit 63.
+        let mut buf = [0x80u8; 10];
+        buf[9] = 0x02;
+        assert!(matches!(read_varint(&buf), Err(CodecError::Corrupt { .. })));
+        // u64::MAX itself (tenth byte 0x01) is accepted.
+        let mut max = Vec::new();
+        write_varint(&mut max, u64::MAX);
+        assert_eq!(max.len(), 10);
+        assert_eq!(read_varint(&max).unwrap(), (u64::MAX, 10));
+    }
+
+    #[test]
+    fn every_two_byte_pattern_is_total() {
+        // Exhaustive: decode must return Ok or Err, never panic, and
+        // every Ok must re-encode to the same bytes (canonical).
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                if let Ok((v, n)) = read_varint(&[a, b]) {
+                    let mut re = Vec::new();
+                    write_varint(&mut re, v);
+                    assert_eq!(&re[..], &[a, b][..n]);
+                }
+            }
+        }
     }
 
     #[test]
@@ -174,6 +254,17 @@ mod tests {
         assert_eq!(c.read_varint().unwrap(), 999);
         assert_eq!(c.read_slice(4).unwrap(), b"tail");
         assert_eq!(c.remaining(), 0);
-        assert!(c.read_u8().is_err());
+        assert!(matches!(c.read_u8(), Err(CodecError::Truncated(_))));
+    }
+
+    #[test]
+    fn cursor_errors_carry_offset() {
+        let buf = [0x01, 0x80, 0x00];
+        let mut c = Cursor::new(&buf);
+        c.read_u8().unwrap();
+        match c.read_varint() {
+            Err(CodecError::Corrupt { offset, .. }) => assert_eq!(offset, 2),
+            other => panic!("expected Corrupt with offset, got {other:?}"),
+        }
     }
 }

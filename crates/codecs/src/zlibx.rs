@@ -18,10 +18,15 @@ use crate::codes::{
     ml_code, ml_extra, of_code, of_extra, read_nibble_lengths, write_nibble_lengths,
 };
 use crate::varint::{write_varint, Cursor};
-use crate::{CodecError, Compressor, Result};
+use crate::{CodecError, Compressor, DecodeLimits, Result};
 
 /// Frame magic ("XZ").
 const MAGIC: [u8; 2] = [0x58, 0x5a];
+/// Frame magic of a checksummed frame ("XZ" with the high bit of the
+/// second byte set): a 4-byte XXH64 content checksum trails the blocks.
+/// Plain-magic frames keep decoding unchanged — the checksum is opt-in
+/// and backward compatible.
+const MAGIC_CK: [u8; 2] = [0x58, 0xda];
 /// DEFLATE-style window: 32 KiB.
 const WINDOW_LOG: u32 = 15;
 /// Format minimum match length (as in DEFLATE).
@@ -42,6 +47,7 @@ const DIST_ALPHABET: usize = 16;
 pub struct Zlibx {
     level: i32,
     params: Option<MatchParams>,
+    checksum: bool,
 }
 
 impl Zlibx {
@@ -51,7 +57,17 @@ impl Zlibx {
         Self {
             level,
             params: level_params(level),
+            checksum: false,
         }
+    }
+
+    /// Builder-style checksum toggle (`false` by default, matching
+    /// zlib's raw-deflate mode). Checksummed frames carry a distinct
+    /// magic plus a trailing XXH64 content checksum; frames written
+    /// either way decode everywhere.
+    pub fn with_checksum(mut self, checksum: bool) -> Self {
+        self.checksum = checksum;
+        self
     }
 
     /// The match-finding parameters (None at level 0).
@@ -173,6 +189,7 @@ fn encode_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> O
     (out.len() < data.len()).then_some(out)
 }
 
+#[deny(clippy::indexing_slicing)]
 fn decode_block(c: &mut Cursor<'_>, out: &mut Vec<u8>, decoded_len: usize) -> Result<()> {
     let lit_lens = read_nibble_lengths(c, LITLEN_ALPHABET)?;
     let lit_table = HuffmanTable::from_lengths(&lit_lens)?;
@@ -184,7 +201,7 @@ fn decode_block(c: &mut Cursor<'_>, out: &mut Vec<u8>, decoded_len: usize) -> Re
             (Some(HuffmanTable::from_lengths(&lens)?), None)
         }
         2 => (None, Some(c.read_u8()?)),
-        _ => return Err(CodecError::Corrupt("zlibx bad dist mode")),
+        _ => return Err(c.corrupt("zlibx bad dist mode")),
     };
     let nbits = c.read_varint()? as usize;
     let payload = c.read_slice(nbits.div_ceil(8))?;
@@ -195,7 +212,7 @@ fn decode_block(c: &mut Cursor<'_>, out: &mut Vec<u8>, decoded_len: usize) -> Re
         let sym = lit_table.read_symbol(&mut r)?;
         if sym < 256 {
             if out.len() >= end {
-                return Err(CodecError::Corrupt("zlibx literal overruns block"));
+                return Err(c.corrupt("zlibx literal overruns block"));
             }
             out.push(sym as u8);
         } else if sym == EOB {
@@ -203,7 +220,7 @@ fn decode_block(c: &mut Cursor<'_>, out: &mut Vec<u8>, decoded_len: usize) -> Re
         } else {
             let mlc = (sym - ML_SYM_BASE) as u8;
             if mlc > crate::codes::MAX_ML_CODE {
-                return Err(CodecError::Corrupt("zlibx bad length symbol"));
+                return Err(c.corrupt("zlibx bad length symbol"));
             }
             let (base, bits) = ml_extra(mlc);
             let mlv = base + r.read_bits(bits)? as u32;
@@ -211,24 +228,24 @@ fn decode_block(c: &mut Cursor<'_>, out: &mut Vec<u8>, decoded_len: usize) -> Re
             let ofc = match (&dist_table, fixed_dist) {
                 (Some(t), _) => t.read_symbol(&mut r)? as u8,
                 (None, Some(f)) => f,
-                (None, None) => return Err(CodecError::Corrupt("zlibx match without dists")),
+                (None, None) => return Err(c.corrupt("zlibx match without dists")),
             };
             if ofc as usize >= DIST_ALPHABET {
-                return Err(CodecError::Corrupt("zlibx bad offset code"));
+                return Err(c.corrupt("zlibx bad offset code"));
             }
             let (base, bits) = of_extra(ofc);
             let offset = (base + r.read_bits(bits)? as u32) as usize;
             if offset == 0 || offset > out.len() {
-                return Err(CodecError::Corrupt("zlibx offset out of range"));
+                return Err(c.corrupt("zlibx offset out of range"));
             }
             if out.len() + ml > end {
-                return Err(CodecError::Corrupt("zlibx match overruns block"));
+                return Err(c.corrupt("zlibx match overruns block"));
             }
             crate::lz_copy(out, offset, ml);
         }
     }
     if out.len() != end {
-        return Err(CodecError::Corrupt("zlibx block length mismatch"));
+        return Err(c.corrupt("zlibx block length mismatch"));
     }
     Ok(())
 }
@@ -245,7 +262,7 @@ impl Compressor for Zlibx {
     fn compress(&self, src: &[u8]) -> Vec<u8> {
         let begin = Instant::now();
         let mut out = Vec::with_capacity(src.len() / 2 + 32);
-        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(if self.checksum { &MAGIC_CK } else { &MAGIC });
         write_varint(&mut out, src.len() as u64);
         let mut start = 0usize;
         while start < src.len() {
@@ -268,35 +285,53 @@ impl Compressor for Zlibx {
             }
             start = end;
         }
+        if self.checksum {
+            out.extend_from_slice(&crate::xxhash::content_checksum(src).to_le_bytes());
+        }
         crate::obs::record_compress("zlibx", self.level, src.len(), out.len(), begin);
         out
     }
 
-    fn decompress(&self, src: &[u8]) -> Result<Vec<u8>> {
+    #[deny(clippy::indexing_slicing)]
+    fn decompress_limited(&self, src: &[u8], limits: &DecodeLimits) -> Result<Vec<u8>> {
         let begin = Instant::now();
         let mut c = Cursor::new(src);
-        if c.read_slice(2)? != MAGIC {
-            return Err(CodecError::BadFrame("zlibx magic mismatch"));
-        }
+        let has_checksum = match c.read_slice(2)? {
+            m if m == MAGIC => false,
+            m if m == MAGIC_CK => true,
+            _ => return Err(CodecError::BadFrame("zlibx magic mismatch")),
+        };
         let content = c.read_varint()? as usize;
         if content > crate::MAX_CONTENT_SIZE {
             return Err(CodecError::BadFrame("content size implausible"));
         }
-        let mut out = Vec::with_capacity(content);
+        limits.check_output(content)?;
+        let mut out = Vec::with_capacity(crate::initial_capacity(content, src.len(), limits));
         while out.len() < content {
             let decoded_len = c.read_varint()? as usize;
             if decoded_len == 0 || out.len() + decoded_len > content {
-                return Err(CodecError::Corrupt("zlibx bad block length"));
+                return Err(c.corrupt("zlibx bad block length"));
             }
             match c.read_u8()? {
                 0 => out.extend_from_slice(c.read_slice(decoded_len)?),
                 1 => {
                     let body_len = c.read_varint()? as usize;
+                    let body_at = c.position();
                     let body = c.read_slice(body_len)?;
                     let mut bc = Cursor::new(body);
-                    decode_block(&mut bc, &mut out, decoded_len)?;
+                    decode_block(&mut bc, &mut out, decoded_len).map_err(|e| e.rebase(body_at))?;
                 }
-                _ => return Err(CodecError::Corrupt("zlibx bad block type")),
+                _ => return Err(c.corrupt("zlibx bad block type")),
+            }
+        }
+        if has_checksum {
+            let want = c.read_u32()?;
+            let got = crate::xxhash::content_checksum(&out);
+            if want != got {
+                return Err(CodecError::ChecksumMismatch {
+                    expected: want,
+                    got,
+                });
             }
         }
         crate::obs::record_decompress("zlibx", self.level, out.len(), begin);
@@ -395,6 +430,40 @@ mod tests {
                 "cut {cut}"
             );
         }
+    }
+
+    #[test]
+    fn checksum_is_opt_in_and_detects_corruption() {
+        let data = sample();
+        let plain = Zlibx::new(6).compress(&data);
+        let checked = Zlibx::new(6).with_checksum(true).compress(&data);
+        assert_eq!(checked.len(), plain.len() + 4);
+        assert_eq!(Zlibx::new(6).decompress(&plain).unwrap(), data);
+        assert_eq!(Zlibx::new(6).decompress(&checked).unwrap(), data);
+        // Corrupting the stored checksum must be detected.
+        let mut bad = checked.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 0xff;
+        assert!(matches!(
+            Zlibx::new(6).decompress(&bad),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn limits_reject_oversized_content() {
+        let data = sample();
+        let c = Zlibx::new(6);
+        let enc = c.compress(&data);
+        assert!(matches!(
+            c.decompress_limited(&enc, &DecodeLimits::with_max_output(64)),
+            Err(CodecError::LimitExceeded { .. })
+        ));
+        assert_eq!(
+            c.decompress_limited(&enc, &DecodeLimits::with_max_output(data.len()))
+                .unwrap(),
+            data
+        );
     }
 
     #[test]

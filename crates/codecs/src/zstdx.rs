@@ -34,7 +34,7 @@ use crate::codes::{
 use crate::dict::Dictionary;
 use crate::timing::StageTiming;
 use crate::varint::{write_varint, Cursor};
-use crate::{CodecError, Compressor, Result};
+use crate::{CodecError, Compressor, DecodeLimits, Result};
 
 /// Frame magic ("ZSXD").
 pub(crate) const MAGIC: [u8; 4] = [0x5a, 0x53, 0x58, 0x44];
@@ -302,7 +302,13 @@ pub(crate) fn write_block_opts(
 }
 
 impl Zstdx {
-    fn decompress_impl(&self, src: &[u8], dict: Option<&Dictionary>) -> Result<Vec<u8>> {
+    #[deny(clippy::indexing_slicing)]
+    fn decompress_impl(
+        &self,
+        src: &[u8],
+        dict: Option<&Dictionary>,
+        limits: &DecodeLimits,
+    ) -> Result<Vec<u8>> {
         let mut c = Cursor::new(src);
         if c.read_slice(4)? != MAGIC {
             return Err(CodecError::BadFrame("zstdx magic mismatch"));
@@ -316,12 +322,13 @@ impl Zstdx {
         if content > crate::MAX_CONTENT_SIZE {
             return Err(CodecError::BadFrame("content size implausible"));
         }
+        limits.check_output(content)?;
         if flags & 1 != 0 {
             let want = c.read_u32()?;
             match dict {
                 Some(d) if d.id() == want => {}
                 other => {
-                    return Err(CodecError::DictionaryMismatch {
+                    return Err(CodecError::UnknownDictVersion {
                         expected: want,
                         got: other.map(|d| d.id()),
                     })
@@ -330,7 +337,8 @@ impl Zstdx {
         }
 
         let base = dict.map_or(0, |d| d.as_bytes().len());
-        let mut out = Vec::with_capacity(base + content);
+        let mut out =
+            Vec::with_capacity(base + crate::initial_capacity(content, src.len(), limits));
         if let Some(d) = dict {
             out.extend_from_slice(d.as_bytes());
         }
@@ -349,15 +357,18 @@ impl Zstdx {
             saw_last = is_last;
             let decoded = c.read_varint()? as usize;
             let payload_len = c.read_varint()? as usize;
+            if streaming {
+                // Streaming frames carry no declared content size, so the
+                // caller's budget is the only bound on accumulation.
+                limits.check_output((out.len() - base).saturating_add(decoded))?;
+            }
             let size_ok = if streaming {
-                decoded <= BLOCK_SIZE
-                    && (decoded > 0 || is_last)
-                    && out.len() + decoded <= base + crate::MAX_CONTENT_SIZE
+                decoded <= BLOCK_SIZE && (decoded > 0 || is_last)
             } else {
                 decoded > 0 && decoded <= BLOCK_SIZE && out.len() + decoded <= end_target
             };
             if !size_ok {
-                return Err(CodecError::Corrupt("zstdx bad block size"));
+                return Err(c.corrupt("zstdx bad block size"));
             }
             if decoded == 0 {
                 continue;
@@ -366,25 +377,27 @@ impl Zstdx {
             match block_type {
                 BLOCK_RAW => {
                     if payload.len() != decoded {
-                        return Err(CodecError::Corrupt("zstdx raw block size mismatch"));
+                        return Err(c.corrupt("zstdx raw block size mismatch"));
                     }
                     out.extend_from_slice(payload);
                 }
                 BLOCK_RLE => {
-                    let b = *payload
-                        .first()
-                        .ok_or(CodecError::Corrupt("zstdx empty rle"))?;
+                    let b = *payload.first().ok_or(c.corrupt("zstdx empty rle"))?;
                     out.resize(out.len() + decoded, b);
                 }
-                BLOCK_COMPRESSED => decode_block_payload(payload, &mut out, decoded)?,
-                _ => return Err(CodecError::Corrupt("zstdx bad block type")),
+                BLOCK_COMPRESSED => decode_block_payload(payload, &mut out, decoded)
+                    .map_err(|e| e.rebase(c.position().saturating_sub(payload_len)))?,
+                _ => return Err(c.corrupt("zstdx bad block type")),
             }
         }
         if has_checksum {
             let want = c.read_u32()?;
-            let got = crate::xxhash::content_checksum(&out[base..]);
+            let got = crate::xxhash::content_checksum(out.get(base..).unwrap_or(&[]));
             if want != got {
-                return Err(CodecError::Corrupt("zstdx content checksum mismatch"));
+                return Err(CodecError::ChecksumMismatch {
+                    expected: want,
+                    got,
+                });
             }
         }
         out.drain(..base);
@@ -619,6 +632,7 @@ fn encode_block_payload_opts(parsed: &ParsedBlock, use_reps: bool) -> Vec<u8> {
     out
 }
 
+#[deny(clippy::indexing_slicing)]
 pub(crate) fn decode_block_payload(
     payload: &[u8],
     out: &mut Vec<u8>,
@@ -629,8 +643,10 @@ pub(crate) fn decode_block_payload(
     // --- Literals section ---
     let lit_mode = c.read_u8()?;
     let lit_len = c.read_varint()? as usize;
-    if lit_len > BLOCK_SIZE {
-        return Err(CodecError::Corrupt("zstdx literal section too large"));
+    // Literals all land inside this block's decoded span, so `decoded`
+    // (≤ BLOCK_SIZE, checked by the caller) bounds the allocation.
+    if lit_len > BLOCK_SIZE || lit_len > decoded {
+        return Err(c.corrupt("zstdx literal section too large"));
     }
     let literals: Vec<u8> = match lit_mode {
         LIT_RAW => c.read_slice(lit_len)?.to_vec(),
@@ -642,19 +658,17 @@ pub(crate) fn decode_block_payload(
             let body = c.read_slice(body_len)?;
             table.decode(body, lit_len)?
         }
-        _ => return Err(CodecError::Corrupt("zstdx bad literal mode")),
+        _ => return Err(c.corrupt("zstdx bad literal mode")),
     };
 
     // --- Sequences section ---
     let n = c.read_varint()? as usize;
     if n > BLOCK_SIZE / MIN_MATCH as usize + 1 {
-        return Err(CodecError::Corrupt("zstdx implausible sequence count"));
+        return Err(c.corrupt("zstdx implausible sequence count"));
     }
     if n == 0 {
         if literals.len() != decoded {
-            return Err(CodecError::Corrupt(
-                "zstdx literal-only block length mismatch",
-            ));
+            return Err(c.corrupt("zstdx literal-only block length mismatch"));
         }
         out.extend_from_slice(&literals);
         return Ok(());
@@ -672,18 +686,18 @@ pub(crate) fn decode_block_payload(
                 let (t, consumed) = FseTable::read_description(c.read_slice_remaining()?)?;
                 c.advance(consumed)?;
                 if t.normalized_counts().len() > alphabet {
-                    return Err(CodecError::Corrupt("zstdx fse alphabet too large"));
+                    return Err(c.corrupt("zstdx fse alphabet too large"));
                 }
                 Ok(FseTableRef::Owned(t))
             }
             MODE_RLE => {
                 let code = c.read_u8()?;
                 if code as usize >= alphabet {
-                    return Err(CodecError::Corrupt("zstdx rle code out of range"));
+                    return Err(c.corrupt("zstdx rle code out of range"));
                 }
                 Ok(FseTableRef::Owned(single_symbol_table(code, alphabet)))
             }
-            _ => Err(CodecError::Corrupt("zstdx bad table mode")),
+            _ => Err(c.corrupt("zstdx bad table mode")),
         }
     };
     let ll_t = read_table(modes & 3, predefined_ll(), MAX_LL_CODE as usize + 1, &mut c)?;
@@ -710,15 +724,14 @@ pub(crate) fn decode_block_payload(
         let ofc = of_dec.peek_symbol() as u8;
         let mlc = ml_dec.peek_symbol() as u8;
         if llc > MAX_LL_CODE || mlc > MAX_ML_CODE || ofc as usize >= OF_ALPHABET {
-            return Err(CodecError::Corrupt("zstdx sequence code out of range"));
+            return Err(c.corrupt("zstdx sequence code out of range"));
         }
         let (base, bits) = ll_extra(llc);
         let lit_run = (base + r.read_bits(bits)? as u32) as usize;
         let (base, bits) = ml_extra(mlc);
         let match_len = (base + r.read_bits(bits)? as u32 + MIN_MATCH) as usize;
         let offset = if ofc >= OF_REP_BASE {
-            reps.decode(ofc)
-                .ok_or(CodecError::Corrupt("zstdx bad repeat code"))? as usize
+            reps.decode(ofc).ok_or(c.corrupt("zstdx bad repeat code"))? as usize
         } else {
             let (base, bits) = of_extra(ofc);
             let off = base + r.read_bits(bits)? as u32;
@@ -729,22 +742,23 @@ pub(crate) fn decode_block_payload(
         ml_dec.update(&mut r)?;
         of_dec.update(&mut r)?;
 
-        if lit_pos + lit_run > literals.len() {
-            return Err(CodecError::Corrupt("zstdx literals exhausted"));
-        }
-        out.extend_from_slice(&literals[lit_pos..lit_pos + lit_run]);
+        let run = lit_pos
+            .checked_add(lit_run)
+            .and_then(|hi| literals.get(lit_pos..hi))
+            .ok_or(c.corrupt("zstdx literals exhausted"))?;
+        out.extend_from_slice(run);
         lit_pos += lit_run;
         if offset == 0 || offset > out.len() {
-            return Err(CodecError::Corrupt("zstdx offset out of range"));
+            return Err(c.corrupt("zstdx offset out of range"));
         }
         if out.len() + match_len > end {
-            return Err(CodecError::Corrupt("zstdx match overruns block"));
+            return Err(c.corrupt("zstdx match overruns block"));
         }
         crate::lz_copy(out, offset, match_len);
     }
-    out.extend_from_slice(&literals[lit_pos..]);
+    out.extend_from_slice(literals.get(lit_pos..).unwrap_or(&[]));
     if out.len() != end {
-        return Err(CodecError::Corrupt("zstdx block length mismatch"));
+        return Err(c.corrupt("zstdx block length mismatch"));
     }
     Ok(())
 }
@@ -780,9 +794,9 @@ impl Compressor for Zstdx {
         out
     }
 
-    fn decompress(&self, src: &[u8]) -> Result<Vec<u8>> {
+    fn decompress_limited(&self, src: &[u8], limits: &DecodeLimits) -> Result<Vec<u8>> {
         let start = Instant::now();
-        let out = self.decompress_impl(src, None)?;
+        let out = self.decompress_impl(src, None, limits)?;
         crate::obs::record_decompress("zstdx", self.level, out.len(), start);
         Ok(out)
     }
@@ -794,9 +808,14 @@ impl Compressor for Zstdx {
         out
     }
 
-    fn decompress_with_dict(&self, src: &[u8], dict: &Dictionary) -> Result<Vec<u8>> {
+    fn decompress_with_dict_limited(
+        &self,
+        src: &[u8],
+        dict: &Dictionary,
+        limits: &DecodeLimits,
+    ) -> Result<Vec<u8>> {
         let start = Instant::now();
-        let out = self.decompress_impl(src, Some(dict))?;
+        let out = self.decompress_impl(src, Some(dict), limits)?;
         crate::obs::record_decompress("zstdx", self.level, out.len(), start);
         Ok(out)
     }
@@ -925,14 +944,14 @@ mod tests {
         let enc = c.compress_with_dict(b"hello hello hello", &dict);
         assert!(matches!(
             c.decompress(&enc),
-            Err(CodecError::DictionaryMismatch {
+            Err(CodecError::UnknownDictVersion {
                 expected: 1,
                 got: None
             })
         ));
         assert!(matches!(
             c.decompress_with_dict(&enc, &wrong),
-            Err(CodecError::DictionaryMismatch {
+            Err(CodecError::UnknownDictVersion {
                 expected: 1,
                 got: Some(2)
             })
@@ -1002,7 +1021,27 @@ mod checksum_tests {
         // Corrupt the stored checksum itself: must be rejected.
         let n = frame.len();
         frame[n - 1] ^= 0xff;
-        assert!(matches!(c.decompress(&frame), Err(CodecError::Corrupt(_))));
+        assert!(matches!(
+            c.decompress(&frame),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn limits_reject_oversized_content() {
+        let data = vec![7u8; 64 * 1024];
+        let c = Zstdx::new(1);
+        let frame = c.compress(&data);
+        let tight = crate::DecodeLimits::with_max_output(1024);
+        assert!(matches!(
+            c.decompress_limited(&frame, &tight),
+            Err(CodecError::LimitExceeded {
+                requested,
+                limit: 1024
+            }) if requested == data.len()
+        ));
+        let roomy = crate::DecodeLimits::with_max_output(data.len());
+        assert_eq!(c.decompress_limited(&frame, &roomy).unwrap(), data);
     }
 
     #[test]
@@ -1045,12 +1084,14 @@ pub fn skippable_frame(payload: &[u8]) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`CodecError::Corrupt`] if the frame is truncated.
+/// Returns [`CodecError::Truncated`] if the frame is truncated.
+#[deny(clippy::indexing_slicing)]
 pub fn read_skippable(buf: &[u8]) -> Result<Option<(&[u8], usize)>> {
-    if buf.len() < 4 || buf[..4] != SKIPPABLE_MAGIC {
-        return Ok(None);
+    match buf.get(..4) {
+        Some(magic) if magic == SKIPPABLE_MAGIC => {}
+        _ => return Ok(None),
     }
-    let mut c = Cursor::new(&buf[4..]);
+    let mut c = Cursor::new(buf.get(4..).unwrap_or(&[]));
     let len = c.read_varint()? as usize;
     let payload = c.read_slice(len)?;
     Ok(Some((payload, 4 + c.position())))
@@ -1074,9 +1115,10 @@ impl Zstdx {
             // A regular frame: decode it, then measure how much input it
             // consumed by re-walking its structure.
             let consumed = frame_len(src)?;
-            let mut part = self.decompress_impl(&src[..consumed], None)?;
+            let (frame, rest) = src.split_at(consumed);
+            let mut part = self.decompress_impl(frame, None, &DecodeLimits::default())?;
             out.append(&mut part);
-            src = &src[consumed..];
+            src = rest;
         }
         Ok(out)
     }
@@ -1088,6 +1130,7 @@ impl Zstdx {
 /// # Errors
 ///
 /// Returns [`CodecError`] on malformed structure.
+#[deny(clippy::indexing_slicing)]
 pub(crate) fn frame_len(buf: &[u8]) -> Result<usize> {
     let mut c = Cursor::new(buf);
     if c.read_slice(4)? != MAGIC {
@@ -1100,6 +1143,9 @@ pub(crate) fn frame_len(buf: &[u8]) -> Result<usize> {
     } else {
         c.read_varint()? as usize
     };
+    if content > crate::MAX_CONTENT_SIZE {
+        return Err(CodecError::BadFrame("content size implausible"));
+    }
     if flags & 1 != 0 {
         let _ = c.read_u32()?;
     }
@@ -1122,8 +1168,11 @@ pub(crate) fn frame_len(buf: &[u8]) -> Result<usize> {
             let decoded = c.read_varint()? as usize;
             let payload = c.read_varint()? as usize;
             c.advance(payload)?;
-            if decoded == 0 {
-                return Err(CodecError::Corrupt("zstdx bad block size"));
+            // A declared size outside (0, BLOCK_SIZE] is structurally
+            // invalid, and capping it here keeps the accumulator from
+            // overflowing on hostile header chains.
+            if decoded == 0 || decoded > BLOCK_SIZE {
+                return Err(c.corrupt("zstdx bad block size"));
             }
             decoded_total += decoded;
         }

@@ -137,9 +137,13 @@ impl<'a> BitReader<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain.
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain, and
+    /// [`Error::InvalidParameter`] if `n > MAX_BITS_PER_OP`.
     #[inline]
     pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        if n > MAX_BITS_PER_OP {
+            return Err(Error::InvalidParameter("read_bits width exceeds 56"));
+        }
         if (n as usize) > self.remaining() {
             return Err(Error::UnexpectedEof);
         }
@@ -217,9 +221,13 @@ impl<'a> ReverseBitReader<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain.
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain, and
+    /// [`Error::InvalidParameter`] if `n > MAX_BITS_PER_OP`.
     #[inline]
     pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        if n > MAX_BITS_PER_OP {
+            return Err(Error::InvalidParameter("read_bits width exceeds 56"));
+        }
         if (n as usize) > self.pos {
             return Err(Error::UnexpectedEof);
         }
@@ -229,9 +237,13 @@ impl<'a> ReverseBitReader<'a> {
 }
 
 /// Extracts `n` bits starting at absolute bit position `pos` (LSB-first).
+/// Bits past the end of `buf` read as zero; callers bound `n` against the
+/// valid bit length before calling.
 #[inline]
+#[deny(clippy::indexing_slicing)]
 fn extract_bits(buf: &[u8], pos: usize, n: u32) -> u64 {
     debug_assert!(n <= MAX_BITS_PER_OP);
+    let n = n.min(MAX_BITS_PER_OP);
     if n == 0 {
         return 0;
     }
@@ -239,23 +251,22 @@ fn extract_bits(buf: &[u8], pos: usize, n: u32) -> u64 {
     let bit_off = (pos % 8) as u32;
     let mut acc: u64 = 0;
     let mut filled: u32 = 0;
-    let mut idx = first_byte;
+    let mut bytes = buf.iter().skip(first_byte);
     // First (possibly partial) byte.
-    if idx < buf.len() {
-        acc = (buf[idx] as u64) >> bit_off;
+    if let Some(&b) = bytes.next() {
+        acc = (b as u64) >> bit_off;
         filled = 8 - bit_off;
-        idx += 1;
     }
-    while filled < n && idx < buf.len() {
-        acc |= (buf[idx] as u64) << filled;
-        filled += 8;
-        idx += 1;
+    while filled < n {
+        match bytes.next() {
+            Some(&b) => {
+                acc |= (b as u64) << filled;
+                filled += 8;
+            }
+            None => break,
+        }
     }
-    if n >= 64 {
-        acc
-    } else {
-        acc & ((1u64 << n) - 1)
-    }
+    acc & ((1u64 << n) - 1)
 }
 
 #[cfg(test)]
@@ -337,6 +348,75 @@ mod tests {
         let r = BitReader::new(&buf, bits);
         // Peeking 8 bits when only 2 remain: missing bits read as zero.
         assert_eq!(r.peek_bits_lenient(8), 0b11);
+    }
+
+    #[test]
+    fn read_bits_rejects_truncated_stream() {
+        // Buffer physically holds 16 bits but only 9 are valid: reads past
+        // the valid length must fail, not expose padding.
+        let buf = [0xff, 0xff];
+        let mut r = BitReader::new(&buf, 9);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+        assert_eq!(r.read_bits(2), Err(Error::UnexpectedEof));
+        // Position is unchanged after a failed read.
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn read_bits_rejects_oversized_width() {
+        let buf = [0u8; 16];
+        let mut r = BitReader::new(&buf, 128);
+        assert!(matches!(r.read_bits(57), Err(Error::InvalidParameter(_))));
+        let sbuf = [0u8, 0x80];
+        let mut rr = ReverseBitReader::from_sentinel(&sbuf).unwrap();
+        assert!(matches!(rr.read_bits(57), Err(Error::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn consume_rejects_truncated_stream() {
+        let buf = [0xabu8];
+        let mut r = BitReader::new(&buf, 5);
+        assert_eq!(r.consume(9), Err(Error::UnexpectedEof));
+        assert_eq!(r.remaining(), 5);
+        r.consume(5).unwrap();
+        assert_eq!(r.consume(1), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn peek_lenient_never_reads_past_buffer() {
+        // 3 valid bits in a 1-byte buffer; a 56-bit peek must stay in
+        // bounds and zero-fill the missing bits.
+        let buf = [0b0000_0101u8];
+        let r = BitReader::new(&buf, 3);
+        assert_eq!(r.peek_bits_lenient(56), 0b101);
+        // Empty stream peeks as zero.
+        let empty = BitReader::new(&[], 0);
+        assert_eq!(empty.peek_bits_lenient(8), 0);
+    }
+
+    #[test]
+    fn reverse_read_bits_rejects_truncated_stream() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        let buf = w.finish_with_sentinel();
+        let mut r = ReverseBitReader::from_sentinel(&buf).unwrap();
+        // Asking for more bits than were written fails without panicking.
+        assert_eq!(r.read_bits(5), Err(Error::UnexpectedEof));
+        assert_eq!(r.remaining(), 4);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(1), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn from_sentinel_rejects_truncated_tails() {
+        // Every prefix of a valid sentinel stream whose final byte is zero
+        // must be rejected rather than mis-synchronized.
+        let mut w = BitWriter::new();
+        w.write_bits(0xffff, 16);
+        w.write_bits(0, 8);
+        let buf = w.finish_with_sentinel();
+        assert!(ReverseBitReader::from_sentinel(&buf[..3]).is_err());
+        assert!(ReverseBitReader::from_sentinel(&[]).is_err());
     }
 
     #[test]

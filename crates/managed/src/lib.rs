@@ -13,6 +13,14 @@
 //!   rolls it out as a new **version**.
 //! * Frames embed the dictionary version; older versions are retained
 //!   so in-flight and at-rest data stays decodable across rollouts.
+//! * The service degrades gracefully under hostile or damaged input:
+//!   incompressible (or codec-failing) payloads ship as stored
+//!   *passthrough* frames, a frame that misses its dictionary is retried
+//!   against every retained version, and a frame that still fails is
+//!   **quarantined** ([`ManagedError::Quarantined`]) rather than taking
+//!   the service down — all of it visible in telemetry
+//!   (`managed.passthrough`, `managed.decode_retries`,
+//!   `managed.quarantined`) and on the flight recorder.
 //!
 //! [`decompress`]: ManagedCompression::decompress
 //!
@@ -49,6 +57,16 @@ pub enum ManagedError {
     },
     /// The underlying codec rejected the frame.
     Codec(codecs::CodecError),
+    /// The frame failed to decode under every retained dictionary
+    /// version and was quarantined for offline inspection. The service
+    /// stays up; the frame is retrievable via
+    /// [`ManagedCompression::quarantined`].
+    Quarantined {
+        /// The use case the frame was submitted under.
+        use_case: String,
+        /// The codec error from the final decode attempt.
+        source: codecs::CodecError,
+    },
 }
 
 impl std::fmt::Display for ManagedError {
@@ -59,6 +77,9 @@ impl std::fmt::Display for ManagedError {
                 write!(f, "dictionary v{version} of {use_case} has been retired")
             }
             ManagedError::Codec(e) => write!(f, "codec error: {e}"),
+            ManagedError::Quarantined { use_case, source } => {
+                write!(f, "frame quarantined for {use_case}: {source}")
+            }
         }
     }
 }
@@ -67,6 +88,7 @@ impl std::error::Error for ManagedError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ManagedError::Codec(e) => Some(e),
+            ManagedError::Quarantined { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -2,7 +2,9 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -12,6 +14,14 @@ use telemetry::Registry;
 
 use crate::reservoir::Reservoir;
 use crate::{ManagedError, Result};
+
+/// Magic prefix of a stored (passthrough) frame: the payload follows
+/// uncompressed. Emitted when compression fails or does not pay for
+/// itself; distinct from every codec frame magic.
+pub const PASSTHROUGH_MAGIC: [u8; 4] = [0x4d, 0x43, 0x50, 0x54]; // "MCPT"
+
+/// Most recent failed frames retained per use case for inspection.
+const QUARANTINE_CAP: usize = 32;
 
 /// Service configuration.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +70,12 @@ pub struct UseCaseStats {
     pub bytes_in: u64,
     /// Compressed bytes out.
     pub bytes_out: u64,
+    /// Frames emitted stored (compression failed or did not pay).
+    pub passthrough: u64,
+    /// Extra dictionary versions tried on decode after a miss.
+    pub decode_retries: u64,
+    /// Frames quarantined after failing every decode attempt.
+    pub quarantined: u64,
 }
 
 impl UseCaseStats {
@@ -80,6 +96,8 @@ struct UseCase {
     versions: Vec<(u32, Dictionary)>,
     next_version: u32,
     calls_since_train: u64,
+    /// Most recent frames that failed every decode attempt, newest last.
+    quarantine: VecDeque<Vec<u8>>,
 }
 
 /// The stateful service. See the [crate docs](crate).
@@ -134,6 +152,7 @@ impl ManagedCompression {
                 versions: Vec::new(),
                 next_version: 1,
                 calls_since_train: 0,
+                quarantine: VecDeque::new(),
             })
     }
 
@@ -177,9 +196,24 @@ impl ManagedCompression {
             case.calls_since_train = 0;
         }
 
-        let frame = match case.versions.last() {
-            Some((_, dict)) => codec.compress_with_dict(data, dict),
+        // A compressor panic (hostile input tripping a codec bug) or an
+        // incompressible payload both degrade to a stored frame: the
+        // service never fails a compress call.
+        let dict = case.versions.last().map(|(_, d)| d);
+        let compressed = panic::catch_unwind(AssertUnwindSafe(|| match dict {
+            Some(dict) => codec.compress_with_dict(data, dict),
             None => codec.compress(data),
+        }))
+        .ok();
+        let frame = match compressed {
+            Some(f) if f.len() < data.len() + PASSTHROUGH_MAGIC.len() => f,
+            _ => {
+                reg.counter("managed.passthrough", &labels).inc();
+                let mut f = Vec::with_capacity(PASSTHROUGH_MAGIC.len() + data.len());
+                f.extend_from_slice(&PASSTHROUGH_MAGIC);
+                f.extend_from_slice(data);
+                f
+            }
         };
         reg.counter("managed.bytes_out", &labels)
             .add(frame.len() as u64);
@@ -192,47 +226,120 @@ impl ManagedCompression {
     /// use case, resolving whichever retained dictionary version the
     /// frame references.
     ///
+    /// A frame that misses its dictionary is retried against every
+    /// retained version (`managed.decode_retries` counts the extra
+    /// attempts). A frame that still fails is pushed into a bounded
+    /// per-use-case quarantine ([`Self::quarantined`]) and reported
+    /// without affecting service health; the event increments
+    /// `managed.quarantined` and drops a `managed.quarantine` instant on
+    /// the calling thread's flight-recorder track.
+    ///
     /// # Errors
     ///
     /// * [`ManagedError::UnknownUseCase`] for a never-seen use case.
     /// * [`ManagedError::RetiredDictionary`] when the frame's version
     ///   has been rolled past `versions_kept`.
-    /// * [`ManagedError::Codec`] for malformed frames.
+    /// * [`ManagedError::Quarantined`] when the frame fails under every
+    ///   retained dictionary version.
     pub fn decompress(&mut self, use_case: &str, frame: &[u8]) -> Result<Vec<u8>> {
         let codec = self.codec.clone();
         let start = Instant::now();
-        let case = self
-            .use_cases
-            .get_mut(use_case)
-            .ok_or_else(|| ManagedError::UnknownUseCase(use_case.to_string()))?;
+        if !self.use_cases.contains_key(use_case) {
+            return Err(ManagedError::UnknownUseCase(use_case.to_string()));
+        }
         let labels = [("use_case", use_case)];
-        self.registry
-            .counter("managed.decompress.calls", &labels)
-            .inc();
+        let reg = Arc::clone(&self.registry);
+        reg.counter("managed.decompress.calls", &labels).inc();
 
+        // Stored frames decode by stripping the passthrough magic.
+        if let Some(raw) = frame.strip_prefix(&PASSTHROUGH_MAGIC) {
+            reg.histogram("managed.decompress.nanos", &labels)
+                .observe_duration(start.elapsed());
+            return Ok(raw.to_vec());
+        }
+
+        let case = self.use_cases.get_mut(use_case).expect("checked above");
         // Try dict-less first; on a dictionary mismatch error the frame
         // tells us which id it wants.
         let out = match codec.decompress(frame) {
             Ok(data) => Ok(data),
-            Err(codecs::CodecError::DictionaryMismatch { expected, .. }) => {
+            Err(codecs::CodecError::UnknownDictVersion { expected, .. }) => {
                 let version = expected & 0xfffff;
-                let dict = case
+                let exact = case
                     .versions
                     .iter()
                     .find(|(v, d)| *v == version && d.id() == expected)
-                    .map(|(_, d)| d)
-                    .ok_or_else(|| ManagedError::RetiredDictionary {
-                        use_case: use_case.to_string(),
-                        version,
-                    })?;
-                Ok(codec.decompress_with_dict(frame, dict)?)
+                    .map(|(_, d)| d);
+                match exact {
+                    Some(dict) => codec.decompress_with_dict(frame, dict).map_err(Into::into),
+                    None => {
+                        // Rollout skew: the exact generation is gone (or
+                        // the id is foreign). Retry every retained
+                        // version newest-first before giving up.
+                        let mut last_err = codecs::CodecError::UnknownDictVersion {
+                            expected,
+                            got: None,
+                        };
+                        let mut recovered = None;
+                        for (_, dict) in case.versions.iter().rev() {
+                            reg.counter("managed.decode_retries", &labels).inc();
+                            match codec.decompress_with_dict(frame, dict) {
+                                Ok(data) => {
+                                    recovered = Some(data);
+                                    break;
+                                }
+                                Err(e) => last_err = e,
+                            }
+                        }
+                        match recovered {
+                            Some(data) => Ok(data),
+                            None if Self::dict_id(use_case, version) == expected
+                                && version < case.next_version =>
+                            {
+                                // A generation this use case really
+                                // produced, rolled past versions_kept.
+                                Err(ManagedError::RetiredDictionary {
+                                    use_case: use_case.to_string(),
+                                    version,
+                                })
+                            }
+                            None => Err(last_err.into()),
+                        }
+                    }
+                }
             }
             Err(e) => Err(e.into()),
         };
-        self.registry
-            .histogram("managed.decompress.nanos", &labels)
+        // Codec-level failures quarantine the frame; service-level
+        // classifications (retired generation) pass through unchanged.
+        let out = match out {
+            Err(ManagedError::Codec(source)) => {
+                case.quarantine.push_back(frame.to_vec());
+                while case.quarantine.len() > QUARANTINE_CAP {
+                    case.quarantine.pop_front();
+                }
+                reg.counter("managed.quarantined", &labels).inc();
+                telemetry::trace::instant("managed.quarantine");
+                Err(ManagedError::Quarantined {
+                    use_case: use_case.to_string(),
+                    source,
+                })
+            }
+            other => other,
+        };
+        reg.histogram("managed.decompress.nanos", &labels)
             .observe_duration(start.elapsed());
         out
+    }
+
+    /// The quarantined frames retained for `use_case`, oldest first
+    /// (bounded; oldest entries are dropped past the cap). Empty for an
+    /// unknown use case.
+    pub fn quarantined(&self, use_case: &str) -> Vec<&[u8]> {
+        self.use_cases
+            .get(use_case)
+            .map(|c| c.quarantine.iter().map(|f| f.as_slice()).collect())
+            .unwrap_or_default()
     }
 
     /// Observability counters for a use case, reconstructed from the
@@ -249,6 +356,9 @@ impl ManagedCompression {
             versions_trained: snap.counter("managed.versions_trained", &labels) as u32,
             bytes_in: snap.counter("managed.bytes_in", &labels),
             bytes_out: snap.counter("managed.bytes_out", &labels),
+            passthrough: snap.counter("managed.passthrough", &labels),
+            decode_retries: snap.counter("managed.decode_retries", &labels),
+            quarantined: snap.counter("managed.quarantined", &labels),
         })
     }
 
@@ -393,6 +503,106 @@ mod tests {
         assert_eq!(st.compress_calls, 5);
         assert_eq!(st.decompress_calls, 5);
         assert!(st.ratio() > 0.5);
+    }
+
+    #[test]
+    fn incompressible_input_ships_as_passthrough() {
+        let mut svc = ManagedCompression::new(ManagedConfig::default());
+        // High-entropy bytes: compression cannot pay for itself.
+        let mut noise = vec![0u8; 2048];
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        for b in noise.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *b = x as u8;
+        }
+        let frame = svc.compress("noisy", &noise);
+        assert_eq!(frame[..4], PASSTHROUGH_MAGIC);
+        assert_eq!(frame.len(), noise.len() + 4);
+        assert_eq!(svc.decompress("noisy", &frame).unwrap(), noise);
+        assert_eq!(svc.stats("noisy").unwrap().passthrough, 1);
+    }
+
+    #[test]
+    fn payload_starting_with_magic_roundtrips() {
+        let mut svc = ManagedCompression::new(ManagedConfig::default());
+        let mut data = PASSTHROUGH_MAGIC.to_vec();
+        data.extend_from_slice(&[0xaa; 600]);
+        let frame = svc.compress("edge", &data);
+        assert_eq!(svc.decompress("edge", &frame).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_frame_is_quarantined_not_fatal() {
+        let mut svc = ManagedCompression::new(ManagedConfig::default());
+        // Drive a full rollout so the dictionary path is live.
+        let mut frames = Vec::new();
+        for i in 0..80 {
+            frames.push(svc.compress("events", &typed_payload(i)));
+        }
+        assert!(svc.stats("events").unwrap().versions_trained >= 1);
+        // Corrupt a frame body (past magic/flags) and submit it.
+        let mut bad = frames[70].clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x41;
+        bad[mid + 1] ^= 0x7f;
+        match svc.decompress("events", &bad) {
+            Err(ManagedError::Quarantined { use_case, .. }) => assert_eq!(use_case, "events"),
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // The service stays up: healthy traffic continues to round-trip.
+        let p = typed_payload(999);
+        let f = svc.compress("events", &p);
+        assert_eq!(svc.decompress("events", &f).unwrap(), p);
+        // The frame is retained for inspection and counted.
+        let q = svc.quarantined("events");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0], bad.as_slice());
+        assert_eq!(svc.stats("events").unwrap().quarantined, 1);
+    }
+
+    #[test]
+    fn quarantine_is_bounded() {
+        let mut svc = ManagedCompression::new(ManagedConfig::default());
+        svc.compress("q", &typed_payload(0));
+        for i in 0..(QUARANTINE_CAP + 9) {
+            // Valid magic, garbage body: always a codec failure.
+            let mut bad = vec![0x5a, 0x53, 0x58, 0x44];
+            bad.extend_from_slice(&[i as u8; 16]);
+            let _ = svc.decompress("q", &bad);
+        }
+        assert_eq!(svc.quarantined("q").len(), QUARANTINE_CAP);
+        assert!(svc.stats("q").unwrap().quarantined >= QUARANTINE_CAP as u64);
+        assert!(svc.quarantined("never-seen").is_empty());
+    }
+
+    #[test]
+    fn decode_retries_recover_version_skew() {
+        // versions_kept=2 with frequent retrains: a frame whose exact
+        // dictionary generation is still retained decodes via the exact
+        // path; a foreign id triggers retries across retained versions.
+        let mut svc = ManagedCompression::new(ManagedConfig {
+            retrain_interval: 10,
+            ..Default::default()
+        });
+        for i in 0..40 {
+            svc.compress("skew", &typed_payload(i));
+        }
+        assert!(svc.stats("skew").unwrap().versions_trained >= 1);
+        // A frame claiming a dict id this use case never issued: the
+        // service retries every retained version, then quarantines.
+        let mut svc2 = ManagedCompression::new(ManagedConfig::default());
+        for i in 0..40 {
+            svc2.compress("other", &typed_payload(i));
+        }
+        let foreign = svc2.compress("other", &typed_payload(1));
+        let err = svc.decompress("skew", &foreign);
+        assert!(
+            matches!(err, Err(ManagedError::Quarantined { .. })),
+            "foreign-dictionary frame should quarantine, got {err:?}"
+        );
+        assert!(svc.stats("skew").unwrap().decode_retries >= 1);
     }
 
     #[test]

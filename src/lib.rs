@@ -11,6 +11,8 @@
 //! * [`compopt`] — the paper's contribution: the CompOpt cost optimizer.
 //! * [`managed`] — the Managed Compression dictionary-lifecycle service
 //!   (the paper's reference \[27\]).
+//! * [`faultline`] — deterministic fault injection asserting the
+//!   panic-free decode contract across the codecs.
 //! * [`telemetry`] — the unified metrics/tracing layer (registry,
 //!   spans, JSON/Prometheus exporters).
 //! * [`entropy`] / [`lzkit`] — the shared compression substrates.
@@ -22,6 +24,7 @@ pub use codecs;
 pub use compopt;
 pub use corpus;
 pub use entropy;
+pub use faultline;
 pub use fleet;
 pub use lzkit;
 pub use managed;

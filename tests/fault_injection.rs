@@ -1,0 +1,118 @@
+//! Tier-1 fault-injection suite: the decode contract over hostile input.
+//!
+//! Complements the unit tests inside `codecs` and `faultline` with
+//! cross-crate sweeps: every-prefix truncation per codec, checksum
+//! detection of payload corruption, and the full injector × codec ×
+//! corpus sweep at fixed seeds.
+
+use codecs::{Algorithm, CodecError, DecodeLimits};
+use faultline::{sweep, Injector, SweepConfig};
+
+fn corpus_blocks(size: usize) -> Vec<Vec<u8>> {
+    corpus::silesia::FileClass::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| corpus::silesia::generate(c, size, 0x5157 + i as u64))
+        .collect()
+}
+
+/// `decompress(&compressed[..k])` for *every* prefix `k` must return
+/// `Err` — never panic, never succeed on a strict prefix.
+#[test]
+fn every_prefix_truncation_errors_not_panics() {
+    let input = corpus::silesia::generate(corpus::silesia::FileClass::Text, 4 << 10, 0x77);
+    for algo in Algorithm::ALL {
+        for comp in [algo.compressor(3), algo.compressor_checked(3)] {
+            let frame = comp.compress(&input);
+            for k in 0..frame.len() {
+                let result = comp.decompress(&frame[..k]);
+                assert!(
+                    result.is_err(),
+                    "{}: prefix of {k}/{} bytes decoded Ok",
+                    comp.name(),
+                    frame.len()
+                );
+            }
+            // The full frame still decodes.
+            assert_eq!(comp.decompress(&frame).unwrap(), input);
+        }
+    }
+}
+
+/// With content checksums on, flipping any payload byte must be
+/// detected — `Ok` with wrong bytes is the one forbidden outcome.
+#[test]
+fn checksummed_frames_detect_payload_corruption() {
+    let input = corpus::silesia::generate(corpus::silesia::FileClass::Log, 8 << 10, 0xc4ec);
+    for algo in Algorithm::ALL {
+        let comp = algo.compressor_checked(3);
+        let frame = comp.compress(&input);
+        let mut checksum_hits = 0usize;
+        // Flip one byte at a time, sampling every 7th position for speed.
+        for pos in (0..frame.len()).step_by(7) {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0x10;
+            match comp.decompress(&bad) {
+                Err(CodecError::ChecksumMismatch { .. }) => checksum_hits += 1,
+                Err(_) => {}
+                Ok(out) => assert_eq!(
+                    out,
+                    input,
+                    "{}: silent corruption from byte flip at {pos}",
+                    comp.name()
+                ),
+            }
+        }
+        assert!(
+            checksum_hits > 0,
+            "{}: no corruption reached the checksum stage — is the checksum wired in?",
+            comp.name()
+        );
+    }
+}
+
+/// The full sweep (all injectors × all codecs × all corpus classes) at
+/// the pinned seed: zero panics, zero silent corruptions.
+#[test]
+fn sweep_all_injectors_all_codecs_zero_violations() {
+    let blocks = corpus_blocks(16 << 10);
+    let cfg = SweepConfig {
+        seed: 0x5157,
+        budget_per_block: 32,
+        level: 3,
+        checksums: true,
+    };
+    let report = sweep(&blocks, &Injector::ALL, &Algorithm::ALL.to_vec(), &cfg);
+    assert!(
+        report.total_cases() > 1000,
+        "sweep too small to be meaningful"
+    );
+    assert_eq!(
+        report.violations(),
+        0,
+        "decode-contract violations:\n{}",
+        report.render_table()
+    );
+}
+
+/// Hostile declared sizes are rejected against the caller's budget
+/// before any allocation-scale work happens.
+#[test]
+fn decode_limits_bound_hostile_allocations() {
+    let input = corpus::silesia::generate(corpus::silesia::FileClass::Database, 64 << 10, 0xbeef);
+    for algo in Algorithm::ALL {
+        let comp = algo.compressor(3);
+        let frame = comp.compress(&input);
+        let tight = DecodeLimits::with_max_output(1024);
+        match comp.decompress_limited(&frame, &tight) {
+            Err(CodecError::LimitExceeded { requested, limit }) => {
+                assert_eq!(limit, 1024);
+                assert_eq!(requested, input.len(), "{}", comp.name());
+            }
+            other => panic!("{}: expected LimitExceeded, got {other:?}", comp.name()),
+        }
+        // An exact budget decodes.
+        let exact = DecodeLimits::with_max_output(input.len());
+        assert_eq!(comp.decompress_limited(&frame, &exact).unwrap(), input);
+    }
+}
