@@ -178,7 +178,8 @@ fn parallel_scaling(scale: Scale) {
     let mut rows = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let t0 = std::time::Instant::now();
-        let frame = codecs::parallel::compress_parallel(&z, &data, threads);
+        let frame = codecs::parallel::compress_parallel(&z, &data, threads)
+            .expect("nonzero thread count is always valid");
         let dt = t0.elapsed().as_secs_f64();
         rows.push(ParRow {
             threads,

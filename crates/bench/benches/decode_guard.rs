@@ -1,0 +1,196 @@
+//! Decode-throughput guard: decompression speed must not regress.
+//!
+//! The panic-free decode contract (see `tests/fault_injection.rs`) cost
+//! measurable decompression throughput when it landed; the checked
+//! fast-path engines (word-at-a-time bit readers, multi-symbol entropy
+//! tables, wild LZ copies) recovered it. This bench pins that recovery:
+//! it measures best-of-5 median decompression throughput per codec over
+//! a mixed corpus and fails (exit 1) if any codec lands more than
+//! `TOLERANCE` below the checked-in baseline.
+//!
+//! * `DATACOMP_QUICK=1` — reduced corpus/iterations; compared against
+//!   the baseline's `quick` section (CI uses this).
+//! * `DATACOMP_GUARD_WRITE=1` — rewrite the baseline section for the
+//!   current scale from this run's numbers instead of checking.
+//! * `DATACOMP_GUARD_TOLERANCE=0.08` — override the allowed fractional
+//!   regression (default 0.05).
+
+use std::time::Instant;
+
+use benchkit::{print_table, write_artifact, Scale};
+use codecs::{Algorithm, Compressor};
+use corpus::silesia::FileClass;
+
+/// Allowed fractional throughput regression before the guard fails.
+const TOLERANCE: f64 = 0.05;
+
+/// Per-codec measurement rounds; the median is the reported number.
+const ROUNDS: usize = 5;
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("decode_guard_baseline.json")
+}
+
+/// One block of every Silesia-like class, concatenated — the same mixed
+/// shape the fleet model decodes, so no codec is graded on a corpus
+/// that flatters it.
+fn mixed_corpus(per_class: usize) -> Vec<u8> {
+    let mut data = Vec::with_capacity(per_class * FileClass::ALL.len());
+    for (i, class) in FileClass::ALL.into_iter().enumerate() {
+        data.extend_from_slice(&corpus::silesia::generate(
+            class,
+            per_class,
+            0x5157 + i as u64,
+        ));
+    }
+    data
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+    xs[xs.len() / 2]
+}
+
+/// Best-of-`ROUNDS` median decompression throughput in MB/s.
+fn measure_decode_mbps(comp: &dyn Compressor, frame: &[u8], content: usize, iters: usize) -> f64 {
+    for _ in 0..2 {
+        let out = comp.decompress(frame).expect("own frame decodes");
+        assert_eq!(out.len(), content);
+    }
+    let rounds: Vec<f64> = (0..ROUNDS)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(comp.decompress(frame).expect("own frame decodes"));
+            }
+            content as f64 * iters as f64 / t0.elapsed().as_secs_f64() / 1e6
+        })
+        .collect();
+    median(rounds)
+}
+
+fn tolerance() -> f64 {
+    std::env::var("DATACOMP_GUARD_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(TOLERANCE)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let section = scale.pick("full", "quick");
+    let per_class = scale.pick(512 << 10, 64 << 10);
+    let iters = scale.pick(8, 3);
+    let data = mixed_corpus(per_class);
+
+    let mut measured: Vec<(&'static str, f64)> = Vec::new();
+    for algo in Algorithm::ALL {
+        // The fleet's dominant levels: zstdx runs at 3, the byte-oriented
+        // codecs at their ratio-side default 6.
+        let level = if matches!(algo, Algorithm::Zstdx) {
+            3
+        } else {
+            6
+        };
+        let comp = algo.compressor(level);
+        let frame = comp.compress(&data);
+        let mbps = measure_decode_mbps(comp.as_ref(), &frame, data.len(), iters);
+        measured.push((algo.name(), mbps));
+    }
+
+    let path = baseline_path();
+    if std::env::var_os("DATACOMP_GUARD_WRITE").is_some_and(|v| v != "0") {
+        write_baseline(&path, section, &measured);
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with DATACOMP_GUARD_WRITE=1 to create it",
+            path.display()
+        )
+    });
+    let baseline: serde_json::Value = serde_json::from_str(&text).expect("baseline JSON parses");
+    let tol = tolerance();
+
+    let mut rows = Vec::new();
+    let mut json_lines = String::new();
+    let mut failures = Vec::new();
+    for (name, mbps) in &measured {
+        let base = baseline[section][*name]
+            .as_f64()
+            .unwrap_or_else(|| panic!("baseline missing {section}/{name}"));
+        let delta = mbps / base - 1.0;
+        let ok = delta >= -tol;
+        rows.push(vec![
+            (*name).to_string(),
+            format!("{base:.1}"),
+            format!("{mbps:.1}"),
+            format!("{:+.1}%", delta * 100.0),
+            if ok { "ok" } else { "FAIL" }.to_string(),
+        ]);
+        json_lines.push_str(&format!(
+            "{{\"codec\":\"{name}\",\"scale\":\"{section}\",\"baseline_mbps\":{base:.1},\"measured_mbps\":{mbps:.1},\"delta\":{delta:.4}}}\n"
+        ));
+        if !ok {
+            failures.push(format!(
+                "{name}: {mbps:.1} MB/s is {:.1}% below baseline {base:.1} MB/s (tolerance {:.0}%)",
+                -delta * 100.0,
+                tol * 100.0
+            ));
+        }
+    }
+    print_table(
+        &format!("decode guard ({section}, tolerance {:.0}%)", tol * 100.0),
+        &["codec", "baseline MB/s", "measured MB/s", "delta", "status"],
+        &rows,
+    );
+    write_artifact("decode_guard", &json_lines);
+    if !failures.is_empty() {
+        eprintln!("decode throughput regression:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Rewrites one scale section of the baseline file, preserving the
+/// other. Hand-formatted so the output is byte-stable and diffable.
+fn write_baseline(path: &std::path::Path, section: &str, measured: &[(&'static str, f64)]) {
+    let other = if section == "full" { "quick" } else { "full" };
+    let existing = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| serde_json::from_str::<serde_json::Value>(&t).ok());
+    let fmt_section = |name: &str, vals: Vec<(String, f64)>| {
+        let body = vals
+            .iter()
+            .map(|(k, v)| format!("    \"{k}\": {v:.1}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("  \"{name}\": {{\n{body}\n  }}")
+    };
+    let mine: Vec<(String, f64)> = measured
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), *v))
+        .collect();
+    let theirs: Vec<(String, f64)> = Algorithm::ALL
+        .into_iter()
+        .map(|a| {
+            let v = existing
+                .as_ref()
+                .and_then(|e| e[other][a.name()].as_f64())
+                .unwrap_or(0.0);
+            (a.name().to_string(), v)
+        })
+        .collect();
+    // Keep "full" first for a stable file layout.
+    let (first, second) = if section == "full" {
+        (fmt_section("full", mine), fmt_section("quick", theirs))
+    } else {
+        (fmt_section("full", theirs), fmt_section("quick", mine))
+    };
+    let text = format!("{{\n{first},\n{second}\n}}\n");
+    std::fs::write(path, &text).expect("baseline is writable");
+    println!("wrote {}", path.display());
+}

@@ -94,6 +94,9 @@ pub enum CodecError {
     Entropy(entropy::Error),
     /// LZ sequence application failed (bad offset / lengths).
     Sequence(lzkit::Error),
+    /// A caller-supplied configuration value is unusable (e.g. a
+    /// zero-thread parallel compress).
+    InvalidConfig(&'static str),
 }
 
 impl CodecError {
@@ -129,6 +132,7 @@ impl CodecError {
             CodecError::UnknownDictVersion { .. } => "unknown_dict_version",
             CodecError::Entropy(_) => "entropy",
             CodecError::Sequence(_) => "sequence",
+            CodecError::InvalidConfig(_) => "invalid_config",
         }
     }
 }
@@ -158,6 +162,7 @@ impl std::fmt::Display for CodecError {
             }
             CodecError::Entropy(e) => write!(f, "entropy decode failed: {e}"),
             CodecError::Sequence(e) => write!(f, "sequence apply failed: {e}"),
+            CodecError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }
     }
 }
@@ -256,7 +261,7 @@ pub(crate) fn initial_capacity(declared: usize, src_len: usize, limits: &DecodeL
 /// Panics in debug builds if `offset` is 0 or exceeds `out.len()`;
 /// callers validate offsets first.
 #[inline]
-pub(crate) fn lz_copy(out: &mut Vec<u8>, offset: usize, mut len: usize) {
+pub(crate) fn lz_copy_checked(out: &mut Vec<u8>, offset: usize, mut len: usize) {
     debug_assert!(offset >= 1 && offset <= out.len());
     let start = out.len() - offset;
     while len > 0 {
@@ -264,6 +269,56 @@ pub(crate) fn lz_copy(out: &mut Vec<u8>, offset: usize, mut len: usize) {
         let chunk = len.min(avail);
         out.extend_from_within(start..start + chunk);
         len -= chunk;
+    }
+}
+
+/// Fast LZ match copy: identical output to [`lz_copy_checked`], but for
+/// non-overlapping-enough matches (`offset >= 8`) it copies in 8-byte
+/// chunks inside a safe region reserved up front, checking bounds once
+/// per match instead of once per byte. Close-range matches (`offset < 8`)
+/// fall back to the checked doubling loop, which handles period
+/// replication.
+///
+/// # Panics
+///
+/// Panics in debug builds if `offset` is 0 or exceeds `out.len()`;
+/// callers validate offsets first (region setup time), exactly as for
+/// [`lz_copy_checked`].
+#[inline]
+pub(crate) fn lz_copy(out: &mut Vec<u8>, offset: usize, len: usize) {
+    debug_assert!(offset >= 1 && offset <= out.len());
+    if offset < 8 {
+        return lz_copy_checked(out, offset, len);
+    }
+    let old_len = out.len();
+    // Safe region: the copy may overshoot by up to 7 bytes, so reserve
+    // the full match plus one spare word before taking any pointers.
+    out.reserve(len + 8);
+    // SAFETY:
+    // * `reserve` guarantees capacity >= old_len + len + 8, so every
+    //   8-byte write below (last write starts at < old_len + len) stays
+    //   inside the allocation.
+    // * `offset >= 8` means src + 8 <= dst at every step: each chunk
+    //   reads bytes that are initialized — either part of the original
+    //   `old_len` bytes (offset was validated <= old_len) or written by
+    //   an earlier chunk of this loop.
+    // * `set_len(old_len + len)` only exposes bytes the loop wrote:
+    //   writes cover [old_len, old_len + len) before it runs (the loop
+    //   exits once dst >= end, and dst advances 8 per write from
+    //   old_len).
+    // * src and dst ranges within one `copy_nonoverlapping` call are
+    //   disjoint (they are 8 bytes wide and 8 <= offset apart).
+    unsafe {
+        let base = out.as_mut_ptr();
+        let mut src = base.add(old_len - offset);
+        let mut dst = base.add(old_len);
+        let end = base.add(old_len + len);
+        while dst < end {
+            std::ptr::copy_nonoverlapping(src, dst, 8);
+            src = src.add(8);
+            dst = dst.add(8);
+        }
+        out.set_len(old_len + len);
     }
 }
 

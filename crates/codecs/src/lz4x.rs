@@ -64,6 +64,104 @@ impl Lz4x {
     pub fn params(&self) -> &MatchParams {
         &self.params
     }
+
+    /// Reference decode path: byte-at-a-time match copies, no wild-copy
+    /// fast path. Semantically identical to
+    /// [`Compressor::decompress_limited`] — the differential suite pins
+    /// the two engines against each other.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compressor::decompress_limited`].
+    pub fn decompress_reference(&self, src: &[u8], limits: &DecodeLimits) -> Result<Vec<u8>> {
+        self.decompress_inner::<false>(src, limits)
+    }
+
+    /// Shared decode engine; `FAST` selects the wild-copy match loop.
+    #[deny(clippy::indexing_slicing)]
+    fn decompress_inner<const FAST: bool>(
+        &self,
+        src: &[u8],
+        limits: &DecodeLimits,
+    ) -> Result<Vec<u8>> {
+        let start = Instant::now();
+        let mut c = Cursor::new(src);
+        let has_checksum = match c.read_slice(2)? {
+            m if m == MAGIC => false,
+            m if m == MAGIC_CK => true,
+            _ => return Err(CodecError::BadFrame("lz4x magic mismatch")),
+        };
+        let content = c.read_varint()? as usize;
+        if content > crate::MAX_CONTENT_SIZE {
+            return Err(CodecError::BadFrame("content size implausible"));
+        }
+        limits.check_output(content)?;
+        let header = c.position();
+        let mut body = c.read_slice_remaining()?;
+        let mut want = 0u32;
+        if has_checksum {
+            let n = body
+                .len()
+                .checked_sub(4)
+                .ok_or(CodecError::Truncated("lz4x checksum trailer"))?;
+            let (rest, trailer) = body.split_at(n);
+            body = rest;
+            want = u32::from_le_bytes(
+                trailer
+                    .try_into()
+                    .map_err(|_| CodecError::Truncated("lz4x checksum trailer"))?,
+            );
+        }
+        let mut c = Cursor::new(body);
+        let mut out = Vec::with_capacity(crate::initial_capacity(content, src.len(), limits));
+        while out.len() < content {
+            let token = c.read_u8()?;
+            let ll = read_ext_len(&mut c, (token >> 4) as u32)? as usize;
+            out.extend_from_slice(c.read_slice(ll)?);
+            if c.remaining() == 0 {
+                break; // literals-only tail
+            }
+            let offset = c.read_u16()? as usize;
+            let ml = read_ext_len(&mut c, (token & 0x0f) as u32)? as usize + MIN_MATCH as usize;
+            if offset == 0 || offset > out.len() {
+                return Err(CodecError::corrupt(
+                    "lz4x offset out of range",
+                    header + c.position(),
+                ));
+            }
+            if out.len() + ml > content {
+                return Err(CodecError::corrupt(
+                    "lz4x match overruns content",
+                    header + c.position(),
+                ));
+            }
+            // Offset and length were validated against `out` and
+            // `content` just above — the region the copy touches is
+            // known-safe before a single byte moves.
+            if FAST {
+                crate::lz_copy(&mut out, offset, ml);
+            } else {
+                crate::lz_copy_checked(&mut out, offset, ml);
+            }
+        }
+        if out.len() != content {
+            return Err(CodecError::corrupt(
+                "lz4x decoded length mismatch",
+                header + c.position(),
+            ));
+        }
+        if has_checksum {
+            let got = crate::xxhash::content_checksum(&out);
+            if want != got {
+                return Err(CodecError::ChecksumMismatch {
+                    expected: want,
+                    got,
+                });
+            }
+        }
+        crate::obs::record_decompress("lz4x", self.level, out.len(), start);
+        Ok(out)
+    }
 }
 
 fn level_params(level: i32) -> MatchParams {
@@ -182,78 +280,8 @@ impl Compressor for Lz4x {
         out
     }
 
-    #[deny(clippy::indexing_slicing)]
     fn decompress_limited(&self, src: &[u8], limits: &DecodeLimits) -> Result<Vec<u8>> {
-        let start = Instant::now();
-        let mut c = Cursor::new(src);
-        let has_checksum = match c.read_slice(2)? {
-            m if m == MAGIC => false,
-            m if m == MAGIC_CK => true,
-            _ => return Err(CodecError::BadFrame("lz4x magic mismatch")),
-        };
-        let content = c.read_varint()? as usize;
-        if content > crate::MAX_CONTENT_SIZE {
-            return Err(CodecError::BadFrame("content size implausible"));
-        }
-        limits.check_output(content)?;
-        let header = c.position();
-        let mut body = c.read_slice_remaining()?;
-        let mut want = 0u32;
-        if has_checksum {
-            let n = body
-                .len()
-                .checked_sub(4)
-                .ok_or(CodecError::Truncated("lz4x checksum trailer"))?;
-            let (rest, trailer) = body.split_at(n);
-            body = rest;
-            want = u32::from_le_bytes(
-                trailer
-                    .try_into()
-                    .map_err(|_| CodecError::Truncated("lz4x checksum trailer"))?,
-            );
-        }
-        let mut c = Cursor::new(body);
-        let mut out = Vec::with_capacity(crate::initial_capacity(content, src.len(), limits));
-        while out.len() < content {
-            let token = c.read_u8()?;
-            let ll = read_ext_len(&mut c, (token >> 4) as u32)? as usize;
-            out.extend_from_slice(c.read_slice(ll)?);
-            if c.remaining() == 0 {
-                break; // literals-only tail
-            }
-            let offset = c.read_u16()? as usize;
-            let ml = read_ext_len(&mut c, (token & 0x0f) as u32)? as usize + MIN_MATCH as usize;
-            if offset == 0 || offset > out.len() {
-                return Err(CodecError::corrupt(
-                    "lz4x offset out of range",
-                    header + c.position(),
-                ));
-            }
-            if out.len() + ml > content {
-                return Err(CodecError::corrupt(
-                    "lz4x match overruns content",
-                    header + c.position(),
-                ));
-            }
-            crate::lz_copy(&mut out, offset, ml);
-        }
-        if out.len() != content {
-            return Err(CodecError::corrupt(
-                "lz4x decoded length mismatch",
-                header + c.position(),
-            ));
-        }
-        if has_checksum {
-            let got = crate::xxhash::content_checksum(&out);
-            if want != got {
-                return Err(CodecError::ChecksumMismatch {
-                    expected: want,
-                    got,
-                });
-            }
-        }
-        crate::obs::record_decompress("lz4x", self.level, out.len(), start);
-        Ok(out)
+        self.decompress_inner::<true>(src, limits)
     }
 }
 

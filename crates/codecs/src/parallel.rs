@@ -19,12 +19,27 @@ use crate::zstdx::{write_block, Zstdx, BLOCK_SIZE, FLAG_CHECKSUM, MAGIC};
 /// path, which isolates the ratio cost of independence from the speedup
 /// (the ablation bench uses exactly that).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `threads == 0`.
-pub fn compress_parallel(codec: &Zstdx, src: &[u8], threads: usize) -> Vec<u8> {
-    assert!(threads > 0, "at least one worker required");
+/// Returns [`crate::CodecError::InvalidConfig`] if `threads == 0`.
+pub fn compress_parallel(codec: &Zstdx, src: &[u8], threads: usize) -> crate::Result<Vec<u8>> {
+    if threads == 0 {
+        return Err(crate::CodecError::InvalidConfig(
+            "compress_parallel requires at least one worker thread",
+        ));
+    }
     let params = *codec.params();
+    if src.is_empty() {
+        // Zero blocks is a valid frame body when the declared content
+        // size is zero; emit it directly rather than spawning workers
+        // over an empty chunk list.
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&MAGIC);
+        out.push(FLAG_CHECKSUM);
+        write_varint(&mut out, 0);
+        out.extend_from_slice(&content_checksum(src).to_le_bytes());
+        return Ok(out);
+    }
     let blocks: Vec<&[u8]> = src.chunks(BLOCK_SIZE).collect();
     let per_worker = blocks.len().div_ceil(threads).max(1);
 
@@ -58,7 +73,7 @@ pub fn compress_parallel(codec: &Zstdx, src: &[u8], threads: usize) -> Vec<u8> {
         out.extend_from_slice(&b);
     }
     out.extend_from_slice(&content_checksum(src).to_le_bytes());
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -78,7 +93,7 @@ mod tests {
         let data = sample(700_000); // ~6 blocks
         let z = Zstdx::new(3);
         for threads in [1, 2, 4, 7] {
-            let frame = compress_parallel(&z, &data, threads);
+            let frame = compress_parallel(&z, &data, threads).unwrap();
             assert_eq!(z.decompress(&frame).unwrap(), data, "threads={threads}");
         }
     }
@@ -89,8 +104,8 @@ mod tests {
         // identical regardless of worker count.
         let data = sample(500_000);
         let z = Zstdx::new(2);
-        let a = compress_parallel(&z, &data, 1);
-        let b = compress_parallel(&z, &data, 4);
+        let a = compress_parallel(&z, &data, 1).unwrap();
+        let b = compress_parallel(&z, &data, 4).unwrap();
         assert_eq!(a, b);
     }
 
@@ -102,7 +117,7 @@ mod tests {
         let data = corpus::sst::generate_sst(1 << 20, 3);
         let z = Zstdx::new(3);
         let chained = z.compress(&data).len();
-        let independent = compress_parallel(&z, &data, 4).len();
+        let independent = compress_parallel(&z, &data, 4).unwrap().len();
         assert!(
             independent as f64 >= chained as f64 * 0.99,
             "independence should not beat chaining on block-spanning data: {independent} vs {chained}"
@@ -123,7 +138,7 @@ mod tests {
         let data = sample(1_000_000);
         let z = Zstdx::new(3);
         let chained = z.compress(&data).len();
-        let independent = compress_parallel(&z, &data, 4).len();
+        let independent = compress_parallel(&z, &data, 4).unwrap().len();
         assert!((independent as f64) < chained as f64 * 1.15);
         assert!((independent as f64) > chained as f64 * 0.5);
     }
@@ -132,8 +147,31 @@ mod tests {
     fn small_inputs_work() {
         let z = Zstdx::new(1);
         for data in [vec![], b"x".to_vec(), sample(1000)] {
-            let frame = compress_parallel(&z, &data, 8);
+            let frame = compress_parallel(&z, &data, 8).unwrap();
             assert_eq!(z.decompress(&frame).unwrap(), data);
         }
+    }
+
+    #[test]
+    fn zero_threads_is_an_error_not_a_panic() {
+        let z = Zstdx::new(3);
+        let err = compress_parallel(&z, b"payload", 0).unwrap_err();
+        assert_eq!(err.kind(), "invalid_config");
+    }
+
+    #[test]
+    fn empty_input_produces_a_well_formed_frame() {
+        let z = Zstdx::new(3);
+        let frame = compress_parallel(&z, &[], 4).unwrap();
+        // The zero-block frame must satisfy the strict structural walker
+        // (decompress_multi re-walks frames with it), not just the
+        // single-frame decoder.
+        assert_eq!(z.decompress(&frame).unwrap(), Vec::<u8>::new());
+        assert_eq!(z.decompress_multi(&frame).unwrap(), Vec::<u8>::new());
+        // And it matches what the serial compressor-independent layout
+        // promises: magic, checksum flag, zero content size, checksum.
+        assert_eq!(&frame[..4], &MAGIC);
+        assert_eq!(frame[4], FLAG_CHECKSUM);
+        assert_eq!(frame[5], 0);
     }
 }

@@ -295,7 +295,8 @@ impl<R: Read> DecompressReader<R> {
                 self.out.resize(before + decoded, b);
             }
             BLOCK_COMPRESSED => {
-                decode_block_payload(&payload, &mut self.out, decoded).map_err(Self::io_err)?;
+                decode_block_payload::<true>(&payload, &mut self.out, decoded)
+                    .map_err(Self::io_err)?;
             }
             _ if decoded == 0 => {}
             _ => return Err(Self::io_err(CodecError::corrupt("zstdx bad block type", 0))),

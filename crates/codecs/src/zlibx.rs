@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use entropy::bitio::{BitReader, BitWriter};
+use entropy::bitio::{BitReader, BitReaderFast, BitSrc, BitWriter};
 use entropy::huffman::HuffmanTable;
 use lzkit::{MatchParams, Strategy};
 
@@ -73,6 +73,70 @@ impl Zlibx {
     /// The match-finding parameters (None at level 0).
     pub fn params(&self) -> Option<&MatchParams> {
         self.params.as_ref()
+    }
+
+    /// Reference decode path: byte-at-a-time bit reads and match copies.
+    /// Semantically identical to [`Compressor::decompress_limited`] —
+    /// the differential suite pins the two engines against each other.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compressor::decompress_limited`].
+    pub fn decompress_reference(&self, src: &[u8], limits: &DecodeLimits) -> Result<Vec<u8>> {
+        self.decompress_inner::<false>(src, limits)
+    }
+
+    /// Shared decode engine; `FAST` selects the word-refilling bit reader
+    /// and the wild-copy match loop.
+    #[deny(clippy::indexing_slicing)]
+    fn decompress_inner<const FAST: bool>(
+        &self,
+        src: &[u8],
+        limits: &DecodeLimits,
+    ) -> Result<Vec<u8>> {
+        let begin = Instant::now();
+        let mut c = Cursor::new(src);
+        let has_checksum = match c.read_slice(2)? {
+            m if m == MAGIC => false,
+            m if m == MAGIC_CK => true,
+            _ => return Err(CodecError::BadFrame("zlibx magic mismatch")),
+        };
+        let content = c.read_varint()? as usize;
+        if content > crate::MAX_CONTENT_SIZE {
+            return Err(CodecError::BadFrame("content size implausible"));
+        }
+        limits.check_output(content)?;
+        let mut out = Vec::with_capacity(crate::initial_capacity(content, src.len(), limits));
+        while out.len() < content {
+            let decoded_len = c.read_varint()? as usize;
+            if decoded_len == 0 || out.len() + decoded_len > content {
+                return Err(c.corrupt("zlibx bad block length"));
+            }
+            match c.read_u8()? {
+                0 => out.extend_from_slice(c.read_slice(decoded_len)?),
+                1 => {
+                    let body_len = c.read_varint()? as usize;
+                    let body_at = c.position();
+                    let body = c.read_slice(body_len)?;
+                    let mut bc = Cursor::new(body);
+                    decode_block::<FAST>(&mut bc, &mut out, decoded_len)
+                        .map_err(|e| e.rebase(body_at))?;
+                }
+                _ => return Err(c.corrupt("zlibx bad block type")),
+            }
+        }
+        if has_checksum {
+            let want = c.read_u32()?;
+            let got = crate::xxhash::content_checksum(&out);
+            if want != got {
+                return Err(CodecError::ChecksumMismatch {
+                    expected: want,
+                    got,
+                });
+            }
+        }
+        crate::obs::record_decompress("zlibx", self.level, out.len(), begin);
+        Ok(out)
     }
 }
 
@@ -190,7 +254,11 @@ fn encode_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> O
 }
 
 #[deny(clippy::indexing_slicing)]
-fn decode_block(c: &mut Cursor<'_>, out: &mut Vec<u8>, decoded_len: usize) -> Result<()> {
+fn decode_block<const FAST: bool>(
+    c: &mut Cursor<'_>,
+    out: &mut Vec<u8>,
+    decoded_len: usize,
+) -> Result<()> {
     let lit_lens = read_nibble_lengths(c, LITLEN_ALPHABET)?;
     let lit_table = HuffmanTable::from_lengths(&lit_lens)?;
     let dist_mode = c.read_u8()?;
@@ -205,11 +273,47 @@ fn decode_block(c: &mut Cursor<'_>, out: &mut Vec<u8>, decoded_len: usize) -> Re
     };
     let nbits = c.read_varint()? as usize;
     let payload = c.read_slice(nbits.div_ceil(8))?;
-    let mut r = BitReader::new(payload, nbits);
+    if FAST {
+        let mut r = BitReaderFast::new(payload, nbits);
+        decode_symbols::<_, FAST>(
+            c,
+            &mut r,
+            &lit_table,
+            &dist_table,
+            fixed_dist,
+            out,
+            decoded_len,
+        )
+    } else {
+        let mut r = BitReader::new(payload, nbits);
+        decode_symbols::<_, FAST>(
+            c,
+            &mut r,
+            &lit_table,
+            &dist_table,
+            fixed_dist,
+            out,
+            decoded_len,
+        )
+    }
+}
 
+/// Symbol loop of [`decode_block`], generic over the bit-source engine.
+/// Error offsets anchor at the block cursor's position (the byte after
+/// the entropy payload), identically for both engines.
+#[deny(clippy::indexing_slicing)]
+fn decode_symbols<R: BitSrc, const FAST: bool>(
+    c: &Cursor<'_>,
+    r: &mut R,
+    lit_table: &HuffmanTable,
+    dist_table: &Option<HuffmanTable>,
+    fixed_dist: Option<u8>,
+    out: &mut Vec<u8>,
+    decoded_len: usize,
+) -> Result<()> {
     let end = out.len() + decoded_len;
     loop {
-        let sym = lit_table.read_symbol(&mut r)?;
+        let sym = lit_table.read_symbol(r)?;
         if sym < 256 {
             if out.len() >= end {
                 return Err(c.corrupt("zlibx literal overruns block"));
@@ -225,8 +329,8 @@ fn decode_block(c: &mut Cursor<'_>, out: &mut Vec<u8>, decoded_len: usize) -> Re
             let (base, bits) = ml_extra(mlc);
             let mlv = base + r.read_bits(bits)? as u32;
             let ml = (mlv + MIN_MATCH) as usize;
-            let ofc = match (&dist_table, fixed_dist) {
-                (Some(t), _) => t.read_symbol(&mut r)? as u8,
+            let ofc = match (dist_table, fixed_dist) {
+                (Some(t), _) => t.read_symbol(r)? as u8,
                 (None, Some(f)) => f,
                 (None, None) => return Err(c.corrupt("zlibx match without dists")),
             };
@@ -241,7 +345,13 @@ fn decode_block(c: &mut Cursor<'_>, out: &mut Vec<u8>, decoded_len: usize) -> Re
             if out.len() + ml > end {
                 return Err(c.corrupt("zlibx match overruns block"));
             }
-            crate::lz_copy(out, offset, ml);
+            // Offset and length validated against `out` and the block
+            // end just above, so the copy region is safe before it runs.
+            if FAST {
+                crate::lz_copy(out, offset, ml);
+            } else {
+                crate::lz_copy_checked(out, offset, ml);
+            }
         }
     }
     if out.len() != end {
@@ -292,50 +402,8 @@ impl Compressor for Zlibx {
         out
     }
 
-    #[deny(clippy::indexing_slicing)]
     fn decompress_limited(&self, src: &[u8], limits: &DecodeLimits) -> Result<Vec<u8>> {
-        let begin = Instant::now();
-        let mut c = Cursor::new(src);
-        let has_checksum = match c.read_slice(2)? {
-            m if m == MAGIC => false,
-            m if m == MAGIC_CK => true,
-            _ => return Err(CodecError::BadFrame("zlibx magic mismatch")),
-        };
-        let content = c.read_varint()? as usize;
-        if content > crate::MAX_CONTENT_SIZE {
-            return Err(CodecError::BadFrame("content size implausible"));
-        }
-        limits.check_output(content)?;
-        let mut out = Vec::with_capacity(crate::initial_capacity(content, src.len(), limits));
-        while out.len() < content {
-            let decoded_len = c.read_varint()? as usize;
-            if decoded_len == 0 || out.len() + decoded_len > content {
-                return Err(c.corrupt("zlibx bad block length"));
-            }
-            match c.read_u8()? {
-                0 => out.extend_from_slice(c.read_slice(decoded_len)?),
-                1 => {
-                    let body_len = c.read_varint()? as usize;
-                    let body_at = c.position();
-                    let body = c.read_slice(body_len)?;
-                    let mut bc = Cursor::new(body);
-                    decode_block(&mut bc, &mut out, decoded_len).map_err(|e| e.rebase(body_at))?;
-                }
-                _ => return Err(c.corrupt("zlibx bad block type")),
-            }
-        }
-        if has_checksum {
-            let want = c.read_u32()?;
-            let got = crate::xxhash::content_checksum(&out);
-            if want != got {
-                return Err(CodecError::ChecksumMismatch {
-                    expected: want,
-                    got,
-                });
-            }
-        }
-        crate::obs::record_decompress("zlibx", self.level, out.len(), begin);
-        Ok(out)
+        self.decompress_inner::<true>(src, limits)
     }
 }
 

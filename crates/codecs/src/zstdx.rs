@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use entropy::bitio::{BitWriter, ReverseBitReader};
+use entropy::bitio::{BitWriter, RevBitSrc, ReverseBitReader, ReverseBitReaderFast};
 use entropy::fse::{FseDecoder, FseEncoder, FseTable};
 use entropy::huffman::HuffmanTable;
 use lzkit::{MatchParams, ParsedBlock, Strategy};
@@ -302,8 +302,20 @@ pub(crate) fn write_block_opts(
 }
 
 impl Zstdx {
+    /// Reference decode path: byte-at-a-time bit reads, single-symbol
+    /// Huffman lookups, and checked match copies. Semantically identical
+    /// to [`Compressor::decompress_limited`] — the differential suite
+    /// pins the two engines against each other.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compressor::decompress_limited`].
+    pub fn decompress_reference(&self, src: &[u8], limits: &DecodeLimits) -> Result<Vec<u8>> {
+        self.decompress_impl::<false>(src, None, limits)
+    }
+
     #[deny(clippy::indexing_slicing)]
-    fn decompress_impl(
+    fn decompress_impl<const FAST: bool>(
         &self,
         src: &[u8],
         dict: Option<&Dictionary>,
@@ -385,7 +397,7 @@ impl Zstdx {
                     let b = *payload.first().ok_or(c.corrupt("zstdx empty rle"))?;
                     out.resize(out.len() + decoded, b);
                 }
-                BLOCK_COMPRESSED => decode_block_payload(payload, &mut out, decoded)
+                BLOCK_COMPRESSED => decode_block_payload::<FAST>(payload, &mut out, decoded)
                     .map_err(|e| e.rebase(c.position().saturating_sub(payload_len)))?,
                 _ => return Err(c.corrupt("zstdx bad block type")),
             }
@@ -633,7 +645,7 @@ fn encode_block_payload_opts(parsed: &ParsedBlock, use_reps: bool) -> Vec<u8> {
 }
 
 #[deny(clippy::indexing_slicing)]
-pub(crate) fn decode_block_payload(
+pub(crate) fn decode_block_payload<const FAST: bool>(
     payload: &[u8],
     out: &mut Vec<u8>,
     decoded: usize,
@@ -656,7 +668,11 @@ pub(crate) fn decode_block_payload(
             let table = HuffmanTable::from_lengths(&lens)?;
             let body_len = c.read_varint()? as usize;
             let body = c.read_slice(body_len)?;
-            table.decode(body, lit_len)?
+            if FAST {
+                table.decode_fast(body, lit_len)?
+            } else {
+                table.decode(body, lit_len)?
+            }
         }
         _ => return Err(c.corrupt("zstdx bad literal mode")),
     };
@@ -711,10 +727,35 @@ pub(crate) fn decode_block_payload(
 
     let stream_len = c.read_varint()? as usize;
     let stream = c.read_slice(stream_len)?;
-    let mut r = ReverseBitReader::from_sentinel(stream)?;
-    let mut ll_dec = FseDecoder::init(ll_t.get(), &mut r)?;
-    let mut of_dec = FseDecoder::init(of_t.get(), &mut r)?;
-    let mut ml_dec = FseDecoder::init(ml_t.get(), &mut r)?;
+    if FAST {
+        let mut r = ReverseBitReaderFast::from_sentinel(stream)?;
+        decode_sequences::<_, FAST>(&c, &mut r, &ll_t, &ml_t, &of_t, &literals, n, out, decoded)
+    } else {
+        let mut r = ReverseBitReader::from_sentinel(stream)?;
+        decode_sequences::<_, FAST>(&c, &mut r, &ll_t, &ml_t, &of_t, &literals, n, out, decoded)
+    }
+}
+
+/// Sequence-application loop of [`decode_block_payload`], generic over
+/// the reverse bit-source engine. Error offsets anchor at the payload
+/// cursor's position (the byte after the sequence bitstream),
+/// identically for both engines.
+#[deny(clippy::indexing_slicing)]
+#[allow(clippy::too_many_arguments)]
+fn decode_sequences<R: RevBitSrc, const FAST: bool>(
+    c: &Cursor<'_>,
+    r: &mut R,
+    ll_t: &FseTableRef,
+    ml_t: &FseTableRef,
+    of_t: &FseTableRef,
+    literals: &[u8],
+    n: usize,
+    out: &mut Vec<u8>,
+    decoded: usize,
+) -> Result<()> {
+    let mut ll_dec = FseDecoder::init(ll_t.get(), r)?;
+    let mut of_dec = FseDecoder::init(of_t.get(), r)?;
+    let mut ml_dec = FseDecoder::init(ml_t.get(), r)?;
 
     let end = out.len() + decoded;
     let mut lit_pos = 0usize;
@@ -738,9 +779,9 @@ pub(crate) fn decode_block_payload(
             reps.push(off);
             off as usize
         };
-        ll_dec.update(&mut r)?;
-        ml_dec.update(&mut r)?;
-        of_dec.update(&mut r)?;
+        ll_dec.update(r)?;
+        ml_dec.update(r)?;
+        of_dec.update(r)?;
 
         let run = lit_pos
             .checked_add(lit_run)
@@ -754,7 +795,13 @@ pub(crate) fn decode_block_payload(
         if out.len() + match_len > end {
             return Err(c.corrupt("zstdx match overruns block"));
         }
-        crate::lz_copy(out, offset, match_len);
+        // Offset and length validated against `out` and the block end
+        // just above, so the copy region is safe before it runs.
+        if FAST {
+            crate::lz_copy(out, offset, match_len);
+        } else {
+            crate::lz_copy_checked(out, offset, match_len);
+        }
     }
     out.extend_from_slice(literals.get(lit_pos..).unwrap_or(&[]));
     if out.len() != end {
@@ -796,7 +843,7 @@ impl Compressor for Zstdx {
 
     fn decompress_limited(&self, src: &[u8], limits: &DecodeLimits) -> Result<Vec<u8>> {
         let start = Instant::now();
-        let out = self.decompress_impl(src, None, limits)?;
+        let out = self.decompress_impl::<true>(src, None, limits)?;
         crate::obs::record_decompress("zstdx", self.level, out.len(), start);
         Ok(out)
     }
@@ -815,7 +862,7 @@ impl Compressor for Zstdx {
         limits: &DecodeLimits,
     ) -> Result<Vec<u8>> {
         let start = Instant::now();
-        let out = self.decompress_impl(src, Some(dict), limits)?;
+        let out = self.decompress_impl::<true>(src, Some(dict), limits)?;
         crate::obs::record_decompress("zstdx", self.level, out.len(), start);
         Ok(out)
     }
@@ -1116,7 +1163,7 @@ impl Zstdx {
             // consumed by re-walking its structure.
             let consumed = frame_len(src)?;
             let (frame, rest) = src.split_at(consumed);
-            let mut part = self.decompress_impl(frame, None, &DecodeLimits::default())?;
+            let mut part = self.decompress_impl::<true>(frame, None, &DecodeLimits::default())?;
             out.append(&mut part);
             src = rest;
         }

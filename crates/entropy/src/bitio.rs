@@ -12,6 +12,16 @@
 //!   reassembled with the same bit significance the writer used. This is
 //!   the access pattern FSE/tANS decoding requires, because the encoder
 //!   processes symbols in reverse order.
+//!
+//! Each reader also has a fast sibling ([`BitReaderFast`],
+//! [`ReverseBitReaderFast`]) with bit-identical semantics: where the
+//! reference readers assemble values byte-by-byte, the fast readers load
+//! an aligned-enough 64-bit little-endian word per operation and fall
+//! back to the byte loop only when fewer than 8 bytes of buffer remain
+//! under the read position. Decoders stay generic over [`BitSrc`] /
+//! [`RevBitSrc`] so the same loop body runs against either engine; the
+//! differential proptests in this module's test suite pin the
+//! equivalence.
 
 use crate::{Error, Result};
 
@@ -177,6 +187,142 @@ impl<'a> BitReader<'a> {
     }
 }
 
+/// Word-at-a-time variant of [`BitReader`] with identical semantics.
+///
+/// Every read refills from a single unaligned 64-bit load while at
+/// least 8 bytes of buffer remain under the read position; the final
+/// bytes fall back to the byte-looped [`extract_bits`], so the two
+/// readers return the same values and the same errors for every input.
+#[derive(Debug, Clone)]
+pub struct BitReaderFast<'a> {
+    buf: &'a [u8],
+    /// Next bit position to read.
+    pos: usize,
+    /// Total number of valid bits.
+    len: usize,
+}
+
+impl<'a> BitReaderFast<'a> {
+    /// Creates a reader over `buf` containing exactly `bit_len` valid bits.
+    pub fn new(buf: &'a [u8], bit_len: usize) -> Self {
+        debug_assert!(bit_len <= buf.len() * 8);
+        Self {
+            buf,
+            pos: 0,
+            len: bit_len.min(buf.len() * 8),
+        }
+    }
+
+    /// Number of unread bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+
+    /// Reads `n` bits in write order. Same contract as
+    /// [`BitReader::read_bits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain, and
+    /// [`Error::InvalidParameter`] if `n > MAX_BITS_PER_OP`.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        if n > MAX_BITS_PER_OP {
+            return Err(Error::InvalidParameter("read_bits width exceeds 56"));
+        }
+        if (n as usize) > self.remaining() {
+            return Err(Error::UnexpectedEof);
+        }
+        let v = load_bits(self.buf, self.pos, n);
+        self.pos += n as usize;
+        Ok(v)
+    }
+
+    /// Peeks up to `n` bits without consuming; missing bits beyond the
+    /// end of the stream read as zero. Same contract as
+    /// [`BitReader::peek_bits_lenient`].
+    #[inline]
+    pub fn peek_bits_lenient(&self, n: u32) -> u64 {
+        let avail = self.remaining().min(n as usize) as u32;
+        load_bits(self.buf, self.pos, avail)
+    }
+
+    /// Consumes `n` bits previously peeked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain.
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> Result<()> {
+        if (n as usize) > self.remaining() {
+            return Err(Error::UnexpectedEof);
+        }
+        self.pos += n as usize;
+        Ok(())
+    }
+}
+
+/// Forward bit source: the interface shared by [`BitReader`] and
+/// [`BitReaderFast`], letting decode loops (Huffman symbol reads, extra
+/// bits) stay generic over the reference and fast engines.
+pub trait BitSrc {
+    /// Number of unread bits remaining.
+    fn remaining(&self) -> usize;
+    /// Reads `n` bits in write order; see [`BitReader::read_bits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain,
+    /// and [`Error::InvalidParameter`] if `n > MAX_BITS_PER_OP`.
+    fn read_bits(&mut self, n: u32) -> Result<u64>;
+    /// Peeks up to `n` bits, zero-filling past the end of the stream.
+    fn peek_bits_lenient(&self, n: u32) -> u64;
+    /// Consumes `n` previously peeked bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain.
+    fn consume(&mut self, n: u32) -> Result<()>;
+}
+
+impl BitSrc for BitReader<'_> {
+    #[inline]
+    fn remaining(&self) -> usize {
+        BitReader::remaining(self)
+    }
+    #[inline]
+    fn read_bits(&mut self, n: u32) -> Result<u64> {
+        BitReader::read_bits(self, n)
+    }
+    #[inline]
+    fn peek_bits_lenient(&self, n: u32) -> u64 {
+        BitReader::peek_bits_lenient(self, n)
+    }
+    #[inline]
+    fn consume(&mut self, n: u32) -> Result<()> {
+        BitReader::consume(self, n)
+    }
+}
+
+impl BitSrc for BitReaderFast<'_> {
+    #[inline]
+    fn remaining(&self) -> usize {
+        BitReaderFast::remaining(self)
+    }
+    #[inline]
+    fn read_bits(&mut self, n: u32) -> Result<u64> {
+        BitReaderFast::read_bits(self, n)
+    }
+    #[inline]
+    fn peek_bits_lenient(&self, n: u32) -> u64 {
+        BitReaderFast::peek_bits_lenient(self, n)
+    }
+    #[inline]
+    fn consume(&mut self, n: u32) -> Result<()> {
+        BitReaderFast::consume(self, n)
+    }
+}
+
 /// Back-to-front reader matching FSE's reverse decode order.
 ///
 /// If the writer performed writes `W1, W2, ..., Wk`, this reader returns
@@ -233,6 +379,124 @@ impl<'a> ReverseBitReader<'a> {
         }
         self.pos -= n as usize;
         Ok(extract_bits(self.buf, self.pos, n))
+    }
+}
+
+/// Word-at-a-time variant of [`ReverseBitReader`] with identical
+/// semantics. Reverse streams start reading near the end of the buffer
+/// (where fewer than 8 bytes remain under the position, hitting the
+/// byte-looped fallback) and speed up as the position retreats into
+/// full-word territory — the steady state for any stream longer than a
+/// word.
+#[derive(Debug, Clone)]
+pub struct ReverseBitReaderFast<'a> {
+    buf: &'a [u8],
+    /// Number of valid bits not yet consumed, counted from the front.
+    pos: usize,
+}
+
+impl<'a> ReverseBitReaderFast<'a> {
+    /// Creates a reverse reader over a buffer produced by
+    /// [`BitWriter::finish_with_sentinel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CorruptData`] if the buffer is empty or its final
+    /// byte is zero (no sentinel).
+    pub fn from_sentinel(buf: &'a [u8]) -> Result<Self> {
+        let last = *buf
+            .last()
+            .ok_or(Error::CorruptData("empty reverse bitstream"))?;
+        if last == 0 {
+            return Err(Error::CorruptData("missing sentinel bit"));
+        }
+        let sentinel_pos = (buf.len() - 1) * 8 + (7 - last.leading_zeros() as usize);
+        Ok(Self {
+            buf,
+            pos: sentinel_pos,
+        })
+    }
+
+    /// Number of unread bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads the `n` most recently written bits, reassembled in write
+    /// significance. Same contract as [`ReverseBitReader::read_bits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain, and
+    /// [`Error::InvalidParameter`] if `n > MAX_BITS_PER_OP`.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        if n > MAX_BITS_PER_OP {
+            return Err(Error::InvalidParameter("read_bits width exceeds 56"));
+        }
+        if (n as usize) > self.pos {
+            return Err(Error::UnexpectedEof);
+        }
+        self.pos -= n as usize;
+        Ok(load_bits(self.buf, self.pos, n))
+    }
+}
+
+/// Reverse bit source: the interface shared by [`ReverseBitReader`] and
+/// [`ReverseBitReaderFast`], letting FSE decode loops stay generic over
+/// the reference and fast engines.
+pub trait RevBitSrc {
+    /// Number of unread bits remaining.
+    fn remaining(&self) -> usize;
+    /// Reads the `n` most recently written bits; see
+    /// [`ReverseBitReader::read_bits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bits remain,
+    /// and [`Error::InvalidParameter`] if `n > MAX_BITS_PER_OP`.
+    fn read_bits(&mut self, n: u32) -> Result<u64>;
+}
+
+impl RevBitSrc for ReverseBitReader<'_> {
+    #[inline]
+    fn remaining(&self) -> usize {
+        ReverseBitReader::remaining(self)
+    }
+    #[inline]
+    fn read_bits(&mut self, n: u32) -> Result<u64> {
+        ReverseBitReader::read_bits(self, n)
+    }
+}
+
+impl RevBitSrc for ReverseBitReaderFast<'_> {
+    #[inline]
+    fn remaining(&self) -> usize {
+        ReverseBitReaderFast::remaining(self)
+    }
+    #[inline]
+    fn read_bits(&mut self, n: u32) -> Result<u64> {
+        ReverseBitReaderFast::read_bits(self, n)
+    }
+}
+
+/// Loads `n <= 56` bits starting at absolute bit position `pos` with a
+/// single unaligned 64-bit little-endian load when a full 8-byte window
+/// fits in `buf`, falling back to [`extract_bits`] near the end of the
+/// buffer. Returns exactly what `extract_bits(buf, pos, n)` returns for
+/// every input: the shift is at most 7 bits, so `n + 7 <= 63` valid bits
+/// always survive the word load.
+#[inline]
+#[deny(clippy::indexing_slicing)]
+fn load_bits(buf: &[u8], pos: usize, n: u32) -> u64 {
+    debug_assert!(n <= MAX_BITS_PER_OP);
+    let byte = pos >> 3;
+    match byte.checked_add(8).and_then(|end| buf.get(byte..end)) {
+        Some(window) => {
+            let word = u64::from_le_bytes(window.try_into().expect("window is 8 bytes"));
+            (word >> (pos & 7)) & ((1u64 << n.min(MAX_BITS_PER_OP)) - 1)
+        }
+        None => extract_bits(buf, pos, n),
     }
 }
 
@@ -417,6 +681,113 @@ mod tests {
         let buf = w.finish_with_sentinel();
         assert!(ReverseBitReader::from_sentinel(&buf[..3]).is_err());
         assert!(ReverseBitReader::from_sentinel(&[]).is_err());
+    }
+
+    /// Deterministic xorshift so parity tests don't need an external RNG.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn fast_forward_reader_matches_reference() {
+        let mut state = 0x5157u64;
+        for round in 0..64 {
+            let mut w = BitWriter::new();
+            let mut widths = Vec::new();
+            for _ in 0..(round + 1) {
+                let n = (xorshift(&mut state) % 57) as u32;
+                let v = if n == 0 {
+                    0
+                } else {
+                    xorshift(&mut state) & ((1u64 << n) - 1)
+                };
+                w.write_bits(v, n);
+                widths.push(n);
+            }
+            let (buf, bits) = w.finish();
+            let mut slow = BitReader::new(&buf, bits);
+            let mut fast = BitReaderFast::new(&buf, bits);
+            for &n in &widths {
+                assert_eq!(slow.peek_bits_lenient(11), fast.peek_bits_lenient(11));
+                assert_eq!(slow.read_bits(n), fast.read_bits(n));
+                assert_eq!(slow.remaining(), fast.remaining());
+            }
+            // Both agree on the EOF error too.
+            assert_eq!(slow.read_bits(1), fast.read_bits(1));
+        }
+    }
+
+    #[test]
+    fn fast_reverse_reader_matches_reference() {
+        let mut state = 0x20823u64;
+        for round in 0..64 {
+            let mut w = BitWriter::new();
+            let mut widths = Vec::new();
+            for _ in 0..(round + 1) {
+                let n = (xorshift(&mut state) % 57) as u32;
+                let v = if n == 0 {
+                    0
+                } else {
+                    xorshift(&mut state) & ((1u64 << n) - 1)
+                };
+                w.write_bits(v, n);
+                widths.push(n);
+            }
+            let buf = w.finish_with_sentinel();
+            let mut slow = ReverseBitReader::from_sentinel(&buf).unwrap();
+            let mut fast = ReverseBitReaderFast::from_sentinel(&buf).unwrap();
+            assert_eq!(slow.remaining(), fast.remaining());
+            for &n in widths.iter().rev() {
+                assert_eq!(slow.read_bits(n), fast.read_bits(n));
+                assert_eq!(slow.remaining(), fast.remaining());
+            }
+            assert_eq!(slow.read_bits(1), fast.read_bits(1));
+        }
+    }
+
+    #[test]
+    fn fast_readers_match_on_truncated_and_hostile_buffers() {
+        // Truncated valid-length: only 9 of 16 physical bits valid.
+        let buf = [0xff, 0xff];
+        let mut slow = BitReader::new(&buf, 9);
+        let mut fast = BitReaderFast::new(&buf, 9);
+        assert_eq!(slow.read_bits(8), fast.read_bits(8));
+        assert_eq!(slow.read_bits(2), fast.read_bits(2));
+        assert_eq!(slow.read_bits(1), fast.read_bits(1));
+        // Oversized width errors identically.
+        let mut slow = BitReader::new(&buf, 16);
+        let mut fast = BitReaderFast::new(&buf, 16);
+        assert_eq!(slow.read_bits(57), fast.read_bits(57));
+        // Reverse: rejects empty / zero-tail buffers identically.
+        assert_eq!(
+            ReverseBitReader::from_sentinel(&[]).map(|r| r.remaining()),
+            ReverseBitReaderFast::from_sentinel(&[]).map(|r| r.remaining())
+        );
+        assert_eq!(
+            ReverseBitReader::from_sentinel(&[0u8]).map(|r| r.remaining()),
+            ReverseBitReaderFast::from_sentinel(&[0u8]).map(|r| r.remaining())
+        );
+    }
+
+    #[test]
+    fn load_bits_matches_extract_bits_at_every_offset() {
+        // A 24-byte buffer exercises both the word path and the tail
+        // fallback as `pos` sweeps the whole range.
+        let buf: Vec<u8> = (0..24u8)
+            .map(|b| b.wrapping_mul(37).wrapping_add(11))
+            .collect();
+        for pos in 0..buf.len() * 8 {
+            for n in 0..=MAX_BITS_PER_OP {
+                assert_eq!(
+                    load_bits(&buf, pos, n),
+                    extract_bits(&buf, pos, n),
+                    "pos={pos} n={n}"
+                );
+            }
+        }
     }
 
     #[test]

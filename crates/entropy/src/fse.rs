@@ -35,7 +35,7 @@
 //! assert_eq!(table.decode(&encoded, symbols.len()).unwrap(), symbols);
 //! ```
 
-use crate::bitio::{BitWriter, ReverseBitReader};
+use crate::bitio::{BitWriter, RevBitSrc, ReverseBitReader, ReverseBitReaderFast};
 use crate::hist::{normalize_counts, optimal_table_log};
 use crate::{Error, Result};
 
@@ -189,13 +189,89 @@ impl FseTable {
     /// (corruption check).
     pub fn decode(&self, buf: &[u8], n: usize) -> Result<Vec<u16>> {
         let mut r = ReverseBitReader::from_sentinel(buf)?;
-        let mut dec = FseDecoder::init(self, &mut r)?;
+        self.decode_with(&mut r, n)
+    }
+
+    /// [`Self::decode`] through the word-refilling
+    /// [`ReverseBitReaderFast`]. Same bytes in, same symbols (or same
+    /// typed error) out.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Self::decode`].
+    pub fn decode_fast(&self, buf: &[u8], n: usize) -> Result<Vec<u16>> {
+        let mut r = ReverseBitReaderFast::from_sentinel(buf)?;
+        self.decode_with(&mut r, n)
+    }
+
+    /// Single-state decode loop shared by the reference and fast readers.
+    fn decode_with<R: RevBitSrc>(&self, r: &mut R, n: usize) -> Result<Vec<u16>> {
+        let mut dec = FseDecoder::init(self, r)?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(dec.peek_symbol());
-            dec.update(&mut r)?;
+            dec.update(r)?;
         }
         if !dec.at_initial_state() || r.remaining() != 0 {
+            return Err(Error::CorruptData("fse stream did not terminate cleanly"));
+        }
+        Ok(out)
+    }
+
+    /// Encodes `symbols` with two interleaved states over this table into
+    /// a standalone sentinel-terminated buffer. Even indices flow through
+    /// state 0, odd through state 1; decode with [`Self::decode_2x`].
+    /// Two states halve the serial state-update dependency chain that
+    /// bounds single-state tANS throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any symbol has a zero normalized count.
+    pub fn encode_2x(&self, symbols: &[u16]) -> Vec<u8> {
+        let mut w = BitWriter::with_capacity(symbols.len() / 2 + 8);
+        let mut e0 = FseEncoder::new(self);
+        let mut e1 = FseEncoder::new(self);
+        // Mirror of decode_2x's read order, reversed: the decoder reads
+        // init0, init1, then items 0, 1, 2, ... alternating states, so we
+        // write item n-1 first, item 0 last, then state 1, then state 0.
+        for i in (0..symbols.len()).rev() {
+            if i % 2 == 0 {
+                e0.encode(&mut w, symbols[i]);
+            } else {
+                e1.encode(&mut w, symbols[i]);
+            }
+        }
+        e1.finish(&mut w);
+        e0.finish(&mut w);
+        w.finish_with_sentinel()
+    }
+
+    /// Decodes exactly `n` symbols from a buffer produced by
+    /// [`Self::encode_2x`], alternating two decoder states so consecutive
+    /// state updates are independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the stream is truncated, the sentinel is
+    /// missing, or either final state fails the integrity check.
+    pub fn decode_2x(&self, buf: &[u8], n: usize) -> Result<Vec<u16>> {
+        let mut r = ReverseBitReaderFast::from_sentinel(buf)?;
+        let mut d0 = FseDecoder::init(self, &mut r)?;
+        let mut d1 = FseDecoder::init(self, &mut r)?;
+        let mut out = Vec::with_capacity(n);
+        let mut i = 0usize;
+        while i + 2 <= n {
+            out.push(d0.peek_symbol());
+            d0.update(&mut r)?;
+            out.push(d1.peek_symbol());
+            d1.update(&mut r)?;
+            i += 2;
+        }
+        if i < n {
+            out.push(d0.peek_symbol());
+            d0.update(&mut r)?;
+        }
+        if !d0.at_initial_state() || !d1.at_initial_state() || r.remaining() != 0 {
             return Err(Error::CorruptData("fse stream did not terminate cleanly"));
         }
         Ok(out)
@@ -311,7 +387,7 @@ impl<'t> FseDecoder<'t> {
     /// # Errors
     ///
     /// Returns [`Error::UnexpectedEof`] if the stream is too short.
-    pub fn init(table: &'t FseTable, r: &mut ReverseBitReader<'_>) -> Result<Self> {
+    pub fn init<R: RevBitSrc>(table: &'t FseTable, r: &mut R) -> Result<Self> {
         let raw = r.read_bits(table.table_log)? as u32;
         Ok(Self {
             table,
@@ -331,7 +407,7 @@ impl<'t> FseDecoder<'t> {
     ///
     /// Returns [`Error::UnexpectedEof`] on a truncated stream.
     #[inline]
-    pub fn update(&mut self, r: &mut ReverseBitReader<'_>) -> Result<()> {
+    pub fn update<R: RevBitSrc>(&mut self, r: &mut R) -> Result<()> {
         let u = (self.state - (1 << self.table.table_log)) as usize;
         let nb = self.table.dec_nbits[u] as u32;
         let bits = r.read_bits(nb)? as u32;
@@ -472,6 +548,49 @@ mod tests {
         let buf = t.encode(&symbols);
         // Asking for fewer symbols leaves bits unread -> integrity failure.
         assert!(t.decode(&buf, symbols.len() - 1).is_err());
+    }
+
+    #[test]
+    fn decode_fast_matches_decode() {
+        let symbols: Vec<u16> = (0..5000u32)
+            .map(|i| if i % 13 == 0 { 5 } else { (i % 4) as u16 })
+            .collect();
+        let t = build_for(&symbols, 8, 9);
+        let buf = t.encode(&symbols);
+        assert_eq!(t.decode_fast(&buf, symbols.len()).unwrap(), symbols);
+        // Parity on every truncation prefix: same Ok/Err outcome.
+        for k in 0..buf.len() {
+            let slow = t.decode(&buf[..k], symbols.len());
+            let fast = t.decode_fast(&buf[..k], symbols.len());
+            assert_eq!(slow.is_ok(), fast.is_ok(), "prefix {k}");
+            assert_eq!(slow.ok(), fast.ok(), "prefix {k}");
+        }
+        // Wrong-count integrity failure matches too.
+        assert!(t.decode_fast(&buf, symbols.len() - 1).is_err());
+    }
+
+    #[test]
+    fn two_state_roundtrip_even_and_odd_lengths() {
+        for n in [0usize, 1, 2, 3, 500, 501] {
+            let symbols: Vec<u16> = (0..n as u32).map(|i| (i % 5) as u16).collect();
+            let t = build_for(&[0, 1, 2, 3, 4], 5, 7);
+            let buf = t.encode_2x(&symbols);
+            assert_eq!(t.decode_2x(&buf, n).unwrap(), symbols, "n={n}");
+        }
+    }
+
+    #[test]
+    fn two_state_decode_detects_truncation_and_wrong_count() {
+        let symbols: Vec<u16> = (0..2000u32).map(|i| (i % 6) as u16).collect();
+        let t = build_for(&symbols, 6, 9);
+        let buf = t.encode_2x(&symbols);
+        for k in 0..buf.len() {
+            assert!(
+                t.decode_2x(&buf[..k], symbols.len()).is_err(),
+                "prefix {k} decoded Ok"
+            );
+        }
+        assert!(t.decode_2x(&buf, symbols.len() - 1).is_err());
     }
 
     #[test]

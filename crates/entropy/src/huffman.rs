@@ -10,11 +10,34 @@
 //! bit-reversed so the decoder can peek a fixed `max_bits`-wide window and
 //! index a flat lookup table.
 
-use crate::bitio::{BitReader, BitWriter};
+use crate::bitio::{BitReader, BitReaderFast, BitSrc, BitWriter};
 use crate::{Error, Result};
 
 /// Upper bound on code length supported by the flat decode table.
 pub const MAX_CODE_BITS: u32 = 15;
+
+/// Codes at or below this length get a multi-symbol pair table: one
+/// `max_bits`-wide window lookup yields up to two decoded symbols. Above
+/// it the `1 << max_bits` pair table would outgrow L1 for diminishing
+/// double-hit rates.
+pub const PAIR_TABLE_MAX_BITS: u32 = 11;
+
+/// One slot of the multi-symbol decode table: up to two symbols resolved
+/// from a single `max_bits`-wide window.
+#[derive(Debug, Clone, Copy, Default)]
+struct PairEntry {
+    /// First decoded symbol (valid when `nsyms >= 1`).
+    sym1: u16,
+    /// Second decoded symbol (valid when `nsyms == 2`).
+    sym2: u16,
+    /// Code length of the first symbol.
+    len1: u8,
+    /// Code length of the second symbol.
+    len2: u8,
+    /// 0 = window invalid, 1 = only the first symbol is certain,
+    /// 2 = both symbols fit entirely inside the window.
+    nsyms: u8,
+}
 
 /// A built Huffman code: per-symbol lengths/codes plus a flat decode table.
 #[derive(Debug, Clone)]
@@ -27,6 +50,9 @@ pub struct HuffmanTable {
     max_bits: u32,
     /// Flat decode table of size `1 << max_bits`: window -> (symbol, len).
     decode: Vec<(u16, u8)>,
+    /// Multi-symbol table (same indexing), built when
+    /// `max_bits <= PAIR_TABLE_MAX_BITS`.
+    pair: Option<Vec<PairEntry>>,
 }
 
 impl HuffmanTable {
@@ -117,11 +143,14 @@ impl HuffmanTable {
             }
         }
 
+        let pair = (max_bits <= PAIR_TABLE_MAX_BITS).then(|| build_pair_table(&decode, max_bits));
+
         Ok(Self {
             lens: lens.to_vec(),
             codes,
             max_bits,
             decode,
+            pair,
         })
     }
 
@@ -163,7 +192,7 @@ impl HuffmanTable {
     /// Returns [`Error::CorruptData`] if the window does not match any
     /// code, or [`Error::UnexpectedEof`] if the stream is exhausted.
     #[inline]
-    pub fn read_symbol(&self, r: &mut BitReader<'_>) -> Result<u16> {
+    pub fn read_symbol<R: BitSrc>(&self, r: &mut R) -> Result<u16> {
         let window = r.peek_bits_lenient(self.max_bits) as usize;
         let (sym, len) = self.decode[window];
         if len == 0 {
@@ -202,6 +231,86 @@ impl HuffmanTable {
         }
         Ok(out)
     }
+
+    /// Decodes exactly `n` byte symbols from `buf` through the fast path:
+    /// a word-refilling [`BitReaderFast`] plus, when the code fits
+    /// [`PAIR_TABLE_MAX_BITS`], a multi-symbol table that resolves two
+    /// symbols per window lookup. Returns the same bytes — or the same
+    /// typed error — as [`Self::decode`] for every input; the failure
+    /// replay below consumes and range-checks symbols in exactly the
+    /// per-symbol order the slow path uses.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Self::decode`].
+    pub fn decode_fast(&self, buf: &[u8], n: usize) -> Result<Vec<u8>> {
+        let mut r = BitReaderFast::new(buf, buf.len() * 8);
+        let mut out = Vec::with_capacity(n);
+        if let Some(pair) = &self.pair {
+            while out.len() + 2 <= n {
+                let window = r.peek_bits_lenient(self.max_bits) as usize;
+                let e = pair[window];
+                if e.nsyms == 2 {
+                    // Replay the slow path's consume/range-check ordering
+                    // so truncation and oversize-symbol errors surface
+                    // identically.
+                    r.consume(e.len1 as u32)?;
+                    let b1 = u8::try_from(e.sym1)
+                        .map_err(|_| Error::CorruptData("symbol out of byte range"))?;
+                    out.push(b1);
+                    r.consume(e.len2 as u32)?;
+                    let b2 = u8::try_from(e.sym2)
+                        .map_err(|_| Error::CorruptData("symbol out of byte range"))?;
+                    out.push(b2);
+                } else if e.nsyms == 1 {
+                    r.consume(e.len1 as u32)?;
+                    let b1 = u8::try_from(e.sym1)
+                        .map_err(|_| Error::CorruptData("symbol out of byte range"))?;
+                    out.push(b1);
+                } else {
+                    return Err(Error::CorruptData("invalid huffman window"));
+                }
+            }
+        }
+        // Tail (and the whole stream when no pair table): one symbol at a
+        // time through the shared per-symbol reader.
+        while out.len() < n {
+            let sym = self.read_symbol(&mut r)?;
+            let byte =
+                u8::try_from(sym).map_err(|_| Error::CorruptData("symbol out of byte range"))?;
+            out.push(byte);
+        }
+        Ok(out)
+    }
+}
+
+/// Builds the multi-symbol table from a complete single-symbol table.
+///
+/// For window `w`: if `decode[w]` is invalid the pair slot is invalid
+/// (`nsyms == 0`). Otherwise the first symbol consumes `len1` bits and the
+/// second lookup indexes `w >> len1`. The second symbol is only certain
+/// when its entry is valid *and* `len1 + len2 <= max_bits` — i.e. every
+/// bit that determined it lay inside the original window. An invalid
+/// second entry does not make the slot invalid: the real next code may
+/// extend past the window, so the slot degrades to `nsyms == 1`.
+fn build_pair_table(decode: &[(u16, u8)], max_bits: u32) -> Vec<PairEntry> {
+    let mut pair = vec![PairEntry::default(); decode.len()];
+    for (w, slot) in pair.iter_mut().enumerate() {
+        let (sym1, len1) = decode[w];
+        if len1 == 0 {
+            continue;
+        }
+        slot.sym1 = sym1;
+        slot.len1 = len1;
+        slot.nsyms = 1;
+        let (sym2, len2) = decode[w >> len1];
+        if len2 > 0 && (len1 as u32 + len2 as u32) <= max_bits {
+            slot.sym2 = sym2;
+            slot.len2 = len2;
+            slot.nsyms = 2;
+        }
+    }
+    pair
 }
 
 /// Computes optimal length-limited code lengths via package-merge.
@@ -376,6 +485,53 @@ mod tests {
         let encoded = table.encode(data);
         let truncated = &encoded[..encoded.len() / 2];
         assert!(table.decode(truncated, data.len()).is_err());
+    }
+
+    #[test]
+    fn decode_fast_matches_decode_including_errors() {
+        let data: Vec<u8> = b"fast and slow paths must agree on every byte and every error"
+            .iter()
+            .cycle()
+            .take(4096)
+            .copied()
+            .collect();
+        let freqs = byte_histogram(&data);
+        for max_bits in [8u32, 11, 15] {
+            let table = HuffmanTable::build(&freqs, max_bits).unwrap();
+            let encoded = table.encode(&data);
+            assert_eq!(
+                table.decode_fast(&encoded, data.len()).unwrap(),
+                data,
+                "max_bits={max_bits}"
+            );
+            // Every truncation prefix: identical Ok/Err outcome and value.
+            for k in (0..encoded.len()).step_by(3) {
+                let slow = table.decode(&encoded[..k], data.len());
+                let fast = table.decode_fast(&encoded[..k], data.len());
+                assert_eq!(slow, fast, "max_bits={max_bits} prefix {k}");
+            }
+            // Bit flips: identical outcome (flipped streams may still
+            // decode to identical wrong bytes — both paths must agree).
+            for pos in (0..encoded.len()).step_by(37) {
+                let mut bad = encoded.clone();
+                bad[pos] ^= 0x44;
+                assert_eq!(
+                    table.decode(&bad, data.len()),
+                    table.decode_fast(&bad, data.len()),
+                    "max_bits={max_bits} flip at {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_fast_handles_odd_symbol_counts() {
+        // Odd n exercises the single-symbol tail after the pair loop.
+        let data: Vec<u8> = (0..=254u8).collect();
+        let freqs = byte_histogram(&data);
+        let table = HuffmanTable::build(&freqs, 11).unwrap();
+        let encoded = table.encode(&data);
+        assert_eq!(table.decode_fast(&encoded, data.len()).unwrap(), data);
     }
 
     #[test]

@@ -180,16 +180,17 @@ pub fn check_decode(
     }));
     match result {
         Err(_) => (Outcome::Panicked, None),
+        // Every typed error counts as detection — including
+        // `LimitExceeded` on an input the corruption left intact.
+        // Refusing to decode inside the caller's budget is the limit
+        // contract working, not the decoder corrupting data, so it must
+        // never be tallied as `SilentCorruption`.
         Ok(Err(e)) => (Outcome::ErrorDetected, Some(e.kind())),
-        Ok(Ok(out)) => {
-            if out.len() > limits.max_output {
-                (Outcome::SilentCorruption, None)
-            } else if out == original {
-                (Outcome::OkIntact, None)
-            } else {
-                (Outcome::SilentCorruption, None)
-            }
-        }
+        // An `Ok` that overran the caller's byte budget is a limit
+        // violation even if the bytes happen to be right.
+        Ok(Ok(out)) if out.len() > limits.max_output => (Outcome::SilentCorruption, None),
+        Ok(Ok(out)) if out == original => (Outcome::OkIntact, None),
+        Ok(Ok(_)) => (Outcome::SilentCorruption, None),
     }
 }
 
@@ -362,6 +363,20 @@ mod tests {
         let limits = DecodeLimits::with_max_output(data.len());
         let (outcome, _) = check_decode(comp.as_ref(), &frame, &data, &limits);
         assert_eq!(outcome, Outcome::OkIntact);
+    }
+
+    #[test]
+    fn limit_exceeded_on_intact_input_is_error_detected() {
+        // A pristine frame decoded under a too-small budget fails with
+        // `LimitExceeded`. That is the limit contract *working*; the
+        // harness must classify it as detection, not silent corruption.
+        let comp = Algorithm::Zstdx.compressor(3);
+        let data = corpus::silesia::generate(corpus::silesia::FileClass::Text, 4 << 10, 0xfa03);
+        let frame = comp.compress(&data);
+        let tight = DecodeLimits::with_max_output(16);
+        let (outcome, kind) = check_decode(comp.as_ref(), &frame, &data, &tight);
+        assert_eq!(outcome, Outcome::ErrorDetected);
+        assert_eq!(kind, Some("limit_exceeded"));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Differential decode contract: the checked fast-path engines
+//! (wild LZ copies, word-at-a-time bit readers, multi-symbol entropy
+//! tables) must be observationally identical to the reference decoders
+//! that predate them — identical bytes on success, identical typed
+//! error on failure — over both valid frames and the full faultline
+//! injector matrix.
+
+use datacomp::codecs::{lz4x::Lz4x, zlibx::Zlibx, zstdx::Zstdx};
+use datacomp::codecs::{CodecError, Compressor, DecodeLimits};
+use datacomp::faultline::{Injector, Rng};
+use proptest::prelude::*;
+
+type CompressFn = Box<dyn Fn(&[u8]) -> Vec<u8>>;
+type DecodeFn = Box<dyn Fn(&[u8], &DecodeLimits) -> Result<Vec<u8>, CodecError>>;
+
+struct Engine {
+    name: &'static str,
+    compress: CompressFn,
+    fast: DecodeFn,
+    reference: DecodeFn,
+}
+
+/// The three codecs, each exposed as (production fast decode,
+/// reference slow decode). Checksums are enabled on the writer so bit
+/// flips that survive framing still have to agree on the error kind.
+fn engines() -> Vec<Engine> {
+    vec![
+        Engine {
+            name: "lz4x",
+            compress: Box::new(|d| Lz4x::new(6).with_checksum(true).compress(d)),
+            fast: Box::new(|d, l| Lz4x::new(6).decompress_limited(d, l)),
+            reference: Box::new(|d, l| Lz4x::new(6).decompress_reference(d, l)),
+        },
+        Engine {
+            name: "zlibx",
+            compress: Box::new(|d| Zlibx::new(6).with_checksum(true).compress(d)),
+            fast: Box::new(|d, l| Zlibx::new(6).decompress_limited(d, l)),
+            reference: Box::new(|d, l| Zlibx::new(6).decompress_reference(d, l)),
+        },
+        Engine {
+            name: "zstdx",
+            compress: Box::new(|d| Zstdx::new(3).with_checksum(true).compress(d)),
+            fast: Box::new(|d, l| Zstdx::new(3).decompress_limited(d, l)),
+            reference: Box::new(|d, l| Zstdx::new(3).decompress_reference(d, l)),
+        },
+    ]
+}
+
+/// Asserts the two engines agree on one input: equal bytes on `Ok`,
+/// equal [`CodecError::kind`] on `Err`.
+fn assert_agree(e: &Engine, input: &[u8], limits: &DecodeLimits, ctx: &str) {
+    let fast = (e.fast)(input, limits);
+    let slow = (e.reference)(input, limits);
+    match (&fast, &slow) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "{}: {ctx}: Ok bytes diverge", e.name),
+        (Err(a), Err(b)) => assert_eq!(
+            a.kind(),
+            b.kind(),
+            "{}: {ctx}: error kinds diverge ({a:?} vs {b:?})",
+            e.name
+        ),
+        _ => panic!(
+            "{}: {ctx}: fast={:?} reference={:?}",
+            e.name,
+            fast.as_ref().map(|v| v.len()),
+            slow.as_ref().map(|v| v.len())
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Valid frames: both engines reproduce the input exactly — over a
+    /// compressible input (LZ copy + entropy fast paths) and an
+    /// incompressible one (raw/stored block paths).
+    #[test]
+    fn engines_agree_on_valid_frames(
+        compressible in proptest::collection::vec(0u8..16, 0..4096),
+        incompressible in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let limits = DecodeLimits::default();
+        for data in [&compressible, &incompressible] {
+            for e in engines() {
+                let frame = (e.compress)(data);
+                let out = (e.fast)(&frame, &limits);
+                prop_assert_eq!(&out.expect("valid frame"), data, "{}", e.name);
+                assert_agree(&e, &frame, &limits, "valid frame");
+            }
+        }
+    }
+
+    /// Corrupted frames (full injector matrix): identical outcome —
+    /// same bytes or same typed error — on every variant.
+    #[test]
+    fn engines_agree_on_corrupted_frames(
+        data in proptest::collection::vec(0u8..24, 64..1536),
+        seed in any::<u64>(),
+    ) {
+        let limits = DecodeLimits::default();
+        for e in engines() {
+            let frame = (e.compress)(&data);
+            for inj in Injector::ALL {
+                let rng = Rng::new(seed ^ 0xd1ff);
+                for (vi, variant) in inj.corrupt(&frame, &rng, 6).iter().enumerate() {
+                    assert_agree(&e, variant, &limits, &format!("{inj} variant {vi}"));
+                }
+            }
+        }
+    }
+
+    /// Every strict prefix of a valid frame: the engines fail with the
+    /// same error kind at every cut point.
+    #[test]
+    fn engines_agree_on_every_truncation(
+        data in proptest::collection::vec(0u8..16, 1..512),
+    ) {
+        let limits = DecodeLimits::default();
+        for e in engines() {
+            let frame = (e.compress)(&data);
+            for k in 0..frame.len() {
+                assert_agree(&e, &frame[..k], &limits, &format!("prefix {k}"));
+            }
+        }
+    }
+
+    /// Tight output budgets: both engines respect `DecodeLimits`
+    /// identically (the limit check is part of the shared contract, not
+    /// the per-engine inner loop).
+    #[test]
+    fn engines_agree_under_tight_limits(
+        data in proptest::collection::vec(0u8..16, 2..2048),
+        divisor in 1usize..5,
+    ) {
+        for e in engines() {
+            let frame = (e.compress)(&data);
+            let tight = DecodeLimits::with_max_output((data.len() / divisor).max(1));
+            assert_agree(&e, &frame, &tight, &format!("limit/{divisor}"));
+        }
+    }
+}

@@ -28,7 +28,7 @@ fn parallel_compression_is_thread_count_invariant() {
     let z = codecs::zstdx::Zstdx::new(3);
     let frames: Vec<Vec<u8>> = [1usize, 2, 4, 8]
         .iter()
-        .map(|&t| codecs::parallel::compress_parallel(&z, &data, t))
+        .map(|&t| codecs::parallel::compress_parallel(&z, &data, t).unwrap())
         .collect();
     for f in &frames[1..] {
         assert_eq!(f, &frames[0]);

@@ -42,7 +42,7 @@ fn streaming_pipeline_over_warehouse_data() {
 fn parallel_compression_of_sst_files() {
     let sst = corpus::sst::generate_sst(2 << 20, 4);
     let z = Zstdx::new(3);
-    let frame = parallel::compress_parallel(&z, &sst, 4);
+    let frame = parallel::compress_parallel(&z, &sst, 4).unwrap();
     assert_eq!(z.decompress(&frame).unwrap(), sst);
 }
 

@@ -95,6 +95,60 @@ fn sweep_all_injectors_all_codecs_zero_violations() {
     );
 }
 
+/// Checksum verification is frame-driven, not constructor-driven: a
+/// decoder built without `with_checksum(true)` must still verify (and a
+/// checksum-configured decoder must still accept plain frames). The
+/// frame magic alone decides whether a trailer is present and checked.
+#[test]
+fn checksum_verification_follows_the_frame_not_the_constructor() {
+    use codecs::Compressor;
+    let input = corpus::silesia::generate(corpus::silesia::FileClass::Xml, 8 << 10, 0x31c5);
+    let pairs: [(Box<dyn Compressor>, Box<dyn Compressor>); 3] = [
+        (
+            Box::new(codecs::lz4x::Lz4x::new(6).with_checksum(true)),
+            Box::new(codecs::lz4x::Lz4x::new(6).with_checksum(false)),
+        ),
+        (
+            Box::new(codecs::zlibx::Zlibx::new(6).with_checksum(true)),
+            Box::new(codecs::zlibx::Zlibx::new(6).with_checksum(false)),
+        ),
+        (
+            Box::new(codecs::zstdx::Zstdx::new(3).with_checksum(true)),
+            Box::new(codecs::zstdx::Zstdx::new(3).with_checksum(false)),
+        ),
+    ];
+    for (checked, plain) in &pairs {
+        // Every (writer config, reader config) combination round-trips.
+        for writer in [checked, plain] {
+            let frame = writer.compress(&input);
+            for reader in [checked, plain] {
+                assert_eq!(
+                    reader.decompress(&frame).unwrap(),
+                    input,
+                    "{}: cross-config round-trip failed",
+                    reader.name()
+                );
+            }
+        }
+        // A corrupted checksummed frame is rejected by BOTH reader
+        // configs — verification cannot be disabled by construction.
+        let frame = checked.compress(&input);
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff; // trailer byte: guaranteed checksum-stage hit
+        for reader in [checked, plain] {
+            assert!(
+                matches!(
+                    reader.decompress(&bad),
+                    Err(CodecError::ChecksumMismatch { .. })
+                ),
+                "{}: corrupted trailer not flagged as checksum mismatch",
+                reader.name()
+            );
+        }
+    }
+}
+
 /// Hostile declared sizes are rejected against the caller's budget
 /// before any allocation-scale work happens.
 #[test]
