@@ -137,24 +137,6 @@ pub fn fmt_bytes(b: f64) -> String {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scale_pick() {
-        assert_eq!(Scale::Full.pick(10, 2), 10);
-        assert_eq!(Scale::Quick.pick(10, 2), 2);
-    }
-
-    #[test]
-    fn bytes_formatting() {
-        assert_eq!(fmt_bytes(512.0), "512B");
-        assert_eq!(fmt_bytes(2048.0), "2.0KB");
-        assert_eq!(fmt_bytes(3.0 * 1024.0 * 1024.0), "3.0MB");
-    }
-}
-
 /// Shared implementation of Figures 8 and 9 (cache item size
 /// distributions).
 pub fn cache_sizes_figure(title: &str, artifact: &str, profile: &corpus::cache::CacheProfile) {
@@ -268,4 +250,22 @@ pub fn cache_dict_figure(title: &str, artifact: &str, profile: &corpus::cache::C
         );
     }
     write_artifact(artifact, &compopt::report::to_json_lines(&rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Full.pick(10, 2), 10);
+        assert_eq!(Scale::Quick.pick(10, 2), 2);
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512.0), "512B");
+        assert_eq!(fmt_bytes(2048.0), "2.0KB");
+        assert_eq!(fmt_bytes(3.0 * 1024.0 * 1024.0), "3.0MB");
+    }
 }

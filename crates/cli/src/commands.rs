@@ -8,7 +8,7 @@ use compopt::prelude::*;
 use crate::args::Args;
 
 const USAGE: &str =
-    "datacomp <compress|decompress|bench|train-dict|optimize|gen|fleet|profile|trace|telemetry|fault-inject> ...";
+    "datacomp <compress|decompress|bench|train-dict|optimize|gen|fleet|profile|trace|telemetry|fault-inject|monitor> ...";
 
 /// Dispatches a parsed command line.
 ///
@@ -42,6 +42,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "trace" => trace_cmd(&args),
         "telemetry" => telemetry_dump(&args),
         "fault-inject" => fault_inject(&args),
+        "monitor" => monitor(&args),
         other => Err(format!("unknown command {other}; usage: {USAGE}")),
     };
     if result.is_ok() {
@@ -193,8 +194,27 @@ fn fault_inject(args: &Args) -> Result<(), String> {
         .collect();
 
     let report = sweep(&blocks, &injectors, &algos, &cfg);
+    // Publish the sweep outcome as counters so a `--telemetry` snapshot
+    // (or a live `/metrics` scrape in the same process) carries the
+    // contract-violation record alongside the printed table.
+    let reg = telemetry::global();
+    for ((inj, codec), cell) in &report.cells {
+        let labels = [("injector", *inj), ("codec", *codec)];
+        reg.counter("faultline.cases", &labels)
+            .add(cell.cases as u64);
+        reg.counter("faultline.detected", &labels)
+            .add(cell.error_detected as u64);
+        reg.counter("faultline.intact", &labels)
+            .add(cell.ok_intact as u64);
+        reg.counter("faultline.violations", &labels)
+            .add(cell.violations() as u64);
+    }
     print!("{}", report.render_table());
     let kinds = report.error_kinds();
+    for (kind, n) in &kinds {
+        reg.counter("faultline.error_kind", &[("kind", kind)])
+            .add(*n as u64);
+    }
     if !kinds.is_empty() {
         let summary: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
         println!("error kinds: {}", summary.join(" "));
@@ -226,6 +246,138 @@ fn fault_inject(args: &Args) -> Result<(), String> {
         "decode contract held: {} cases, 0 violations",
         report.total_cases()
     );
+    Ok(())
+}
+
+/// `datacomp monitor [--addr HOST:PORT] [--workload NAME] [--seconds S]
+/// [--slo-ms MS] [--slo-target F] [--error-target F] [--addr-file PATH]`
+/// — the live observability plane in one command: registers latency and
+/// error-rate SLOs, starts the HTTP scrape server (`/metrics`, `/slo`,
+/// `/healthz`, `/trace.json`), and replays one fleet service's workload
+/// through the managed compression service until the deadline. Every
+/// replayed block feeds the windowed registries and the SLO burn-rate
+/// engine, so a Prometheus scrape during the run sees live `window_*`
+/// p99s (with trace exemplars) and `slo_*` gauges. Exits non-zero when
+/// any objective's cumulative error budget is exhausted, so the command
+/// doubles as a canary gate.
+///
+/// `--addr 127.0.0.1:0` picks a free port; `--addr-file` writes the
+/// resolved address for scripted scrapers (tests, CI smoke jobs).
+fn monitor(args: &Args) -> Result<(), String> {
+    use std::time::{Duration, Instant};
+
+    let addr = args
+        .options
+        .get("addr")
+        .map_or("127.0.0.1:9184", String::as_str);
+    let workload = args
+        .options
+        .get("workload")
+        .map_or("cache1", String::as_str);
+    let seconds: f64 = args.opt_or("seconds", 10.0)?;
+    if !seconds.is_finite() || seconds <= 0.0 {
+        return Err(format!("bad --seconds {seconds}; need a positive number"));
+    }
+    let slo_ms: f64 = args.opt_or("slo-ms", 5.0)?;
+    let slo_target: f64 = args.opt_or("slo-target", 0.99)?;
+    let error_target: f64 = args.opt_or("error-target", 0.999)?;
+
+    let spec = fleet::registry()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(workload))
+        .ok_or_else(|| {
+            let names: Vec<String> = fleet::registry()
+                .iter()
+                .map(|s| s.name.to_ascii_lowercase())
+                .collect();
+            format!(
+                "unknown workload {workload}; pick one of {}",
+                names.join("|")
+            )
+        })?;
+
+    // Declare the objectives the managed service feeds by well-known
+    // name. Registration must precede the replay (and the addr-file
+    // handshake) so every sample lands in an SLO window.
+    let slos = telemetry::slos();
+    let threshold = (slo_ms * 1e6) as u64;
+    slos.register(telemetry::SloConfig::latency(
+        "managed.compress.latency",
+        threshold,
+        slo_target,
+    ));
+    slos.register(telemetry::SloConfig::latency(
+        "managed.decompress.latency",
+        threshold,
+        slo_target,
+    ));
+    slos.register(telemetry::SloConfig::error_rate(
+        "managed.decompress.errors",
+        error_target,
+    ));
+
+    let server = telemetry::ScrapeServer::bind(addr, telemetry::Sources::global())
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server.local_addr();
+    if let Some(path) = args.options.get("addr-file") {
+        fs::write(path, local.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    println!("monitor: serving /metrics /slo /healthz /trace.json on http://{local}/");
+    println!(
+        "monitor: replaying {} ({}) for {seconds}s",
+        spec.name, spec.description
+    );
+
+    telemetry::trace::set_track_name(&format!("monitor:{}", spec.name));
+    let mut svc = managed::ManagedCompression::new(managed::ManagedConfig::default());
+    // Honor the service's read/write mix so decompression windows (and
+    // the decode-error SLO) see realistic traffic.
+    let reads_per_write = spec.reads_per_write.round().max(1.0) as usize;
+    let deadline = Instant::now() + Duration::from_secs_f64(seconds);
+    let (mut units, mut blocks, mut bytes) = (0u64, 0u64, 0u64);
+    'replay: while Instant::now() < deadline {
+        for block in spec.workload.generate_unit(units) {
+            let frame = svc.compress(spec.name, &block);
+            for _ in 0..reads_per_write {
+                svc.decompress(spec.name, &frame)
+                    .map_err(|e| format!("replay decode failed on {}: {e}", spec.name))?;
+            }
+            blocks += 1;
+            bytes += block.len() as u64;
+            if Instant::now() >= deadline {
+                break 'replay;
+            }
+        }
+        units += 1;
+    }
+    server.shutdown();
+    println!("monitor: replayed {blocks} blocks ({bytes} bytes) across {units} work units");
+
+    // Final verdict: one line per objective, then the gate.
+    let reports = slos.reports();
+    println!(
+        "{:<32} {:>8} {:>10} {:>10} {:>8}",
+        "objective", "state", "fast_burn", "slow_burn", "budget"
+    );
+    for r in &reports {
+        println!(
+            "{:<32} {:>8} {:>10.2} {:>10.2} {:>7.0}%",
+            r.name,
+            r.state.as_str(),
+            r.fast_burn,
+            r.slow_burn,
+            r.budget.remaining_fraction * 100.0
+        );
+    }
+    if slos.any_exhausted() {
+        let broke: Vec<&str> = reports
+            .iter()
+            .filter(|r| r.budget.exhausted)
+            .map(|r| r.name.as_str())
+            .collect();
+        return Err(format!("error budget exhausted: {}", broke.join(", ")));
+    }
+    println!("monitor: worst SLO state {}", slos.worst_state().as_str());
     Ok(())
 }
 
@@ -620,6 +772,111 @@ mod tests {
         assert!(run_cmd(&["fault-inject", "--checksums", "maybe"])
             .unwrap_err()
             .contains("pick on|off"));
+    }
+
+    #[test]
+    fn monitor_serves_endpoints_and_gates_on_slos() {
+        use std::io::{Read as _, Write as _};
+        use std::net::TcpStream;
+        use std::time::{Duration, Instant};
+
+        let addr_file = tmp("monitor.addr");
+        let _ = fs::remove_file(&addr_file);
+        let af = addr_file.clone();
+        let replay = std::thread::spawn(move || {
+            run_cmd(&[
+                "monitor",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                af.to_str().unwrap(),
+                "--workload",
+                "cache1",
+                "--seconds",
+                "1.5",
+            ])
+        });
+        // Handshake: the command writes the resolved address once the
+        // server is up and the SLOs are registered.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = fs::read_to_string(&addr_file) {
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            assert!(Instant::now() < deadline, "monitor never wrote addr file");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let fetch = |path: &str| -> String {
+            let mut conn = TcpStream::connect(&addr).expect("connect");
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            conn.read_to_string(&mut out).expect("read");
+            out
+        };
+        // All four endpoints answer mid-replay. Windowed series appear
+        // once the first block lands; poll briefly for them.
+        let metrics = loop {
+            let m = fetch("/metrics");
+            if m.contains("window_managed_compress_nanos_p99") || Instant::now() >= deadline {
+                break m;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(
+            metrics.contains("window_managed_compress_nanos_p99"),
+            "live windowed p99 missing mid-replay"
+        );
+        assert!(metrics.contains("slo_state{objective=\"managed.compress.latency\"}"));
+        assert!(metrics.contains("slo_budget_remaining{objective=\"managed.decompress.errors\"}"));
+        let slo = fetch("/slo");
+        assert!(slo.contains("\"managed.decompress.latency\""), "{slo}");
+        assert!(fetch("/healthz").ends_with("ok\n"));
+        assert!(fetch("/trace.json").contains("traceEvents"));
+        // Healthy replay: clean exit (no budget exhaustion).
+        replay.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn monitor_rejects_bad_flags() {
+        assert!(
+            run_cmd(&["monitor", "--workload", "nope", "--seconds", "0.1"])
+                .unwrap_err()
+                .contains("unknown workload")
+        );
+        assert!(run_cmd(&["monitor", "--seconds", "-1"])
+            .unwrap_err()
+            .contains("bad --seconds"));
+    }
+
+    #[test]
+    fn fault_inject_publishes_sweep_counters() {
+        let before = telemetry::snapshot();
+        run_cmd(&[
+            "fault-inject",
+            "--injector",
+            "truncate",
+            "--algo",
+            "zstdx",
+            "--budget",
+            "4",
+            "--block-size",
+            "4096",
+        ])
+        .unwrap();
+        let after = telemetry::snapshot();
+        let labels = [("injector", "truncate"), ("codec", "zstdx")];
+        assert!(
+            after.counter("faultline.cases", &labels) > before.counter("faultline.cases", &labels),
+            "sweep cases not published to the registry"
+        );
+        assert_eq!(
+            after.counter("faultline.violations", &labels),
+            before.counter("faultline.violations", &labels),
+            "clean sweep must publish zero new violations"
+        );
     }
 
     #[test]

@@ -14,7 +14,17 @@
 //! datacomp telemetry  [--format json|prom]
 //! datacomp fault-inject [--seed N] [--injector A,B] [--algo X,Y] [--budget N]
 //!                     [--block-size BYTES] [--level N] [--checksums on|off]
+//! datacomp monitor    [--addr HOST:PORT] [--workload NAME] [--seconds S]
+//!                     [--slo-ms MS] [--slo-target F] [--error-target F]
+//!                     [--addr-file PATH]
 //! ```
+//!
+//! `monitor` is the live observability plane: it registers managed-path
+//! SLOs, serves `/metrics` (Prometheus, with windowed views and trace
+//! exemplars), `/slo` (error-budget JSON), `/healthz`, and
+//! `/trace.json` on `--addr`, and replays a fleet workload through the
+//! managed compression service until `--seconds` elapse. It exits
+//! non-zero when any error budget is exhausted.
 //!
 //! Every command also accepts `--telemetry <path>`, writing the process
 //! telemetry snapshot to `<path>` (JSON) and `<path>.prom` (Prometheus

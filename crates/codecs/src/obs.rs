@@ -10,7 +10,14 @@
 //! * `codecs.compress.nanos` / `codecs.decompress.nanos` — latency
 //!   histograms (p50/p90/p99/max at export)
 //!
-//! The cost is a few relaxed atomic updates plus one registry lookup
+//! Alongside the cumulative series, each call also feeds the
+//! [time-windowed registry](telemetry::windows): the same counter and
+//! latency names scoped to the sliding window, with the latency
+//! histogram linking its per-bucket max sample back to a trace instant
+//! (an exemplar) so a scrape-time p99 can be chased to the exact
+//! flight-recorder event that caused it.
+//!
+//! The cost is a few relaxed atomic updates plus two registry lookups
 //! per call — negligible next to the (de)compression work itself.
 
 use std::time::Instant;
@@ -34,6 +41,13 @@ pub(crate) fn record_compress(
         .add(bytes_out as u64);
     reg.histogram("codecs.compress.nanos", &labels)
         .observe_duration(elapsed);
+    let win = telemetry::windows();
+    win.counter("codecs.compress.bytes_in", &labels)
+        .add(bytes_in as u64);
+    win.histogram("codecs.compress.nanos", &labels)
+        .observe_linked(elapsed.as_nanos() as u64, || {
+            telemetry::trace::instant_ref("codec.compress.window_max")
+        });
 }
 
 /// Records one successful decompression call.
@@ -47,6 +61,13 @@ pub(crate) fn record_decompress(algo: &'static str, level: i32, bytes_out: usize
         .add(bytes_out as u64);
     reg.histogram("codecs.decompress.nanos", &labels)
         .observe_duration(elapsed);
+    let win = telemetry::windows();
+    win.counter("codecs.decompress.bytes_out", &labels)
+        .add(bytes_out as u64);
+    win.histogram("codecs.decompress.nanos", &labels)
+        .observe_linked(elapsed.as_nanos() as u64, || {
+            telemetry::trace::instant_ref("codec.decompress.window_max")
+        });
 }
 
 #[cfg(test)]

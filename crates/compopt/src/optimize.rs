@@ -127,7 +127,7 @@ pub fn pareto_front(measured: &[Measured]) -> Vec<&Measured> {
 /// Random-sampling search: evaluates `k` uniformly chosen candidates
 /// and returns the best feasible one. A cheap stand-in for exhaustive
 /// search on large spaces.
-pub fn random_search<'a>(evals: &'a [Evaluation], k: usize, seed: u64) -> Option<&'a Evaluation> {
+pub fn random_search(evals: &[Evaluation], k: usize, seed: u64) -> Option<&Evaluation> {
     if evals.is_empty() || k == 0 {
         return None;
     }

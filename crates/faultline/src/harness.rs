@@ -321,13 +321,13 @@ mod tests {
         let a = sweep(
             &blocks,
             &[Injector::BitFlip { flips: 1 }],
-            &Algorithm::ALL.to_vec(),
+            Algorithm::ALL.as_ref(),
             &cfg,
         );
         let b = sweep(
             &blocks,
             &[Injector::BitFlip { flips: 1 }],
-            &Algorithm::ALL.to_vec(),
+            Algorithm::ALL.as_ref(),
             &cfg,
         );
         assert_eq!(a.total_cases(), b.total_cases());
@@ -345,7 +345,7 @@ mod tests {
             budget_per_block: 16,
             ..SweepConfig::default()
         };
-        let report = sweep(&blocks, &Injector::ALL, &Algorithm::ALL.to_vec(), &cfg);
+        let report = sweep(&blocks, &Injector::ALL, Algorithm::ALL.as_ref(), &cfg);
         assert!(report.total_cases() > 0);
         assert_eq!(
             report.violations(),

@@ -260,9 +260,21 @@ fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec
                     decompress_n(c.as_ref(), &frame, None, reads, cell, block.len());
                 }
             }
+            let svc_labels = [("service", spec.name)];
             telemetry::global()
-                .histogram("fleet.compress.nanos", &[("service", spec.name)])
+                .histogram("fleet.compress.nanos", &svc_labels)
                 .observe_duration(comp_elapsed);
+            // Live windowed view of the same series: the scrape
+            // endpoint reports a sliding-window p99 per service, and
+            // the slowest block in each sub-window keeps a trace
+            // exemplar pointing at its flight-recorder instant.
+            let win = telemetry::windows();
+            win.counter("fleet.compress.bytes", &svc_labels)
+                .add(block.len() as u64);
+            win.histogram("fleet.compress.nanos", &svc_labels)
+                .observe_linked(comp_elapsed.as_nanos() as u64, || {
+                    telemetry::trace::instant_ref("fleet.compress.window_max")
+                });
             cell.bytes += block.len() as u64;
             cell.comp_calls += 1;
             telemetry::trace::counter("fleet.bytes", cell.bytes as f64);
@@ -288,9 +300,15 @@ fn decompress_n(
         let elapsed = t0.elapsed();
         cell.decompress_secs += elapsed.as_secs_f64();
         out.expect("own frames round-trip");
+        let svc_labels = [("service", cell.service)];
         telemetry::global()
-            .histogram("fleet.decompress.nanos", &[("service", cell.service)])
+            .histogram("fleet.decompress.nanos", &svc_labels)
             .observe_duration(elapsed);
+        telemetry::windows()
+            .histogram("fleet.decompress.nanos", &svc_labels)
+            .observe_linked(elapsed.as_nanos() as u64, || {
+                telemetry::trace::instant_ref("fleet.decompress.window_max")
+            });
         cell.decomp_calls += 1;
     }
 }

@@ -217,8 +217,20 @@ impl ManagedCompression {
         };
         reg.counter("managed.bytes_out", &labels)
             .add(frame.len() as u64);
+        let elapsed = start.elapsed();
         reg.histogram("managed.compress.nanos", &labels)
-            .observe_duration(start.elapsed());
+            .observe_duration(elapsed);
+        // Sliding-window view for the live scrape endpoint, with the
+        // per-sub-window max sample carrying a trace exemplar.
+        telemetry::windows()
+            .histogram("managed.compress.nanos", &labels)
+            .observe_linked(elapsed.as_nanos() as u64, || {
+                telemetry::trace::instant_ref("managed.compress.window_max")
+            });
+        if let Some(slo) = telemetry::slos().get("managed.compress.latency") {
+            slo.record_latency(elapsed.as_nanos() as u64);
+            slo.evaluate();
+        }
         frame
     }
 
@@ -253,8 +265,23 @@ impl ManagedCompression {
 
         // Stored frames decode by stripping the passthrough magic.
         if let Some(raw) = frame.strip_prefix(&PASSTHROUGH_MAGIC) {
+            let elapsed = start.elapsed();
             reg.histogram("managed.decompress.nanos", &labels)
-                .observe_duration(start.elapsed());
+                .observe_duration(elapsed);
+            telemetry::windows()
+                .histogram("managed.decompress.nanos", &labels)
+                .observe_linked(elapsed.as_nanos() as u64, || {
+                    telemetry::trace::instant_ref("managed.decompress.window_max")
+                });
+            let slos = telemetry::slos();
+            if let Some(slo) = slos.get("managed.decompress.latency") {
+                slo.record_latency(elapsed.as_nanos() as u64);
+                slo.evaluate();
+            }
+            if let Some(slo) = slos.get("managed.decompress.errors") {
+                slo.record(true);
+                slo.evaluate();
+            }
             return Ok(raw.to_vec());
         }
 
@@ -327,8 +354,29 @@ impl ManagedCompression {
             }
             other => other,
         };
+        let elapsed = start.elapsed();
         reg.histogram("managed.decompress.nanos", &labels)
-            .observe_duration(start.elapsed());
+            .observe_duration(elapsed);
+        let win = telemetry::windows();
+        win.histogram("managed.decompress.nanos", &labels)
+            .observe_linked(elapsed.as_nanos() as u64, || {
+                telemetry::trace::instant_ref("managed.decompress.window_max")
+            });
+        if out.is_err() {
+            win.counter("managed.decompress.errors", &labels).inc();
+        }
+        // Feed globally registered objectives, when the embedding
+        // process (e.g. `datacomp monitor`) has declared them; the
+        // library itself stays silent otherwise.
+        let slos = telemetry::slos();
+        if let Some(slo) = slos.get("managed.decompress.latency") {
+            slo.record_latency(elapsed.as_nanos() as u64);
+            slo.evaluate();
+        }
+        if let Some(slo) = slos.get("managed.decompress.errors") {
+            slo.record(out.is_ok());
+            slo.evaluate();
+        }
         out
     }
 

@@ -57,7 +57,13 @@ pub fn to_chrome_json(snap: &TraceSnapshot) -> String {
                 }
                 EventKind::Instant { name } => {
                     field_str(&mut out, "name", name);
-                    out.push_str(",\"cat\":\"mark\",\"ph\":\"i\",\"s\":\"t\"");
+                    // `seq` is the stable per-track event id exemplars
+                    // reference: `(tid, seq)` from a /metrics exemplar
+                    // locates exactly this object.
+                    out.push_str(&format!(
+                        ",\"cat\":\"mark\",\"ph\":\"i\",\"s\":\"t\",\"args\":{{\"seq\":{}}}",
+                        ev.seq
+                    ));
                 }
                 EventKind::Counter { name, value } => {
                     field_str(&mut out, "name", name);
@@ -220,6 +226,23 @@ mod tests {
         }
         assert!(json.contains("\"label\":\"(zstdx, 3)\""));
         assert!(json.contains("\"won\":true"));
+    }
+
+    #[test]
+    fn instants_carry_their_seq_for_exemplar_resolution() {
+        let tracer = Tracer::with_capacity(8);
+        let t = tracer.new_track("t");
+        t.instant("first");
+        let r = t.instant_ref("sample");
+        let json = to_chrome_json(&tracer.drain());
+        assert_eq!(r.seq, 1);
+        assert!(
+            json.contains(&format!(
+                "\"name\":\"sample\",\"cat\":\"mark\",\"ph\":\"i\",\"s\":\"t\",\"args\":{{\"seq\":{}}}",
+                r.seq
+            )),
+            "{json}"
+        );
     }
 
     #[test]

@@ -114,6 +114,14 @@ pub fn to_prometheus(snap: &Snapshot) -> String {
                 SeriesValue::Gauge(_) => "gauge",
                 SeriesValue::Histogram(_) => "histogram",
             };
+            // The registry carries no free-form descriptions, so HELP
+            // states the one thing the sanitized name can lose: the
+            // original dotted series name.
+            let mut help = String::new();
+            prom_help_escape(&mut help, &s.key.name);
+            out.push_str(&format!(
+                "# HELP {name} Cumulative {kind} \"{help}\" from the datacomp registry\n"
+            ));
             out.push_str(&format!("# TYPE {name} {kind}\n"));
             last_name = Some(s.key.name.as_str());
         }
@@ -198,6 +206,18 @@ pub fn prom_escape(out: &mut String, value: &str) {
     }
 }
 
+/// Escapes HELP text per the exposition format: backslash and newline
+/// (double quotes are legal inside HELP lines).
+pub fn prom_help_escape(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
 fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
     if labels.is_empty() && le.is_none() {
         return String::new();
@@ -273,6 +293,10 @@ mod tests {
     fn prometheus_lines_are_parseable() {
         let text = to_prometheus(&sample_snapshot());
         assert!(text.contains("# TYPE codecs_compress_calls counter\n"));
+        assert!(
+            text.contains("# HELP codecs_compress_calls Cumulative counter \"codecs.compress.calls\" from the datacomp registry\n")
+        );
+        assert!(text.contains("# HELP span_zstdx_match_find Cumulative histogram"));
         assert!(text.contains("codecs_compress_calls{algo=\"zstdx\",level=\"3\"} 7\n"));
         assert!(text.contains("# TYPE span_zstdx_match_find histogram\n"));
         assert!(text.contains("span_zstdx_match_find_bucket{le=\"+Inf\"} 3\n"));
@@ -322,6 +346,42 @@ mod tests {
         let mut out = String::new();
         prom_escape(&mut out, "zstdx-19/dict");
         assert_eq!(out, "zstdx-19/dict");
+    }
+
+    #[test]
+    fn help_lines_escape_hostile_names_onto_one_line() {
+        let reg = Registry::new();
+        reg.counter("weird\\name\nwith newline", &[]).inc();
+        let text = to_prometheus(&reg.snapshot());
+        let help = text
+            .lines()
+            .find(|l| l.starts_with("# HELP"))
+            .expect("HELP line");
+        assert!(help.contains("weird\\\\name\\nwith newline"), "{help}");
+        // Exactly one HELP + one TYPE + one sample: nothing leaked onto
+        // extra physical lines.
+        assert_eq!(text.lines().count(), 3, "{text}");
+    }
+
+    #[test]
+    fn every_series_gets_help_before_type() {
+        let text = to_prometheus(&sample_snapshot());
+        let mut lines = text.lines().peekable();
+        while let Some(line) = lines.next() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                let next = lines.peek().expect("TYPE follows HELP");
+                assert!(
+                    next.starts_with(&format!("# TYPE {name} ")),
+                    "HELP for {name} not followed by its TYPE: {next}"
+                );
+            }
+        }
+        assert_eq!(
+            text.matches("# HELP").count(),
+            3,
+            "one HELP per distinct series name"
+        );
     }
 
     #[test]

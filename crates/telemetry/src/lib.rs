@@ -23,6 +23,14 @@
 //!   samples, CompOpt decisions) with bounded memory and drop
 //!   counting. [`chrome`] serializes a drained trace to Chrome
 //!   trace-event JSON loadable in Perfetto.
+//! * [`window`] — the live plane: sliding-window counters and
+//!   histograms ([`windows`]) rotated on an injectable [`clock`],
+//!   yielding per-window p50/p90/p99 and rates, with metric↔trace
+//!   exemplars pointing at flight-recorder events.
+//! * [`slo`] — declarative objectives ([`slos`]) evaluated as
+//!   multi-window burn rates with error-budget accounting.
+//! * [`serve`] — a dependency-free HTTP scrape server exposing
+//!   `/metrics`, `/slo`, `/healthz`, and `/trace.json`.
 //!
 //! The crate is dependency-free (std only) so every layer of the stack
 //! can use it without weight.
@@ -44,24 +52,54 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod clock;
 pub mod export;
 pub mod histogram;
 pub mod registry;
+pub mod serve;
+pub mod slo;
 pub mod span;
 pub mod trace;
+pub mod window;
 
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Registry, Series, SeriesKey, SeriesValue, Snapshot};
+pub use serve::{ScrapeServer, Sources};
+pub use slo::{Slo, SloConfig, SloKind, SloRegistry, SloState};
 pub use span::{record_duration, record_stage, Span};
-pub use trace::{global_tracer, Decision, TraceEvent, TraceSnapshot, Tracer};
+pub use trace::{global_tracer, Decision, EventRef, TraceEvent, TraceSnapshot, Tracer};
+pub use window::{
+    Exemplar, WindowConfig, WindowRegistry, WindowSnapshot, WindowedCounter, WindowedHistogram,
+};
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// The process-wide registry that the instrumented crates (codecs,
 /// fleet, managed) record into by default.
 pub fn global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
     GLOBAL.get_or_init(Registry::new)
+}
+
+/// The process-wide monotonic clock that the global windowed views and
+/// SLOs rotate on, anchored at first use.
+pub fn global_clock() -> Arc<dyn Clock> {
+    static GLOBAL: OnceLock<Arc<MonotonicClock>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(MonotonicClock::new()))) as Arc<dyn Clock>
+}
+
+/// The process-wide windowed-metrics registry (default 30 s window)
+/// behind the `window_*` series on `/metrics`.
+pub fn windows() -> &'static WindowRegistry {
+    static GLOBAL: OnceLock<WindowRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(|| WindowRegistry::new(WindowConfig::DEFAULT, global_clock()))
+}
+
+/// The process-wide SLO registry behind `/slo` and the `slo_*` gauges.
+pub fn slos() -> &'static SloRegistry {
+    static GLOBAL: OnceLock<SloRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(|| SloRegistry::new(global_clock()))
 }
 
 /// Snapshot of the process-wide registry.

@@ -158,8 +158,28 @@ pub struct TraceEvent {
     /// Nanoseconds since the tracer's epoch, monotonically
     /// non-decreasing within a track.
     pub ts_nanos: u64,
+    /// Position in the track's event stream: the n-th event ever
+    /// recorded on this track (0-based), stable across ring overwrites.
+    /// `(track tid, seq)` uniquely identifies an event, which is what
+    /// metric exemplars store to link a latency sample back to its
+    /// flight-recorder event.
+    pub seq: u64,
     /// The recorded event.
     pub kind: EventKind,
+}
+
+/// A durable reference to one recorded trace event: the track it lives
+/// on, its sequence number, and its timestamp. This is the link a
+/// windowed-histogram exemplar carries from a `/metrics` sample to the
+/// flight recorder ([`crate::window::Exemplar`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRef {
+    /// Track id ([`Track::tid`], the `tid` of the Chrome export).
+    pub track: u64,
+    /// The event's per-track sequence number ([`TraceEvent::seq`]).
+    pub seq: u64,
+    /// The event's timestamp ([`TraceEvent::ts_nanos`]).
+    pub ts_nanos: u64,
 }
 
 /// The bounded per-track ring. Overwrites the oldest event when full.
@@ -170,6 +190,8 @@ struct Ring {
     head: usize,
     /// High-water timestamp, enforcing per-track monotonic order.
     last_ts: u64,
+    /// Events ever pushed; assigns each event its sequence number.
+    pushed: u64,
 }
 
 impl Ring {
@@ -183,29 +205,40 @@ impl Ring {
             capacity,
             head: 0,
             last_ts: 0,
+            pushed: 0,
         }
     }
 
-    /// Pushes one event; returns `true` when an old event was dropped
-    /// to make room. Never reallocates past the fixed capacity.
-    fn push(&mut self, mut ev: TraceEvent) -> bool {
+    /// Pushes one event; returns its assigned sequence number, its
+    /// (monotonically clamped) timestamp, and whether an old event was
+    /// dropped to make room. Never reallocates past the fixed capacity.
+    fn push(&mut self, mut ev: TraceEvent) -> (u64, u64, bool) {
         ev.ts_nanos = ev.ts_nanos.max(self.last_ts);
         self.last_ts = ev.ts_nanos;
-        if self.buf.len() < self.capacity {
+        ev.seq = self.pushed;
+        self.pushed += 1;
+        let dropped = if self.buf.len() < self.capacity {
             self.buf.push(ev);
             false
         } else {
             self.buf[self.head] = ev;
             self.head = (self.head + 1) % self.capacity;
             true
-        }
+        };
+        (ev.seq, ev.ts_nanos, dropped)
+    }
+
+    /// Copies all events in timestamp order without clearing.
+    fn peek(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
     }
 
     /// Removes and returns all events in timestamp order.
     fn drain(&mut self) -> Vec<TraceEvent> {
-        let mut out = Vec::with_capacity(self.buf.len());
-        out.extend_from_slice(&self.buf[self.head..]);
-        out.extend_from_slice(&self.buf[..self.head]);
+        let out = self.peek();
         self.buf.clear();
         self.head = 0;
         out
@@ -263,14 +296,23 @@ impl Track {
         duration_nanos(t.checked_duration_since(self.epoch).unwrap_or_default())
     }
 
-    fn record(&self, ts_nanos: u64, kind: EventKind) {
-        let dropped = self
-            .ring
-            .lock()
-            .expect("track ring not poisoned")
-            .push(TraceEvent { ts_nanos, kind });
+    fn record(&self, ts_nanos: u64, kind: EventKind) -> EventRef {
+        let (seq, ts_nanos, dropped) =
+            self.ring
+                .lock()
+                .expect("track ring not poisoned")
+                .push(TraceEvent {
+                    ts_nanos,
+                    seq: 0, // assigned by the ring
+                    kind,
+                });
         if dropped {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        EventRef {
+            track: self.tid,
+            seq,
+            ts_nanos,
         }
     }
 
@@ -287,6 +329,13 @@ impl Track {
     /// Records an instant marker now.
     pub fn instant(&self, name: &'static str) {
         self.record(self.now_nanos(), EventKind::Instant { name });
+    }
+
+    /// Records an instant marker now and returns a durable reference
+    /// to it — the hook metric exemplars use to link a sample back to
+    /// this event.
+    pub fn instant_ref(&self, name: &'static str) -> EventRef {
+        self.record(self.now_nanos(), EventKind::Instant { name })
     }
 
     /// Records a counter sample now.
@@ -317,6 +366,16 @@ impl Track {
             tid: self.tid,
             name: self.name(),
             dropped: self.dropped.swap(0, Ordering::Relaxed),
+            events,
+        }
+    }
+
+    fn peek(&self) -> TrackSnapshot {
+        let events = self.ring.lock().expect("track ring not poisoned").peek();
+        TrackSnapshot {
+            tid: self.tid,
+            name: self.name(),
+            dropped: self.dropped.load(Ordering::Relaxed),
             events,
         }
     }
@@ -402,6 +461,26 @@ impl Tracer {
             .iter()
             .map(|t| t.dropped())
             .sum()
+    }
+
+    /// Copies every track's current events without clearing anything —
+    /// the live-scrape variant of [`drain`](Self::drain), used by the
+    /// `/trace.json` endpoint so a scrape never steals the flight
+    /// recorder from a later `--trace` export. Tracks with no events
+    /// and no drops are omitted, as for drain.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let tracks = self
+            .tracks
+            .lock()
+            .expect("tracer track list not poisoned")
+            .clone();
+        TraceSnapshot {
+            tracks: tracks
+                .iter()
+                .map(|t| t.peek())
+                .filter(|t| !t.events.is_empty() || t.dropped > 0)
+                .collect(),
+        }
     }
 
     /// Drains every track: returns all recorded events (per track, in
@@ -512,6 +591,12 @@ pub fn end(name: &'static str) {
 /// Records an instant marker on the calling thread's track.
 pub fn instant(name: &'static str) {
     current_track().instant(name);
+}
+
+/// Records an instant marker on the calling thread's track and returns
+/// a durable [`EventRef`] to it, for use as a metric exemplar.
+pub fn instant_ref(name: &'static str) -> EventRef {
+    current_track().instant_ref(name)
 }
 
 /// Records a counter sample on the calling thread's track.
@@ -673,6 +758,40 @@ mod tests {
             }
             ref other => panic!("expected decision, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn seq_numbers_are_dense_and_survive_overwrite() {
+        let tracer = Tracer::with_capacity(4);
+        let track = tracer.new_track("t");
+        let mut refs = Vec::new();
+        for _ in 0..10 {
+            refs.push(track.instant_ref("mark"));
+        }
+        // Every recorded event got a distinct, dense sequence number.
+        let seqs: Vec<u64> = refs.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+        assert!(refs.iter().all(|r| r.track == track.tid()));
+        // After overwrite, the surviving events keep their original
+        // seqs — so an EventRef to a surviving event still resolves.
+        let snap = tracer.drain();
+        let survivor_seqs: Vec<u64> = snap.tracks[0].events.iter().map(|e| e.seq).collect();
+        assert_eq!(survivor_seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive() {
+        let tracer = Tracer::with_capacity(8);
+        let track = tracer.new_track("t");
+        track.instant("a");
+        track.instant("b");
+        let peek1 = tracer.snapshot();
+        let peek2 = tracer.snapshot();
+        assert_eq!(peek1.event_count(), 2);
+        assert_eq!(peek1, peek2, "snapshot must not consume events");
+        // Drain still sees everything afterwards.
+        assert_eq!(tracer.drain().event_count(), 2);
+        assert_eq!(tracer.snapshot().event_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,810 @@
+//! Time-windowed metrics: sliding-window rate counters and
+//! ring-of-buckets histograms with trace exemplars.
+//!
+//! The cumulative [`Registry`](crate::Registry) answers "how much since
+//! process start"; it cannot answer the live-operations questions the
+//! paper's fleet characterization is built on — "what is zstdx p99
+//! decode latency over the last 30 s, and is it rising?" This module
+//! adds that temporal axis:
+//!
+//! * [`WindowedCounter`] — a ring of N sub-window tallies rotated on an
+//!   injected [`Clock`]. Reads merge the sub-windows that are still
+//!   live, yielding a total and a rate over the window span.
+//! * [`WindowedHistogram`] — the same ring, but each sub-window bucket
+//!   holds a full log-bucketed histogram (the 65-bucket layout of
+//!   [`crate::histogram`]). Reads merge live buckets into one
+//!   [`HistogramSnapshot`], so per-window p50/p90/p99 come from the
+//!   existing quantile math. Each sub-window bucket also retains an
+//!   [`Exemplar`] — the trace [`EventRef`] of its max-latency sample —
+//!   linking a p99 spike on `/metrics` directly to the flight-recorder
+//!   event that caused it.
+//! * [`WindowRegistry`] — a sharded `(name, labels)` table of windowed
+//!   series, mirroring the cumulative registry's API, with a
+//!   Prometheus-text export ([`to_prometheus_windows`]) that emits
+//!   `window_*` gauges (p50/p90/p99, rates, exemplar pointers).
+//!
+//! The clock is a trait so tests drive time by hand ([`ManualClock`])
+//! and window rotation is exact: a fixed event sequence produces exact
+//! window percentiles, deterministically.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::clock::{Clock, ManualClock, MonotonicClock};
+use crate::export::{prom_escape, prom_name};
+use crate::histogram::{bucket_index, HistogramSnapshot, NUM_BUCKETS};
+use crate::registry::SeriesKey;
+use crate::trace::EventRef;
+
+/// How a windowed series buckets time: `sub_windows` rotating slots of
+/// `sub_window_nanos` each; the live window spans their product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Width of one ring slot, in nanoseconds.
+    pub sub_window_nanos: u64,
+    /// Number of ring slots.
+    pub sub_windows: usize,
+}
+
+impl WindowConfig {
+    /// The default operational window: 10 slots × 3 s = a 30 s view.
+    pub const DEFAULT: WindowConfig = WindowConfig {
+        sub_window_nanos: 3_000_000_000,
+        sub_windows: 10,
+    };
+
+    /// Builds a config, clamping both dimensions to at least 1.
+    pub fn new(sub_window_nanos: u64, sub_windows: usize) -> Self {
+        Self {
+            sub_window_nanos: sub_window_nanos.max(1),
+            sub_windows: sub_windows.max(1),
+        }
+    }
+
+    /// Total window span in nanoseconds.
+    pub fn span_nanos(&self) -> u64 {
+        self.sub_window_nanos
+            .saturating_mul(self.sub_windows as u64)
+    }
+
+    /// Total window span in seconds.
+    pub fn span_secs(&self) -> f64 {
+        self.span_nanos() as f64 / 1e9
+    }
+
+    /// The absolute sub-window index (since clock epoch) of time `t`.
+    fn epoch_of(&self, t_nanos: u64) -> u64 {
+        t_nanos / self.sub_window_nanos
+    }
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// A metric sample's link back to the flight recorder: the value plus
+/// the trace event recorded alongside it. `(event.track, event.seq)`
+/// resolves to exactly one event in a drained or snapshotted trace
+/// (and in the Chrome export, where instants carry `args.seq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (e.g. latency in nanoseconds).
+    pub value: u64,
+    /// The trace event recorded for this sample.
+    pub event: EventRef,
+}
+
+// ---------------------------------------------------------------------
+// Windowed counter
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterSlot {
+    /// Absolute sub-window index this slot currently holds.
+    epoch: u64,
+    count: u64,
+}
+
+/// A sliding-window event counter. See the [module docs](self).
+#[derive(Debug)]
+pub struct WindowedCounter {
+    cfg: WindowConfig,
+    clock: Arc<dyn Clock>,
+    slots: Mutex<Vec<CounterSlot>>,
+}
+
+impl WindowedCounter {
+    /// Creates a counter rotating on `clock`.
+    pub fn new(cfg: WindowConfig, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            cfg,
+            clock,
+            slots: Mutex::new(vec![CounterSlot::default(); cfg.sub_windows]),
+        }
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the current sub-window.
+    pub fn add(&self, n: u64) {
+        let epoch = self.cfg.epoch_of(self.clock.now_nanos());
+        let mut slots = self.slots.lock().expect("window slots not poisoned");
+        let idx = (epoch % self.cfg.sub_windows as u64) as usize;
+        let slot = &mut slots[idx];
+        if slot.epoch != epoch {
+            *slot = CounterSlot { epoch, count: 0 };
+        }
+        slot.count += n;
+    }
+
+    /// Total events in the live window (the last `sub_windows`
+    /// sub-windows, including the in-progress one).
+    pub fn total(&self) -> u64 {
+        let now_epoch = self.cfg.epoch_of(self.clock.now_nanos());
+        let oldest = now_epoch.saturating_sub(self.cfg.sub_windows as u64 - 1);
+        self.slots
+            .lock()
+            .expect("window slots not poisoned")
+            .iter()
+            .filter(|s| s.epoch >= oldest && s.epoch <= now_epoch)
+            .map(|s| s.count)
+            .sum()
+    }
+
+    /// Events per second over the full window span. During warm-up
+    /// (before one full span has elapsed) this under-reports by design:
+    /// the denominator is always the span, keeping the value exact and
+    /// deterministic rather than dependent on process start time.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.total() as f64 / self.cfg.span_secs()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Windowed histogram
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct HistSlot {
+    epoch: u64,
+    buckets: Vec<u64>,
+    sum: u64,
+    max: u64,
+    /// The max-latency sample of this sub-window bucket, when the
+    /// recording site supplied a trace link.
+    exemplar: Option<Exemplar>,
+}
+
+impl HistSlot {
+    fn empty(epoch: u64) -> Self {
+        Self {
+            epoch,
+            buckets: vec![0; NUM_BUCKETS],
+            sum: 0,
+            max: 0,
+            exemplar: None,
+        }
+    }
+}
+
+/// A point-in-time merged view of a [`WindowedHistogram`]'s live
+/// window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedHistogramSnapshot {
+    /// The merged distribution over the live window; quantiles and
+    /// mean come from the usual [`HistogramSnapshot`] math.
+    pub histogram: HistogramSnapshot,
+    /// The max-value exemplar across the live window, when any
+    /// recording carried one. Its value equals `histogram.max` unless
+    /// only exemplar-less observations hit the maximum.
+    pub exemplar: Option<Exemplar>,
+    /// The window configuration the snapshot merged over.
+    pub config: WindowConfig,
+}
+
+impl WindowedHistogramSnapshot {
+    /// Observations per second over the window span.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.histogram.count() as f64 / self.config.span_secs()
+    }
+}
+
+/// A sliding-window log-bucketed histogram with exemplars. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    cfg: WindowConfig,
+    clock: Arc<dyn Clock>,
+    slots: Mutex<Vec<HistSlot>>,
+}
+
+impl WindowedHistogram {
+    /// Creates a histogram rotating on `clock`.
+    pub fn new(cfg: WindowConfig, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            cfg,
+            clock,
+            slots: Mutex::new((0..cfg.sub_windows).map(|_| HistSlot::empty(0)).collect()),
+        }
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Records one value into the current sub-window.
+    pub fn observe(&self, v: u64) {
+        self.observe_inner(v, None::<fn() -> EventRef>);
+    }
+
+    /// Records one value; when it sets a new sub-window maximum,
+    /// `link` is invoked to mint the trace event whose [`EventRef`]
+    /// becomes the bucket's exemplar. The closure only runs for new
+    /// maxima, so the flight recorder sees at most one exemplar instant
+    /// per sub-window rotation per new peak — not one per observation.
+    pub fn observe_linked(&self, v: u64, link: impl FnOnce() -> EventRef) {
+        self.observe_inner(v, Some(link));
+    }
+
+    fn observe_inner(&self, v: u64, link: Option<impl FnOnce() -> EventRef>) {
+        let epoch = self.cfg.epoch_of(self.clock.now_nanos());
+        let mut slots = self.slots.lock().expect("window slots not poisoned");
+        let idx = (epoch % self.cfg.sub_windows as u64) as usize;
+        let slot = &mut slots[idx];
+        if slot.epoch != epoch {
+            *slot = HistSlot::empty(epoch);
+        }
+        slot.buckets[bucket_index(v)] += 1;
+        slot.sum = slot.sum.wrapping_add(v);
+        let is_new_max = v >= slot.max && (v > 0 || slot.exemplar.is_none());
+        slot.max = slot.max.max(v);
+        if is_new_max {
+            if let Some(link) = link {
+                slot.exemplar = Some(Exemplar {
+                    value: v,
+                    event: link(),
+                });
+            }
+        }
+    }
+
+    /// Merges the live sub-windows into one snapshot.
+    pub fn window_snapshot(&self) -> WindowedHistogramSnapshot {
+        let now_epoch = self.cfg.epoch_of(self.clock.now_nanos());
+        let oldest = now_epoch.saturating_sub(self.cfg.sub_windows as u64 - 1);
+        let slots = self.slots.lock().expect("window slots not poisoned");
+        let mut merged = HistogramSnapshot::default();
+        let mut exemplar: Option<Exemplar> = None;
+        for slot in slots
+            .iter()
+            .filter(|s| s.epoch >= oldest && s.epoch <= now_epoch)
+        {
+            if slot.buckets.iter().all(|&b| b == 0) {
+                continue;
+            }
+            for (a, b) in merged.buckets.iter_mut().zip(&slot.buckets) {
+                *a += b;
+            }
+            merged.sum = merged.sum.wrapping_add(slot.sum);
+            merged.max = merged.max.max(slot.max);
+            if let Some(e) = slot.exemplar {
+                if exemplar.is_none_or(|cur| e.value >= cur.value) {
+                    exemplar = Some(e);
+                }
+            }
+        }
+        WindowedHistogramSnapshot {
+            histogram: merged,
+            exemplar,
+            config: self.cfg,
+        }
+    }
+
+    /// All live exemplars, one per sub-window bucket that retained one,
+    /// newest-peak values included. Order is unspecified.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let now_epoch = self.cfg.epoch_of(self.clock.now_nanos());
+        let oldest = now_epoch.saturating_sub(self.cfg.sub_windows as u64 - 1);
+        self.slots
+            .lock()
+            .expect("window slots not poisoned")
+            .iter()
+            .filter(|s| s.epoch >= oldest && s.epoch <= now_epoch)
+            .filter_map(|s| s.exemplar)
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry of windowed series
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum WindowMetric {
+    Counter(Arc<WindowedCounter>),
+    Histogram(Arc<WindowedHistogram>),
+}
+
+impl WindowMetric {
+    fn kind(&self) -> &'static str {
+        match self {
+            WindowMetric::Counter(_) => "counter",
+            WindowMetric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// A sharded `(name, labels)` table of windowed series — the live
+/// sibling of the cumulative [`Registry`](crate::Registry). All series
+/// share the registry's clock and window configuration, so every
+/// `/metrics` scrape reads one coherent window.
+#[derive(Debug)]
+pub struct WindowRegistry {
+    cfg: WindowConfig,
+    clock: Arc<dyn Clock>,
+    shards: Vec<RwLock<HashMap<SeriesKey, WindowMetric>>>,
+}
+
+impl WindowRegistry {
+    /// Creates a registry on the given clock and window shape.
+    pub fn new(cfg: WindowConfig, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            cfg,
+            clock,
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Creates a registry on a fresh monotonic clock with the default
+    /// 30 s window.
+    pub fn monotonic() -> Self {
+        Self::new(WindowConfig::DEFAULT, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Creates a registry on a shared [`ManualClock`] — the test
+    /// harness shape.
+    pub fn manual(cfg: WindowConfig) -> (Self, Arc<ManualClock>) {
+        let clock = ManualClock::shared();
+        (Self::new(cfg, Arc::clone(&clock) as Arc<dyn Clock>), clock)
+    }
+
+    /// The registry-wide window configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    fn shard(&self, key: &SeriesKey) -> &RwLock<HashMap<SeriesKey, WindowMetric>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn get_or_insert(&self, key: SeriesKey, make: impl FnOnce() -> WindowMetric) -> WindowMetric {
+        let shard = self.shard(&key);
+        if let Some(m) = shard.read().expect("window shard not poisoned").get(&key) {
+            return m.clone();
+        }
+        let mut w = shard.write().expect("window shard not poisoned");
+        w.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Fetches (registering on first use) the windowed counter
+    /// `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series was already registered as a histogram —
+    /// a programming error, as for the cumulative registry.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<WindowedCounter> {
+        let key = SeriesKey::new(name, labels);
+        let made = self.get_or_insert(key, || {
+            WindowMetric::Counter(Arc::new(WindowedCounter::new(
+                self.cfg,
+                Arc::clone(&self.clock),
+            )))
+        });
+        match made {
+            WindowMetric::Counter(c) => c,
+            other => panic!(
+                "window series {name} already registered as {}",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Fetches (registering on first use) the windowed histogram
+    /// `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on metric-kind mismatch, as for
+    /// [`WindowRegistry::counter`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<WindowedHistogram> {
+        let key = SeriesKey::new(name, labels);
+        let made = self.get_or_insert(key, || {
+            WindowMetric::Histogram(Arc::new(WindowedHistogram::new(
+                self.cfg,
+                Arc::clone(&self.clock),
+            )))
+        });
+        match made {
+            WindowMetric::Histogram(h) => h,
+            other => panic!(
+                "window series {name} already registered as {}",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Number of registered windowed series.
+    pub fn series_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("window shard not poisoned").len())
+            .sum()
+    }
+
+    /// A point-in-time merged view of every series, sorted by key.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        let mut series = Vec::with_capacity(self.series_count());
+        for shard in &self.shards {
+            for (key, metric) in shard.read().expect("window shard not poisoned").iter() {
+                let value = match metric {
+                    WindowMetric::Counter(c) => WindowValue::Counter {
+                        total: c.total(),
+                        rate_per_sec: c.rate_per_sec(),
+                    },
+                    WindowMetric::Histogram(h) => WindowValue::Histogram(h.window_snapshot()),
+                };
+                series.push(WindowSeries {
+                    key: key.clone(),
+                    value,
+                });
+            }
+        }
+        series.sort_by(|a, b| a.key.cmp(&b.key));
+        WindowSnapshot {
+            series,
+            config: self.cfg,
+        }
+    }
+}
+
+/// One exported windowed series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSeries {
+    /// The series identity.
+    pub key: SeriesKey,
+    /// The merged live-window value.
+    pub value: WindowValue,
+}
+
+/// The merged live-window value of a series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowValue {
+    /// Event count and rate over the window.
+    Counter {
+        /// Events in the live window.
+        total: u64,
+        /// Events per second over the window span.
+        rate_per_sec: f64,
+    },
+    /// Merged distribution over the window.
+    Histogram(WindowedHistogramSnapshot),
+}
+
+/// A point-in-time view of a [`WindowRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// All series, sorted by key.
+    pub series: Vec<WindowSeries>,
+    /// The registry-wide window configuration.
+    pub config: WindowConfig,
+}
+
+impl WindowSnapshot {
+    /// Looks up one series value.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&WindowValue> {
+        let key = SeriesKey::new(name, labels);
+        self.series
+            .binary_search_by(|s| s.key.cmp(&key))
+            .ok()
+            .map(|i| &self.series[i].value)
+    }
+
+    /// Windowed histogram snapshot of `name{labels}`, if present.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&WindowedHistogramSnapshot> {
+        match self.get(name, labels) {
+            Some(WindowValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Windowed counter total of `name{labels}`, 0 when absent.
+    pub fn counter_total(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get(name, labels) {
+            Some(WindowValue::Counter { total, .. }) => *total,
+            _ => 0,
+        }
+    }
+}
+
+/// Serializes a window snapshot in the Prometheus text exposition
+/// format. Windowed series are namespaced `window_<name>_*` so they
+/// never collide with the cumulative series of the same base name, and
+/// everything is exported as gauges (a windowed value can go down):
+///
+/// * counters → `window_<name>{...}` (total) and
+///   `window_<name>_rate{...}` (events/s over the span);
+/// * histograms → `window_<name>_count/_sum/_p50/_p90/_p99/_max`, a
+///   `window_<name>_rate`, and — when an exemplar is live —
+///   `window_<name>_exemplar{track="..",seq=".."}` carrying the
+///   max-latency sample's value with its flight-recorder coordinates
+///   as labels (classic text format stays parseable; no OpenMetrics
+///   `#`-trailer syntax).
+///
+/// The window span is exported once as `window_span_seconds`.
+pub fn to_prometheus_windows(snap: &WindowSnapshot) -> String {
+    let mut out = String::with_capacity(snap.series.len() * 192 + 64);
+    out.push_str("# HELP window_span_seconds Live-window span all window_* series merge over\n");
+    out.push_str("# TYPE window_span_seconds gauge\n");
+    out.push_str(&format!(
+        "window_span_seconds {}\n",
+        snap.config.span_secs()
+    ));
+    let mut last_name: Option<&str> = None;
+    for s in &snap.series {
+        let name = format!("window_{}", prom_name(&s.key.name));
+        if last_name != Some(s.key.name.as_str()) {
+            out.push_str(&format!(
+                "# HELP {name} Windowed view of {} over the last {}s\n",
+                s.key.name,
+                snap.config.span_secs()
+            ));
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            last_name = Some(s.key.name.as_str());
+        }
+        let labels = window_labels(&s.key.labels, &[]);
+        match &s.value {
+            WindowValue::Counter {
+                total,
+                rate_per_sec,
+            } => {
+                out.push_str(&format!("{name}{labels} {total}\n"));
+                out.push_str(&format!("{name}_rate{labels} {rate_per_sec}\n"));
+            }
+            WindowValue::Histogram(h) => {
+                let hist = &h.histogram;
+                out.push_str(&format!("{name}_count{labels} {}\n", hist.count()));
+                out.push_str(&format!("{name}_sum{labels} {}\n", hist.sum));
+                out.push_str(&format!("{name}_p50{labels} {}\n", hist.quantile(0.50)));
+                out.push_str(&format!("{name}_p90{labels} {}\n", hist.quantile(0.90)));
+                out.push_str(&format!("{name}_p99{labels} {}\n", hist.quantile(0.99)));
+                out.push_str(&format!("{name}_max{labels} {}\n", hist.max));
+                out.push_str(&format!("{name}_rate{labels} {}\n", h.rate_per_sec()));
+                if let Some(e) = &h.exemplar {
+                    let track = e.event.track.to_string();
+                    let seq = e.event.seq.to_string();
+                    let ex_labels = window_labels(
+                        &s.key.labels,
+                        &[("track", track.as_str()), ("seq", seq.as_str())],
+                    );
+                    out.push_str(&format!("{name}_exemplar{ex_labels} {}\n", e.value));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn window_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&prom_name(k));
+        out.push_str("=\"");
+        prom_escape(&mut out, v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    const MS: u64 = 1_000_000;
+
+    fn manual(sub_ms: u64, slots: usize) -> (WindowRegistry, Arc<ManualClock>) {
+        WindowRegistry::manual(WindowConfig::new(sub_ms * MS, slots))
+    }
+
+    #[test]
+    fn counter_window_slides_and_expires() {
+        let (reg, clock) = manual(100, 4); // 4 × 100 ms = 400 ms window
+        let c = reg.counter("reqs", &[]);
+        c.add(5); // t=0, sub-window 0
+        clock.advance(100 * MS);
+        c.add(3); // sub-window 1
+        assert_eq!(c.total(), 8);
+        clock.advance(250 * MS); // t=350ms: both still live
+        assert_eq!(c.total(), 8);
+        clock.advance(100 * MS); // t=450ms: sub-window 0 expired
+        assert_eq!(c.total(), 3);
+        clock.advance(400 * MS); // everything expired
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn counter_rate_is_exact_over_the_span() {
+        let (reg, clock) = manual(250, 4); // 1 s window
+        let c = reg.counter("reqs", &[]);
+        for _ in 0..4 {
+            c.add(25);
+            clock.advance(250 * MS);
+        }
+        // 100 events still live at t=1s minus the expired first slot?
+        // At t=1000ms slot 0 (epoch 0) has expired: live = 75.
+        assert_eq!(c.total(), 75);
+        assert!((c.rate_per_sec() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slot_reuse_resets_stale_tallies() {
+        let (reg, clock) = manual(100, 2); // 200 ms window, 2 slots
+        let c = reg.counter("reqs", &[]);
+        c.add(7);
+        clock.advance(1000 * MS); // many rotations later, same slot index parity
+        c.add(1);
+        assert_eq!(c.total(), 1, "stale slot contents must not leak");
+    }
+
+    #[test]
+    fn histogram_window_percentiles_are_exact() {
+        let (reg, clock) = manual(100, 4);
+        let h = reg.histogram("lat", &[]);
+        // Sub-window 0: a burst of slow samples.
+        for _ in 0..100 {
+            h.observe(8000); // bucket [4096, 8191]
+        }
+        clock.advance(100 * MS);
+        // Sub-window 1: fast samples.
+        for _ in 0..100 {
+            h.observe(500); // bucket [256, 511]
+        }
+        let s = h.window_snapshot();
+        assert_eq!(s.histogram.count(), 200);
+        assert_eq!(s.histogram.quantile(0.50), 511);
+        assert_eq!(s.histogram.quantile(0.99), 8000); // clamped to max
+                                                      // Advance to t=400ms (epoch 4): live epochs are 1..=4, so the
+                                                      // slow burst (epoch 0) has fallen out and the fast samples
+                                                      // (epoch 1) are on their last sub-window.
+        clock.advance(300 * MS);
+        let s = h.window_snapshot();
+        assert_eq!(s.histogram.count(), 100);
+        assert_eq!(s.histogram.max, 500);
+        assert_eq!(s.histogram.quantile(0.99), 500);
+    }
+
+    #[test]
+    fn histogram_rate_counts_window_observations() {
+        let (reg, clock) = manual(500, 2); // 1 s window
+        let h = reg.histogram("lat", &[]);
+        for _ in 0..10 {
+            h.observe(100);
+        }
+        clock.advance(500 * MS);
+        for _ in 0..30 {
+            h.observe(100);
+        }
+        let s = h.window_snapshot();
+        assert_eq!(s.histogram.count(), 40);
+        assert!((s.rate_per_sec() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exemplar_tracks_sub_window_max_and_expires() {
+        let (reg, clock) = manual(100, 2);
+        let tracer = Tracer::with_capacity(16);
+        let track = tracer.new_track("t");
+        let h = reg.histogram("lat", &[]);
+        h.observe_linked(100, || track.instant_ref("sample"));
+        h.observe_linked(900, || track.instant_ref("sample"));
+        h.observe_linked(300, || track.instant_ref("sample")); // not a new max: no event minted
+        let s = h.window_snapshot();
+        let e = s.exemplar.expect("exemplar retained");
+        assert_eq!(e.value, 900);
+        assert_eq!(e.event.track, track.tid());
+        // Only the two new-max observations minted trace events.
+        assert_eq!(tracer.drain().event_count(), 2);
+        // A bigger sample in the next sub-window takes over...
+        clock.advance(100 * MS);
+        h.observe_linked(1500, || track.instant_ref("sample"));
+        assert_eq!(h.window_snapshot().exemplar.unwrap().value, 1500);
+        assert_eq!(h.exemplars().len(), 2, "one exemplar per live bucket");
+        // ...and expiry drops the old bucket's exemplar with it.
+        clock.advance(100 * MS);
+        assert_eq!(h.window_snapshot().exemplar.unwrap().value, 1500);
+        clock.advance(100 * MS);
+        assert!(h.window_snapshot().exemplar.is_none());
+    }
+
+    #[test]
+    fn registry_shares_series_and_rejects_kind_mismatch() {
+        let (reg, _clock) = manual(100, 4);
+        reg.counter("x", &[("a", "1")]).inc();
+        reg.counter("x", &[("a", "1")]).inc();
+        assert_eq!(reg.series_count(), 1);
+        assert_eq!(reg.snapshot().counter_total("x", &[("a", "1")]), 2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.histogram("x", &[("a", "1")])
+        }));
+        assert!(r.is_err(), "kind mismatch must panic");
+    }
+
+    #[test]
+    fn prometheus_window_export_has_percentiles_rates_and_exemplars() {
+        let (reg, _clock) = manual(100, 4);
+        let tracer = Tracer::with_capacity(8);
+        let track = tracer.new_track("svc:CACHE1");
+        reg.counter("reqs", &[("service", "CACHE1")]).add(12);
+        let h = reg.histogram("decode.nanos", &[("service", "CACHE1")]);
+        h.observe(100);
+        h.observe_linked(5000, || track.instant_ref("decode.sample"));
+        let text = to_prometheus_windows(&reg.snapshot());
+        assert!(text.contains("# TYPE window_reqs gauge\n"));
+        assert!(text.contains("window_reqs{service=\"CACHE1\"} 12\n"));
+        assert!(text.contains("window_reqs_rate{service=\"CACHE1\"} 30\n")); // 12 / 0.4s
+        assert!(text.contains("window_decode_nanos_count{service=\"CACHE1\"} 2\n"));
+        assert!(text.contains("window_decode_nanos_p99{service=\"CACHE1\"} 5000\n"));
+        assert!(text.contains("window_decode_nanos_max{service=\"CACHE1\"} 5000\n"));
+        assert!(
+            text.contains(
+                "window_decode_nanos_exemplar{service=\"CACHE1\",track=\"1\",seq=\"0\"} 5000\n"
+            ),
+            "{text}"
+        );
+        // Every sample line parses: name{...} value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "unparseable: {line}");
+        }
+    }
+
+    #[test]
+    fn window_default_config_is_30s() {
+        assert_eq!(WindowConfig::DEFAULT.span_secs(), 30.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for `criterion` (see `shims/README.md`).
+//!
+//! A minimal timing harness exposing the API surface the bench crate
+//! uses: `Criterion::default().sample_size(n)`, `benchmark_group`,
+//! `Throughput`, `BenchmarkId`, `bench_function`/`bench_with_input`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros. It runs each closure `sample_size` times and reports the
+//! median wall-clock per iteration (plus throughput when declared) —
+//! no statistics, warm-up tuning, or HTML reports. Good enough to
+//! keep `cargo bench` runnable and the bench sources compiling.
+
+// Registry dependencies build with --cap-lints allow; as offline
+// path stand-ins these crates must opt out of repo-only strict lints
+// (the CI indexing_slicing gate targets first-party decode paths).
+#![allow(clippy::indexing_slicing)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Names one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// Times one closure; handed to benchmark bodies.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly, recording wall-clock per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = body();
+            let nanos = start.elapsed().as_nanos() as f64;
+            std::hint::black_box(out);
+            self.samples.push(nanos);
+        }
+    }
+
+    fn median_nanos(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let sample_size = self.sample_size;
+        run_one(&id.into().id, None, sample_size, f);
+    }
+}
+
+/// A named group sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.throughput, self.criterion.sample_size, f);
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.throughput, self.criterion.sample_size, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    let nanos = bencher.median_nanos();
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if nanos > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / (1024.0 * 1024.0) / (nanos / 1e9)
+            )
+        }
+        Some(Throughput::Elements(n)) if nanos > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / (nanos / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!("bench: {label:<48} median {:>12.0} ns/iter{rate}", nanos);
+}
+
+/// Bundles target functions under one runner function, mirroring
+/// criterion's two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` calling each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_bodies() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(1024));
+            g.bench_function("plain", |b| b.iter(|| std::hint::black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("with", 7), &7u32, |b, &x| {
+                b.iter(|| std::hint::black_box(x * 2))
+            });
+            g.finish();
+        }
+        c.bench_function(BenchmarkId::from_parameter("solo"), |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 16).id, "f/16");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("name").id, "name");
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for `crossbeam` (see `shims/README.md`): the
+//! `thread::scope` API the workspace uses, implemented on
+//! `std::thread::scope` (stable since 1.63, which post-dates the
+//! original choice of crossbeam here).
+
+// Registry dependencies build with --cap-lints allow; as offline
+// path stand-ins these crates must opt out of repo-only strict lints
+// (the CI indexing_slicing gate targets first-party decode paths).
+#![allow(clippy::indexing_slicing)]
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle; `spawn` borrows from the enclosing stack frame.
+    /// Mirrors crossbeam's shape: the spawned closure receives the
+    /// scope again so it can spawn siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; it is joined when the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before
+    /// returning. Returns `Err` with the panic payload if the closure
+    /// or any spawned thread panicked (crossbeam's contract), `Ok`
+    /// otherwise.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_locals_and_join() {
+        let total = AtomicU64::new(0);
+        let r = super::thread::scope(|scope| {
+            for i in 0..8u64 {
+                let total = &total;
+                scope.spawn(move |_| {
+                    total.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(total.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

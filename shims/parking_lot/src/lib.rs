@@ -1,0 +1,109 @@
+//! Offline stand-in for `parking_lot` (see `shims/README.md`): the
+//! `Mutex`/`RwLock` API the workspace uses, backed by `std::sync`
+//! primitives. Poisoning is erased by unwrapping — matching
+//! `parking_lot`'s semantics of not poisoning at all, except that a
+//! lock held while panicking aborts later lockers via the unwrap.
+
+// Registry dependencies build with --cap-lints allow; as offline
+// path stand-ins these crates must opt out of repo-only strict lints
+// (the CI indexing_slicing gate targets first-party decode paths).
+#![allow(clippy::indexing_slicing)]
+
+/// A mutual-exclusion lock with `parking_lot`'s non-`Result` API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("lock holder panicked")
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().expect("lock holder panicked")
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().expect("lock holder panicked")
+    }
+}
+
+/// A reader-writer lock with `parking_lot`'s non-`Result` API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("lock holder panicked")
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().expect("lock holder panicked")
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().expect("lock holder panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_guards_and_into_inner() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(5);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 10);
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn mutex_is_shareable_across_threads() {
+        let m = std::sync::Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+}

@@ -1,0 +1,314 @@
+//! Offline stand-in for `serde` (see `shims/README.md`).
+//!
+//! The build container cannot fetch crates.io, so this crate provides
+//! the serialization interface the workspace actually exercises:
+//! `Serialize`/`Deserialize` traits, the `Serializer`/`Deserializer`
+//! abstractions needed by hand-written `with`-modules (string-typed
+//! enum codecs), and re-exported derive macros (from the sibling
+//! `serde_derive` shim) for plain named-field structs. The data model
+//! is deliberately JSON-shaped — the only consumer is the `serde_json`
+//! shim — rather than serde's full 29-type model.
+
+// Registry dependencies build with --cap-lints allow; as offline
+// path stand-ins these crates must opt out of repo-only strict lints
+// (the CI indexing_slicing gate targets first-party decode paths).
+#![allow(clippy::indexing_slicing)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization interfaces.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors producible by a serializer.
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        /// Builds an error carrying a custom message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can serialize the workspace's value shapes.
+    pub trait Serializer: Sized {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Struct sub-serializer.
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Sequence sub-serializer.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serializes a boolean.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a float.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a string.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit/null.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `None`.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Some(value)`.
+        fn serialize_some<T: crate::Serialize + ?Sized>(
+            self,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Begins a struct with `len` fields.
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        /// Begins a sequence.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    }
+
+    /// Incremental struct serialization.
+    pub trait SerializeStruct {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one named field.
+        fn serialize_field<T: crate::Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Incremental sequence serialization.
+    pub trait SerializeSeq {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one element.
+        fn serialize_element<T: crate::Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// Deserialization interfaces.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors producible by a deserializer.
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        /// Builds an error carrying a custom message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can be deserialized from. `Copy` so derived
+    /// code can probe several fields from the same node — the only
+    /// implementation is a shared reference into a parsed value tree.
+    pub trait Deserializer<'de>: Sized + Copy {
+        /// Error type.
+        type Error: Error;
+
+        /// Reads a boolean.
+        fn read_bool(self) -> Result<bool, Self::Error>;
+        /// Reads a signed integer.
+        fn read_i64(self) -> Result<i64, Self::Error>;
+        /// Reads an unsigned integer.
+        fn read_u64(self) -> Result<u64, Self::Error>;
+        /// Reads a float (accepts integers).
+        fn read_f64(self) -> Result<f64, Self::Error>;
+        /// Reads a string.
+        fn read_string(self) -> Result<String, Self::Error>;
+        /// True when positioned on null (or a missing field).
+        fn is_null(self) -> bool;
+        /// Descends into object field `key`. Missing keys yield a
+        /// null-positioned deserializer, so `Option` fields read as
+        /// `None` and everything else reports a type error.
+        fn field(self, key: &'static str) -> Result<Self, Self::Error>;
+        /// The elements of an array.
+        fn elements(self) -> Result<Vec<Self>, Self::Error>;
+        /// The key/value entries of an object.
+        fn entries(self) -> Result<Vec<(String, Self)>, Self::Error>;
+    }
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+/// A value serializable into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value reconstructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// --------------------------------------------------------------------
+// Serialize impls for the primitives the workspace serializes.
+// --------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq as _;
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for v in self {
+            seq.serialize_element(v)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+// --------------------------------------------------------------------
+// Deserialize impls.
+// --------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.read_i64()?;
+                <$t>::try_from(v).map_err(|_| de::Error::custom(format!(
+                    "{v} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.read_u64()?;
+                <$t>::try_from(v).map_err(|_| de::Error::custom(format!(
+                    "{v} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.read_f64()
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.read_f64().map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.read_bool()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.read_string()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        if d.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(d).map(Some)
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.elements()?.into_iter().map(T::deserialize).collect()
+    }
+}

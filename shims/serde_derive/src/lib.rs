@@ -1,0 +1,454 @@
+//! Offline stand-in for `serde_derive` (see `shims/README.md`).
+//!
+//! Derives `Serialize`/`Deserialize` for the one shape the workspace
+//! actually derives on: non-generic structs with named fields. The
+//! input is parsed directly from the [`proc_macro::TokenStream`]
+//! (`syn`/`quote` are unavailable offline), and the generated impl is
+//! assembled as a string and re-parsed. Supported field attribute:
+//! `#[serde(with = "module")]`, which routes the field through
+//! `module::serialize` / `module::deserialize`. Anything else —
+//! enums, tuple structs, generics, other serde attributes — is a
+//! compile error naming the limitation.
+
+// Registry dependencies build with --cap-lints allow; as offline
+// path stand-ins these crates must opt out of repo-only strict lints
+// (the CI indexing_slicing gate targets first-party decode paths).
+#![allow(clippy::indexing_slicing)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    /// Type tokens as text, used to declare `with`-adapter wrappers.
+    ty: String,
+    /// Module path from `#[serde(with = "...")]`, if present.
+    with: Option<String>,
+}
+
+/// One parsed enum variant: unit (`Name`) or newtype (`Name(Type)`).
+struct Variant {
+    name: String,
+    /// Payload type for newtype variants.
+    payload: Option<String>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Parses `struct Name { fields }` out of the derive input, skipping
+/// attributes and visibility. Returns `Err(message)` on unsupported
+/// shapes.
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (doc comments arrive as `#[doc = ...]`).
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2;
+    }
+    // Skip visibility: `pub` or `pub(...)`.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let is_enum = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+            i += 1;
+            false
+        }
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+            i += 1;
+            true
+        }
+        _ => return Err("serde shim derives support only structs and enums".to_string()),
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        _ => return Err("expected type name".to_string()),
+    };
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("serde shim derives do not support generic types".to_string());
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(
+                "serde shim derives support only brace-bodied structs and enums".to_string(),
+            )
+        }
+    };
+    let body = if is_enum {
+        Body::Enum(parse_variants(body)?)
+    } else {
+        Body::Struct(parse_fields(body)?)
+    };
+    Ok(Input { name, body })
+}
+
+/// Parses enum variants: unit or single-payload (newtype) only.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            _ => return Err("expected variant name".to_string()),
+        };
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut angle = 0i32;
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            return Err(format!(
+                                "serde shim derives do not support tuple variant `{name}`"
+                            ))
+                        }
+                        _ => {}
+                    }
+                }
+                i += 1;
+                let ty = inner
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if ty.is_empty() {
+                    return Err(format!("empty payload on variant `{name}`"));
+                }
+                Some(ty)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde shim derives do not support struct variant `{name}`"
+                ))
+            }
+            _ => None,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("serde shim derives do not support explicit discriminants".to_string());
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            _ => return Err(format!("expected `,` after variant `{name}`")),
+        }
+        variants.push(Variant { name, payload });
+    }
+    Ok(variants)
+}
+
+/// Parses the brace-delimited field list.
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Field attributes: capture `#[serde(...)]`, skip the rest.
+        let mut with = None;
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if let Some(w) = parse_serde_with(g.stream())? {
+                    with = Some(w);
+                }
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            _ => return Err("expected field name".to_string()),
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Type tokens run to the next top-level comma. `<`/`>` do not
+        // nest as groups, so track angle depth manually.
+        let mut ty = String::new();
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                t => {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        _ => {}
+                    }
+                    if !ty.is_empty() {
+                        ty.push(' ');
+                    }
+                    ty.push_str(&t.to_string());
+                    i += 1;
+                }
+            }
+        }
+        if ty.is_empty() {
+            return Err(format!("expected a type for field `{name}`"));
+        }
+        fields.push(Field { name, ty, with });
+    }
+    Ok(fields)
+}
+
+/// Recognizes the bracket-group contents `serde(with = "module")`.
+/// Other serde attributes are rejected so silent misbehavior (e.g. an
+/// ignored `rename`) cannot slip in; non-serde attributes yield
+/// `None`.
+fn parse_serde_with(attr: TokenStream) -> Result<Option<String>, String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(None),
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Err("malformed #[serde(...)] attribute".to_string()),
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    match (inner.first(), inner.get(1), inner.get(2)) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) if key.to_string() == "with" && eq.as_char() == '=' => {
+            let raw = lit.to_string();
+            let module = raw.trim_matches('"').to_string();
+            if module.is_empty() || module == raw {
+                return Err("#[serde(with = ...)] expects a string literal".to_string());
+            }
+            Ok(Some(module))
+        }
+        _ => Err("serde shim supports only #[serde(with = \"module\")]".to_string()),
+    }
+}
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let fields = match &parsed.body {
+        Body::Struct(fields) => fields,
+        Body::Enum(variants) => return enum_serialize(name, variants),
+    };
+    let mut body = String::new();
+    for f in fields {
+        match &f.with {
+            None => {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, {key:?}, &self.{field})?;\n",
+                    key = f.name,
+                    field = f.name,
+                ));
+            }
+            Some(module) => {
+                // A local wrapper lets the `with`-module's generic
+                // `serialize` fn plug into the field-serializer API.
+                body.push_str(&format!(
+                    "{{\n\
+                     struct __SerdeWith<'__a>(&'__a {ty});\n\
+                     impl<'__a> ::serde::Serialize for __SerdeWith<'__a> {{\n\
+                     fn serialize<__S2: ::serde::Serializer>(&self, __s2: __S2) -> ::core::result::Result<__S2::Ok, __S2::Error> {{\n\
+                     {module}::serialize(self.0, __s2)\n\
+                     }}\n\
+                     }}\n\
+                     ::serde::ser::SerializeStruct::serialize_field(&mut __st, {key:?}, &__SerdeWith(&self.{field}))?;\n\
+                     }}\n",
+                    ty = f.ty,
+                    module = module,
+                    key = f.name,
+                    field = f.name,
+                ));
+            }
+        }
+    }
+    let out = format!(
+        "const _: () = {{\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         let mut __st = ::serde::Serializer::serialize_struct(__s, {name:?}, {len})?;\n\
+         {body}\
+         ::serde::ser::SerializeStruct::end(__st)\n\
+         }}\n\
+         }}\n\
+         }};",
+        name = name,
+        len = fields.len(),
+        body = body,
+    );
+    out.parse().unwrap()
+}
+
+/// Serialize impl for enums in serde's external representation: unit
+/// variants as `"Name"`, newtype variants as `{"Name": payload}`.
+fn enum_serialize(name: &str, variants: &[Variant]) -> TokenStream {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.payload {
+            None => arms.push_str(&format!(
+                "{name}::{variant} => ::serde::Serializer::serialize_str(__s, {variant:?}),\n",
+                name = name,
+                variant = v.name,
+            )),
+            Some(_) => arms.push_str(&format!(
+                "{name}::{variant}(__v) => {{\n\
+                 let mut __st = ::serde::Serializer::serialize_struct(__s, {name:?}, 1)?;\n\
+                 ::serde::ser::SerializeStruct::serialize_field(&mut __st, {variant:?}, __v)?;\n\
+                 ::serde::ser::SerializeStruct::end(__st)\n\
+                 }}\n",
+                name = name,
+                variant = v.name,
+            )),
+        }
+    }
+    let out = format!(
+        "const _: () = {{\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         match self {{\n\
+         {arms}\
+         }}\n\
+         }}\n\
+         }}\n\
+         }};",
+    );
+    out.parse().unwrap()
+}
+
+/// Deserialize impl matching [`enum_serialize`]'s representation.
+fn enum_deserialize(name: &str, variants: &[Variant]) -> TokenStream {
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        match &v.payload {
+            None => unit_arms.push_str(&format!(
+                "{variant:?} => return ::core::result::Result::Ok({name}::{variant}),\n",
+                name = name,
+                variant = v.name,
+            )),
+            Some(_) => keyed_arms.push_str(&format!(
+                "let __node = ::serde::Deserializer::field(__d, {variant:?});\n\
+                 if let ::core::result::Result::Ok(__node) = __node {{\n\
+                 if !::serde::Deserializer::is_null(__node) {{\n\
+                 return ::core::result::Result::Ok({name}::{variant}(::serde::Deserialize::deserialize(__node)?));\n\
+                 }}\n\
+                 }}\n",
+                name = name,
+                variant = v.name,
+            )),
+        }
+    }
+    let out = format!(
+        "const _: () = {{\n\
+         impl<'__de> ::serde::Deserialize<'__de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'__de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         if let ::core::result::Result::Ok(__tag) = ::serde::Deserializer::read_string(__d) {{\n\
+         match __tag.as_str() {{\n\
+         {unit_arms}\
+         _ => {{}}\n\
+         }}\n\
+         }}\n\
+         {keyed_arms}\
+         ::core::result::Result::Err(::serde::de::Error::custom(concat!(\"no matching variant of \", {name:?})))\n\
+         }}\n\
+         }}\n\
+         }};",
+    );
+    out.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let fields = match &parsed.body {
+        Body::Struct(fields) => fields,
+        Body::Enum(variants) => return enum_deserialize(name, variants),
+    };
+    let mut body = String::new();
+    for f in fields {
+        match &f.with {
+            None => body.push_str(&format!(
+                "{field}: ::serde::Deserialize::deserialize(::serde::Deserializer::field(__d, {key:?})?)?,\n",
+                field = f.name,
+                key = f.name,
+            )),
+            Some(module) => body.push_str(&format!(
+                "{field}: {module}::deserialize(::serde::Deserializer::field(__d, {key:?})?)?,\n",
+                field = f.name,
+                module = module,
+                key = f.name,
+            )),
+        }
+    }
+    let out = format!(
+        "const _: () = {{\n\
+         impl<'__de> ::serde::Deserialize<'__de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'__de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         ::core::result::Result::Ok({name} {{\n\
+         {body}\
+         }})\n\
+         }}\n\
+         }}\n\
+         }};",
+        name = name,
+        body = body,
+    );
+    out.parse().unwrap()
+}

@@ -1,0 +1,873 @@
+//! Offline stand-in for `serde_json` (see `shims/README.md`).
+//!
+//! Provides the subset the workspace uses: [`to_string`] over the
+//! serde shim's `Serialize`, [`from_str`] into either typed structs or
+//! a dynamic [`Value`] tree, and the `Value` accessors/operators the
+//! test suite leans on (`doc["key"]`, `== 1`, `== "text"`,
+//! `.as_array()`, `.as_u64()`, `Display`, ...). Object key order is
+//! insertion order, matching serde_json's `preserve_order` behavior
+//! closely enough for line-oriented assertions.
+
+// Registry dependencies build with --cap-lints allow; as offline
+// path stand-ins these crates must opt out of repo-only strict lints
+// (the CI indexing_slicing gate targets first-party decode paths).
+#![allow(clippy::indexing_slicing)]
+
+use std::fmt;
+
+/// Serialization/deserialization failure: a message plus nothing else.
+pub struct Error(String);
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.0)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    fn as_f64(self) -> f64 {
+        match self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::F(_) => None,
+        }
+    }
+
+    fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::I(v) => Some(v),
+            Number::F(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U(v) => write!(f, "{v}"),
+            Number::I(v) => write!(f, "{v}"),
+            Number::F(v) if v.is_finite() => write!(f, "{v}"),
+            Number::F(_) => f.write_str("null"),
+        }
+    }
+}
+
+/// A dynamically-typed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object member by key, array element by stringified index: `None`
+    /// when absent or the wrong shape.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True for strings.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// True for any number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// True for numbers representable as `u64`.
+    pub fn is_u64(&self) -> bool {
+        matches!(self, Value::Number(n) if n.as_u64().is_some())
+    }
+
+    /// True for booleans.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// True for arrays.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// True for objects.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Borrows the string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array payload.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the object payload as ordered pairs.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(v) => v.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => {
+                        (*other as i128)
+                            == match n {
+                                Number::U(v) => *v as i128,
+                                Number::I(v) => *v as i128,
+                                Number::F(_) => return n.as_f64() == *other as f64,
+                            }
+                    }
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+eq_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+// --------------------------------------------------------------------
+// Parsing: text -> Value.
+// --------------------------------------------------------------------
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value(depth + 1)?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not produced by this
+                            // workspace's writers; map lone surrogates
+                            // to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let number = if is_float {
+            Number::F(text.parse().map_err(|_| self.err("invalid number"))?)
+        } else if let Ok(u) = text.parse::<u64>() {
+            Number::U(u)
+        } else if let Ok(i) = text.parse::<i64>() {
+            Number::I(i)
+        } else {
+            Number::F(text.parse().map_err(|_| self.err("invalid number"))?)
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+fn parse_document(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+// --------------------------------------------------------------------
+// Deserializer over a parsed Value tree.
+// --------------------------------------------------------------------
+
+/// A `serde::Deserializer` positioned on one node of a [`Value`] tree.
+#[derive(Clone, Copy)]
+pub struct ValueDe<'de>(&'de Value);
+
+impl<'de> ValueDe<'de> {
+    fn type_err(self, wanted: &str) -> Error {
+        Error(format!("expected {wanted}, found {}", kind_name(self.0)))
+    }
+}
+
+fn kind_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+impl<'de> serde::Deserializer<'de> for ValueDe<'de> {
+    type Error = Error;
+
+    fn read_bool(self) -> Result<bool, Error> {
+        self.0.as_bool().ok_or_else(|| self.type_err("boolean"))
+    }
+
+    fn read_i64(self) -> Result<i64, Error> {
+        self.0.as_i64().ok_or_else(|| self.type_err("integer"))
+    }
+
+    fn read_u64(self) -> Result<u64, Error> {
+        self.0
+            .as_u64()
+            .ok_or_else(|| self.type_err("unsigned integer"))
+    }
+
+    fn read_f64(self) -> Result<f64, Error> {
+        self.0.as_f64().ok_or_else(|| self.type_err("number"))
+    }
+
+    fn read_string(self) -> Result<String, Error> {
+        self.0
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| self.type_err("string"))
+    }
+
+    fn is_null(self) -> bool {
+        self.0.is_null()
+    }
+
+    fn field(self, key: &'static str) -> Result<Self, Error> {
+        match self.0 {
+            Value::Object(_) => Ok(ValueDe(self.0.get(key).unwrap_or(&NULL))),
+            _ => Err(self.type_err("object")),
+        }
+    }
+
+    fn elements(self) -> Result<Vec<Self>, Error> {
+        self.0
+            .as_array()
+            .map(|items| items.iter().map(ValueDe).collect())
+            .ok_or_else(|| self.type_err("array"))
+    }
+
+    fn entries(self) -> Result<Vec<(String, Self)>, Error> {
+        self.0
+            .as_object()
+            .map(|entries| {
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), ValueDe(v)))
+                    .collect()
+            })
+            .ok_or_else(|| self.type_err("object"))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        if d.is_null() {
+            return Ok(Value::Null);
+        }
+        if let Ok(b) = d.read_bool() {
+            return Ok(Value::Bool(b));
+        }
+        if let Ok(u) = d.read_u64() {
+            return Ok(Value::Number(Number::U(u)));
+        }
+        if let Ok(i) = d.read_i64() {
+            return Ok(Value::Number(Number::I(i)));
+        }
+        if let Ok(f) = d.read_f64() {
+            return Ok(Value::Number(Number::F(f)));
+        }
+        if let Ok(s) = d.read_string() {
+            return Ok(Value::String(s));
+        }
+        if let Ok(items) = d.elements() {
+            let items: Result<Vec<Value>, D::Error> =
+                items.into_iter().map(Value::deserialize).collect();
+            return Ok(Value::Array(items?));
+        }
+        if let Ok(entries) = d.entries() {
+            let entries: Result<Vec<(String, Value)>, D::Error> = entries
+                .into_iter()
+                .map(|(k, v)| Value::deserialize(v).map(|v| (k, v)))
+                .collect();
+            return Ok(Value::Object(entries?));
+        }
+        Err(serde::de::Error::custom("unrecognized value shape"))
+    }
+}
+
+// --------------------------------------------------------------------
+// Serializer: Serialize -> compact JSON text.
+// --------------------------------------------------------------------
+
+/// Writes compact JSON into an owned buffer.
+pub struct Writer {
+    out: String,
+}
+
+struct EscapeAdapter<'a>(&'a mut String);
+
+impl fmt::Write for EscapeAdapter<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.push_str(s);
+        Ok(())
+    }
+}
+
+impl<'a> serde::Serializer for &'a mut Writer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeStruct = StructWriter<'a>;
+    type SerializeSeq = SeqWriter<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        if v.is_finite() {
+            self.out.push_str(&v.to_string());
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(&mut EscapeAdapter(&mut self.out), v).map_err(|e| Error(e.to_string()))
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: serde::Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<StructWriter<'a>, Error> {
+        self.out.push('{');
+        Ok(StructWriter {
+            writer: self,
+            first: true,
+        })
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<SeqWriter<'a>, Error> {
+        self.out.push('[');
+        Ok(SeqWriter {
+            writer: self,
+            first: true,
+        })
+    }
+}
+
+/// In-progress JSON object, holding the writer borrow until `end`.
+pub struct StructWriter<'a> {
+    writer: &'a mut Writer,
+    first: bool,
+}
+
+impl serde::ser::SerializeStruct for StructWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: serde::Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        if !self.first {
+            self.writer.out.push(',');
+        }
+        self.first = false;
+        write_escaped(&mut EscapeAdapter(&mut self.writer.out), key)
+            .map_err(|e| Error(e.to_string()))?;
+        self.writer.out.push(':');
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.writer.out.push('}');
+        Ok(())
+    }
+}
+
+/// In-progress JSON array, holding the writer borrow until `end`.
+pub struct SeqWriter<'a> {
+    writer: &'a mut Writer,
+    first: bool,
+}
+
+impl serde::ser::SerializeSeq for SeqWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: serde::Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        if !self.first {
+            self.writer.out.push(',');
+        }
+        self.first = false;
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.writer.out.push(']');
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------
+// Public entry points.
+// --------------------------------------------------------------------
+
+/// Serializes `value` to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = Writer { out: String::new() };
+    value.serialize(&mut w)?;
+    Ok(w.out)
+}
+
+/// Parses JSON text into any deserializable type (including [`Value`]).
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let tree = parse_document(s)?;
+    T::deserialize(ValueDe(&tree))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents_and_accessors_work() {
+        let doc: Value = from_str(
+            r#"{"version":1,"name":"p99 µs","items":[1,2.5,-3],"flag":true,"missing":null}"#,
+        )
+        .unwrap();
+        assert_eq!(doc["version"], 1);
+        assert_eq!(doc["name"], "p99 µs");
+        assert!(doc["flag"].as_bool().unwrap());
+        assert!(doc["missing"].is_null());
+        assert!(doc["absent"].is_null());
+        let items = doc["items"].as_array().unwrap();
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].as_i64(), Some(-3));
+        assert!(doc["version"].is_u64());
+        assert!(doc["name"].is_string());
+    }
+
+    #[test]
+    fn display_roundtrips_through_the_parser() {
+        let src = r#"{"a":[1,{"b":"x\"y"},null],"c":-4.5}"#;
+        let doc: Value = from_str(src).unwrap();
+        let printed = doc.to_string();
+        let again: Value = from_str(&printed).unwrap();
+        assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn to_string_writes_primitives_strings_and_sequences() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&3.5f64).unwrap(), "3.5");
+        assert_eq!(to_string("he\"llo\n").unwrap(), "\"he\\\"llo\\n\"");
+        assert_eq!(to_string(&vec![1u64, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(9u8)).unwrap(), "9");
+    }
+
+    #[test]
+    fn big_u64_values_survive() {
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(to_string(&u64::MAX).unwrap(), "18446744073709551615");
+    }
+}

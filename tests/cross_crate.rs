@@ -2,7 +2,7 @@
 //! CompOpt, and the fleet profiler end to end.
 
 use compopt::prelude::*;
-use datacomp::codecs::{self, Algorithm, Compressor};
+use datacomp::codecs::{self, Algorithm};
 use datacomp::{compopt, corpus, fleet};
 
 #[test]
@@ -132,7 +132,7 @@ fn stage_timing_flows_from_codec_to_fleet_figure() {
 
 #[test]
 fn report_rows_serialize_for_artifacts() {
-    let samples = vec![corpus::silesia::generate(
+    let samples = [corpus::silesia::generate(
         corpus::silesia::FileClass::Log,
         8 << 10,
         1,

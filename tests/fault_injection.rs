@@ -82,7 +82,7 @@ fn sweep_all_injectors_all_codecs_zero_violations() {
         level: 3,
         checksums: true,
     };
-    let report = sweep(&blocks, &Injector::ALL, &Algorithm::ALL.to_vec(), &cfg);
+    let report = sweep(&blocks, &Injector::ALL, Algorithm::ALL.as_ref(), &cfg);
     assert!(
         report.total_cases() > 1000,
         "sweep too small to be meaningful"
