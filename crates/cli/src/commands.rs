@@ -85,13 +85,21 @@ fn write_trace(path: &str) -> Result<(), String> {
                 .set(t.dropped as f64);
         }
     }
-    fs::write(path, telemetry::chrome::to_chrome_json(&snap))
-        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    // Tail-sampled request span trees ride along as flow-linked
+    // events, so a slow or errored request is one arrow away from the
+    // raw per-thread timeline in Perfetto.
+    let sampled = telemetry::requests().sampled();
+    fs::write(
+        path,
+        telemetry::chrome::to_chrome_json_with_requests(&snap, &sampled),
+    )
+    .map_err(|e| format!("cannot write {path}: {e}"))?;
     println!(
-        "trace: {} events on {} tracks ({} dropped) -> {path}",
+        "trace: {} events on {} tracks ({} dropped), {} sampled requests -> {path}",
         snap.event_count(),
         snap.tracks.len(),
-        snap.dropped_total()
+        snap.dropped_total(),
+        sampled.len()
     );
     Ok(())
 }
@@ -624,7 +632,56 @@ fn fleet_tables(args: &Args) -> Result<(), String> {
     for (s, f) in fleet::agg::service_zstd_cycles(&profile) {
         println!("  {s:<10} {:>5.1}%", f * 100.0);
     }
+    print_attribution();
     Ok(())
+}
+
+/// Prints the "where does p99 go" table: per `(service, op, size
+/// class)` row, the request-latency p99 and each codec stage's share
+/// of total self-time with its own self-time p99 — the request-scoped
+/// answer to Figure 7's stage split, fed by the contexts the fleet
+/// profiler (and any managed service in-process) opened.
+fn print_attribution() {
+    let sampler = telemetry::requests();
+    let rows = sampler.attribution();
+    if rows.is_empty() {
+        return;
+    }
+    println!("\nwhere does p99 go (self-time per stage):");
+    println!(
+        "  {:<10} {:<10} {:<7} {:>8} {:>13}   {:<20} {:>6} {:>13}",
+        "service", "op", "size", "reqs", "p99 ns", "stage", "share", "self p99 ns"
+    );
+    for row in &rows {
+        let mut lead = format!(
+            "  {:<10} {:<10} {:<7} {:>8} {:>13}",
+            row.service,
+            row.op.as_str(),
+            row.size_class.as_str(),
+            row.requests,
+            row.latency.quantile(0.99),
+        );
+        for s in &row.stages {
+            println!(
+                "{lead}   {:<20} {:>5.1}% {:>13}",
+                s.stage,
+                s.share * 100.0,
+                s.self_hist.quantile(0.99),
+            );
+            // Only the first stage line repeats the row columns.
+            lead = format!("  {:<10} {:<10} {:<7} {:>8} {:>13}", "", "", "", "", "");
+        }
+    }
+    let stats = sampler.stats();
+    println!(
+        "  tail sampler: {} requests, {} kept ({} error / {} slow / {} baseline), {} dropped",
+        stats.finished,
+        stats.kept(),
+        stats.kept_error,
+        stats.kept_slow,
+        stats.kept_baseline,
+        stats.dropped
+    );
 }
 
 #[cfg(test)]

@@ -81,6 +81,9 @@ const ML_EXTENDED: [(u32, u32); 21] = [
     (65536, 16),
 ];
 
+// indexing_slicing: every table starts at a base `<= direct <= v`, so
+// `partition_point` is at least 1 and `idx` is a valid entry.
+#[allow(clippy::indexing_slicing)]
 fn extended_code(v: u32, table: &'static [(u32, u32)], direct: u32) -> u8 {
     debug_assert!(v >= direct);
     // Largest entry whose base <= v.
@@ -176,6 +179,8 @@ impl RepHistory {
     /// If `offset` matches a slot, returns its repeat code and promotes
     /// the slot; otherwise records `offset` as most recent and returns
     /// `None`.
+    // indexing_slicing: `k` comes from `position()` on the array itself.
+    #[allow(clippy::indexing_slicing)]
     pub fn encode(&mut self, offset: u32) -> Option<u8> {
         match self.0.iter().position(|&r| r == offset) {
             Some(k) => {
@@ -195,6 +200,9 @@ impl RepHistory {
     /// Resolves a repeat code to its offset, promoting the slot.
     ///
     /// Returns `None` for out-of-range repeat indices.
+    // indexing_slicing: `k < NUM_REP_OFFSETS` (the array length) is
+    // checked on the line above the access.
+    #[allow(clippy::indexing_slicing)]
     pub fn decode(&mut self, rep_code: u8) -> Option<u32> {
         let k = (rep_code as usize).checked_sub(OF_REP_BASE as usize)?;
         if k >= NUM_REP_OFFSETS {
@@ -215,6 +223,9 @@ impl RepHistory {
 
 /// Predefined FSE table for literal-length codes (zstdx's no-header
 /// fallback for blocks too small to amortize a table description).
+// indexing_slicing: the 16 prior overrides index a vec of
+// `MAX_LL_CODE + 1 == 36` slots.
+#[allow(clippy::indexing_slicing)]
 pub fn predefined_ll() -> &'static FseTable {
     static T: OnceLock<FseTable> = OnceLock::new();
     T.get_or_init(|| {
@@ -231,6 +242,9 @@ pub fn predefined_ll() -> &'static FseTable {
 }
 
 /// Predefined FSE table for match-length codes.
+// indexing_slicing: the 16 prior overrides index a vec of
+// `MAX_ML_CODE + 1 == 53` slots.
+#[allow(clippy::indexing_slicing)]
 pub fn predefined_ml() -> &'static FseTable {
     static T: OnceLock<FseTable> = OnceLock::new();
     T.get_or_init(|| {
@@ -353,6 +367,8 @@ mod tests {
 }
 
 /// Packs code lengths (each <= 15) as nibbles, two per byte.
+// indexing_slicing: `chunks(2)` never yields an empty chunk.
+#[allow(clippy::indexing_slicing)]
 pub fn write_nibble_lengths(out: &mut Vec<u8>, lens: &[u8]) {
     for pair in lens.chunks(2) {
         let lo = pair[0];

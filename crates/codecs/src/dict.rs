@@ -60,6 +60,10 @@ const SEGMENT: usize = 64;
 /// Deterministic for a given input. Samples shorter than the k-mer width
 /// are ignored; if nothing scores, the result is an empty dictionary
 /// (which codecs treat as plain history of length zero).
+// indexing_slicing: segment ranges are clamped with
+// `end = (start + SEGMENT).min(s.len())` before slicing, and
+// `seg.sample` is an enumeration index of `samples`.
+#[allow(clippy::indexing_slicing)]
 pub fn train(samples: &[&[u8]], max_size: usize, id: u32) -> Dictionary {
     // Count k-mer occurrences across all samples.
     let mut counts: HashMap<u64, u32> = HashMap::new();

@@ -221,6 +221,10 @@ fn read_ext_len(c: &mut Cursor<'_>, nibble: u32) -> Result<u32> {
     }
 }
 
+// indexing_slicing: encode side — `lit_pos` advances by exactly the
+// per-sequence literal lengths the parser drew from `literals`, so every
+// slice stays inside `lits`.
+#[allow(clippy::indexing_slicing)]
 fn encode_block(block: &ParsedBlock, out: &mut Vec<u8>) {
     let lits = &block.literals;
     let mut lit_pos = 0usize;

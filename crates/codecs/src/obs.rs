@@ -31,6 +31,9 @@ pub(crate) fn record_compress(
     start: Instant,
 ) {
     let elapsed = start.elapsed();
+    // Whole-call stage for any live request context (a thread-local
+    // check when none is open, so raw codec paths pay nothing).
+    telemetry::request::observe_stage("codec.compress", start, elapsed);
     let level = level.to_string();
     let labels = [("algo", algo), ("level", level.as_str())];
     let reg = telemetry::global();
@@ -53,6 +56,7 @@ pub(crate) fn record_compress(
 /// Records one successful decompression call.
 pub(crate) fn record_decompress(algo: &'static str, level: i32, bytes_out: usize, start: Instant) {
     let elapsed = start.elapsed();
+    telemetry::request::observe_stage("codec.decompress", start, elapsed);
     let level = level.to_string();
     let labels = [("algo", algo), ("level", level.as_str())];
     let reg = telemetry::global();

@@ -262,6 +262,9 @@ impl<R: Read> DecompressReader<R> {
 
     /// Decodes the next block into `self.out`. Returns false at end of
     /// frame.
+    // indexing_slicing: `before` is `out.len()` captured before this
+    // block appended to it.
+    #[allow(clippy::indexing_slicing)]
     fn decode_next_block(&mut self) -> io::Result<bool> {
         self.read_header()?;
         if self.saw_last {
@@ -337,6 +340,9 @@ impl<R: Read> DecompressReader<R> {
 }
 
 impl<R: Read> Read for DecompressReader<R> {
+    // indexing_slicing: `n <= buf.len()` and
+    // `cursor + n <= out.len()` by the `min` on the line above the copy.
+    #[allow(clippy::indexing_slicing)]
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         while self.cursor == self.out.len() {
             if self.done || !self.decode_next_block()? {

@@ -100,6 +100,8 @@ impl<'a> Cursor<'a> {
     /// # Errors
     ///
     /// Returns [`CodecError::Truncated`] at end of buffer.
+    // indexing_slicing: `read_slice(2)` returned exactly two bytes.
+    #[allow(clippy::indexing_slicing)]
     pub fn read_u16(&mut self) -> Result<u16> {
         let s = self.read_slice(2)?;
         Ok(u16::from_le_bytes([s[0], s[1]]))
@@ -110,6 +112,8 @@ impl<'a> Cursor<'a> {
     /// # Errors
     ///
     /// Returns [`CodecError::Truncated`] at end of buffer.
+    // indexing_slicing: `read_slice(4)` returned exactly four bytes.
+    #[allow(clippy::indexing_slicing)]
     pub fn read_u32(&mut self) -> Result<u32> {
         let s = self.read_slice(4)?;
         Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))

@@ -22,17 +22,25 @@ fn merge_round(h: u64, v: u64) -> u64 {
     (h ^ round(0, v)).wrapping_mul(P1).wrapping_add(P4)
 }
 
+// indexing_slicing: every caller checks `b.len() >= 8` first (loop
+// conditions in `xxh64`/`digest`, 32-byte stripes in `consume_stripe`).
+#[allow(clippy::indexing_slicing)]
 #[inline]
 fn read_u64(b: &[u8]) -> u64 {
     u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
 }
 
+// indexing_slicing: every caller checks `b.len() >= 4` first.
+#[allow(clippy::indexing_slicing)]
 #[inline]
 fn read_u32(b: &[u8]) -> u32 {
     u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
 }
 
 /// Computes the XXH64 digest of `data` with `seed`.
+// indexing_slicing: each `rest[k..]` advance sits behind the matching
+// `rest.len() >= 32/8/4` loop or branch condition.
+#[allow(clippy::indexing_slicing)]
 pub fn xxh64(data: &[u8], seed: u64) -> u64 {
     let len = data.len();
     let mut rest = data;
@@ -138,6 +146,11 @@ impl Xxh64 {
     }
 
     /// Feeds more content.
+    // indexing_slicing: `take = min(data.len(), 32 - buf_len)`, so the
+    // `buf` copy stays inside the 32-byte stripe buffer and `data[take..]`
+    // is in-bounds; the final tail copy is `< 32` bytes because the
+    // preceding loop drained every full stripe.
+    #[allow(clippy::indexing_slicing)]
     pub fn update(&mut self, mut data: &[u8]) {
         self.total_len += data.len() as u64;
         // Top up a partial stripe first.
@@ -174,6 +187,10 @@ impl Xxh64 {
 
     /// Finishes and returns the digest (the state stays reusable for
     /// further updates, matching `XXH64_digest` semantics).
+    // indexing_slicing: `buf_len <= 32` is the struct invariant
+    // (`update` resets it whenever it reaches 32), and the `rest[k..]`
+    // advances sit behind `rest.len() >= 8/4` conditions.
+    #[allow(clippy::indexing_slicing)]
     pub fn digest(&self) -> u64 {
         let mut h: u64 = if self.total_len >= 32 {
             let mut h = self.v[0]

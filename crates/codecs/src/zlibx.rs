@@ -167,6 +167,12 @@ fn level_params(level: i32) -> Option<MatchParams> {
 
 /// Encodes one block. Returns None when Huffman coding is impossible or
 /// unprofitable, in which case the caller stores the block raw.
+// indexing_slicing: encode side. `start <= end <= buf.len()` is the
+// caller's block-split invariant; histogram indices are alphabet codes
+// (`ml_code`/`of_code` outputs) within the freshly sized freq vecs;
+// `sequences[0]` exists on the `distinct_dists == 1` arm; `lit_pos`
+// advances by the literal lengths the parser drew from `literals`.
+#[allow(clippy::indexing_slicing)]
 fn encode_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> Option<Vec<u8>> {
     let data = &buf[start..end];
     let mf_start = Instant::now();
@@ -369,6 +375,9 @@ impl Compressor for Zlibx {
         self.level
     }
 
+    // indexing_slicing: `end = (start + BLOCK).min(src.len())`, so the
+    // raw-block slice is in-bounds.
+    #[allow(clippy::indexing_slicing)]
     fn compress(&self, src: &[u8]) -> Vec<u8> {
         let begin = Instant::now();
         let mut out = Vec::with_capacity(src.len() / 2 + 32);

@@ -228,6 +228,10 @@ pub(crate) fn write_block(
 }
 
 /// [`write_block`] with the repeat-offset ablation knob exposed.
+// indexing_slicing: encode side — `start <= end <= buf.len()` is the
+// frame writer's block-split invariant, and `data[0]` sits behind the
+// `data.len() >= 2` RLE check.
+#[allow(clippy::indexing_slicing)]
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn write_block_opts(
     buf: &[u8],
@@ -481,12 +485,17 @@ impl TableChoice {
     }
 }
 
+// indexing_slicing: `norm` is sized `max(alphabet, code + 1)`.
+#[allow(clippy::indexing_slicing)]
 fn single_symbol_table(code: u8, alphabet: usize) -> FseTable {
     let mut norm = vec![0u32; alphabet.max(code as usize + 1)];
     norm[code as usize] = 32;
     FseTable::from_normalized(&norm, 5).expect("single-symbol table always builds")
 }
 
+// indexing_slicing: encode side — callers pass non-empty `codes` drawn
+// from the `ll/ml/of` code spaces, all `< alphabet`.
+#[allow(clippy::indexing_slicing)]
 fn choose_table(codes: &[u8], predefined: &'static FseTable, alphabet: usize) -> TableChoice {
     debug_assert!(!codes.is_empty());
     let first = codes[0];
@@ -530,6 +539,11 @@ fn choose_table(codes: &[u8], predefined: &'static FseTable, alphabet: usize) ->
     }
 }
 
+// indexing_slicing: encode side — `lits[0]` sits behind the non-empty
+// branch, and the per-sequence arrays (`llc`/`mlc`/`ofc`) are built with
+// one entry per `parsed.sequences` element, so index `i < n` is valid
+// for all four.
+#[allow(clippy::indexing_slicing)]
 fn encode_block_payload_opts(parsed: &ParsedBlock, use_reps: bool) -> Vec<u8> {
     let mut out = Vec::with_capacity(parsed.literals.len() / 2 + 64);
 
@@ -1152,6 +1166,9 @@ impl Zstdx {
     /// # Errors
     ///
     /// Returns a [`CodecError`] on the first malformed frame.
+    // indexing_slicing: `read_skippable` validates the skippable frame
+    // length against the buffer before returning `skip <= src.len()`.
+    #[allow(clippy::indexing_slicing)]
     pub fn decompress_multi(&self, mut src: &[u8]) -> Result<Vec<u8>> {
         let mut out = Vec::new();
         while !src.is_empty() {

@@ -67,6 +67,14 @@ impl FseTable {
     ///
     /// Returns [`Error::InvalidParameter`] if `table_log` is out of range
     /// or the counts do not sum to the table size.
+    // indexing_slicing: table construction over arrays we just sized.
+    // `symbol_at`/`dec_*`/`enc_state` hold `size` slots and `pos`/`u`
+    // stay `< size` (`pos` is masked, `u` ranges over `0..size`);
+    // `next_val`/`cum_start` are sized from `norm` and indexed by
+    // symbols drawn from `norm`; the `enc_state` index is
+    // `cum[s] + (xp - norm[s])` with `xp` in `[norm[s], 2*norm[s])`,
+    // which by construction of the cumulative sums is `< size`.
+    #[allow(clippy::indexing_slicing)]
     pub fn from_normalized(norm: &[u32], table_log: u32) -> Result<Self> {
         if !(5..=MAX_TABLE_LOG).contains(&table_log) {
             return Err(Error::InvalidParameter("table_log out of range"));
@@ -155,6 +163,9 @@ impl FseTable {
     }
 
     /// Estimated cost in bits of coding `sym` once (`log2(L / count)`).
+    // indexing_slicing: panicking on an out-of-alphabet symbol is the
+    // encode-side contract (same as `encode`).
+    #[allow(clippy::indexing_slicing)]
     pub fn symbol_cost_bits(&self, sym: u16) -> f64 {
         let c = self.norm[sym as usize];
         if c == 0 {
@@ -227,6 +238,8 @@ impl FseTable {
     /// # Panics
     ///
     /// Panics if any symbol has a zero normalized count.
+    // indexing_slicing: `i` ranges over `0..symbols.len()`.
+    #[allow(clippy::indexing_slicing)]
     pub fn encode_2x(&self, symbols: &[u16]) -> Vec<u8> {
         let mut w = BitWriter::with_capacity(symbols.len() / 2 + 8);
         let mut e0 = FseEncoder::new(self);
@@ -302,6 +315,10 @@ impl FseTable {
     ///
     /// Returns [`Error::CorruptTable`] on truncation or counts that do not
     /// sum to the table size.
+    // indexing_slicing: `buf[0]`/`buf[1]`/`buf[2]` sit behind the
+    // explicit `buf.len() < 3` truncation check; the variable-length
+    // payload uses checked `.get(..)`.
+    #[allow(clippy::indexing_slicing)]
     pub fn read_description(buf: &[u8]) -> Result<(Self, usize)> {
         if buf.len() < 3 {
             return Err(Error::CorruptTable("fse description truncated"));
@@ -349,6 +366,12 @@ impl<'t> FseEncoder<'t> {
     /// # Panics
     ///
     /// Panics if `sym` has a zero normalized count.
+    // indexing_slicing: panicking on an out-of-alphabet symbol is the
+    // documented encode-side contract; the `enc_state` index is
+    // `cum[s] + (sub - norm)` with `sub` held in `[norm, 2*norm)` by the
+    // preceding shift (debug-asserted), which is `< table size` by
+    // construction of the cumulative sums.
+    #[allow(clippy::indexing_slicing)]
     #[inline]
     pub fn encode(&mut self, w: &mut BitWriter, sym: u16) {
         let t = self.table;
@@ -396,6 +419,14 @@ impl<'t> FseDecoder<'t> {
     }
 
     /// The symbol encoded by the current state (no bits consumed).
+    // indexing_slicing: the tANS state invariant keeps `state` in
+    // `[L, 2L)` — `init` adds `raw < 2^table_log` to `L`, and `update`
+    // produces `dec_base[u] + bits` where the table construction makes
+    // that exactly a state in `[L, 2L)` — so `state - L` is always a
+    // valid index into the `L`-sized decode tables. This is the hot
+    // decode loop; a checked `.get()` here costs measurable throughput
+    // (guarded by the decode_guard benchmark budget).
+    #[allow(clippy::indexing_slicing)]
     #[inline]
     pub fn peek_symbol(&self) -> u16 {
         self.table.dec_symbol[(self.state - (1 << self.table.table_log)) as usize]
@@ -406,6 +437,9 @@ impl<'t> FseDecoder<'t> {
     /// # Errors
     ///
     /// Returns [`Error::UnexpectedEof`] on a truncated stream.
+    // indexing_slicing: same `state ∈ [L, 2L)` invariant as
+    // `peek_symbol` — `state - L` indexes the `L`-sized decode tables.
+    #[allow(clippy::indexing_slicing)]
     #[inline]
     pub fn update<R: RevBitSrc>(&mut self, r: &mut R) -> Result<()> {
         let u = (self.state - (1 << self.table.table_log)) as usize;

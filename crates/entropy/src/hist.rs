@@ -17,6 +17,9 @@ use crate::{Error, Result};
 /// assert_eq!(h[b'a' as usize], 2);
 /// assert_eq!(h[b'b' as usize], 1);
 /// ```
+// indexing_slicing: `h` has exactly 256 slots and `b as usize` is a
+// `u8` widened, so the index is always < 256.
+#[allow(clippy::indexing_slicing)]
 pub fn byte_histogram(data: &[u8]) -> [u32; 256] {
     let mut h = [0u32; 256];
     for &b in data {
@@ -31,6 +34,9 @@ pub fn byte_histogram(data: &[u8]) -> [u32; 256] {
 /// # Panics
 ///
 /// Panics if any symbol is `>= alphabet_size`.
+// indexing_slicing: panicking on an out-of-alphabet symbol is this
+// function's documented contract (encode-side input validation).
+#[allow(clippy::indexing_slicing)]
 pub fn symbol_histogram(symbols: &[u16], alphabet_size: usize) -> Vec<u32> {
     let mut h = vec![0u32; alphabet_size];
     for &s in symbols {
@@ -83,6 +89,12 @@ pub fn shannon_entropy(freqs: &[u32]) -> f64 {
 ///   histogram is empty.
 /// * [`Error::InvalidParameter`] if the alphabet has more present symbols
 ///   than `1 << table_log` slots.
+// indexing_slicing: encode-side table construction. `norm` is sized
+// `freqs.len()` and every index into `norm`/`freqs` comes from
+// enumerating those same slices; `remainders[k % remainders.len()]` is
+// only reached when `deficit > 0`, which requires at least one present
+// symbol and hence a non-empty `remainders`.
+#[allow(clippy::indexing_slicing)]
 pub fn normalize_counts(freqs: &[u32], table_log: u32) -> Result<Vec<u32>> {
     if !(5..=15).contains(&table_log) {
         return Err(Error::InvalidParameter("table_log must be in 5..=15"));

@@ -67,6 +67,9 @@ impl HuffmanTable {
     /// Panics if `max_bits` is 0 or greater than [`MAX_CODE_BITS`], or if
     /// the alphabet cannot fit in `max_bits` (more than `1 << max_bits`
     /// present symbols).
+    // indexing_slicing: `present` holds indices produced by enumerating
+    // `freqs`, so `freqs[i]` is in-bounds.
+    #[allow(clippy::indexing_slicing)]
     pub fn build(freqs: &[u32], max_bits: u32) -> Option<Self> {
         assert!(
             (1..=MAX_CODE_BITS).contains(&max_bits),
@@ -91,6 +94,12 @@ impl HuffmanTable {
     /// Returns [`Error::CorruptTable`] if the lengths do not describe a
     /// complete prefix code, contain a length above [`MAX_CODE_BITS`], or
     /// fewer than two symbols are present.
+    // indexing_slicing: table construction. `bl_count`/`next_code` are
+    // indexed by code lengths already validated `<= MAX_CODE_BITS`;
+    // `codes` is sized from `lens` and indexed by its enumeration; the
+    // `decode` fill index starts at `rev < 2^l <= 2^max_bits` and the
+    // loop condition bounds it below `decode.len()`.
+    #[allow(clippy::indexing_slicing)]
     pub fn from_lengths(lens: &[u8]) -> Result<Self> {
         let max_bits = lens.iter().copied().max().unwrap_or(0) as u32;
         if max_bits == 0 {
@@ -178,6 +187,9 @@ impl HuffmanTable {
     /// # Panics
     ///
     /// Panics in debug builds if `sym` is absent from the code.
+    // indexing_slicing: panicking on an out-of-alphabet symbol is the
+    // documented encode-side contract.
+    #[allow(clippy::indexing_slicing)]
     #[inline]
     pub fn write_symbol(&self, w: &mut BitWriter, sym: u16) {
         let len = self.lens[sym as usize];
@@ -191,6 +203,10 @@ impl HuffmanTable {
     ///
     /// Returns [`Error::CorruptData`] if the window does not match any
     /// code, or [`Error::UnexpectedEof`] if the stream is exhausted.
+    // indexing_slicing: `window` is a `max_bits`-wide peek, so it is
+    // `< 2^max_bits == decode.len()`. Hot decode loop (decode_guard
+    // benchmark budget); invalid windows are rejected via `len == 0`.
+    #[allow(clippy::indexing_slicing)]
     #[inline]
     pub fn read_symbol<R: BitSrc>(&self, r: &mut R) -> Result<u16> {
         let window = r.peek_bits_lenient(self.max_bits) as usize;
@@ -243,6 +259,9 @@ impl HuffmanTable {
     /// # Errors
     ///
     /// Identical to [`Self::decode`].
+    // indexing_slicing: `window < 2^max_bits == pair.len()` (same bound
+    // as `read_symbol`); hot decode loop under the decode_guard budget.
+    #[allow(clippy::indexing_slicing)]
     pub fn decode_fast(&self, buf: &[u8], n: usize) -> Result<Vec<u8>> {
         let mut r = BitReaderFast::new(buf, buf.len() * 8);
         let mut out = Vec::with_capacity(n);
@@ -293,6 +312,9 @@ impl HuffmanTable {
 /// bit that determined it lay inside the original window. An invalid
 /// second entry does not make the slot invalid: the real next code may
 /// extend past the window, so the slot degrades to `nsyms == 1`.
+// indexing_slicing: `w` enumerates `pair`, which is sized from `decode`,
+// and `w >> len1 <= w`, so both lookups stay in-bounds.
+#[allow(clippy::indexing_slicing)]
 fn build_pair_table(decode: &[(u16, u8)], max_bits: u32) -> Vec<PairEntry> {
     let mut pair = vec![PairEntry::default(); decode.len()];
     for (w, slot) in pair.iter_mut().enumerate() {
@@ -314,6 +336,12 @@ fn build_pair_table(decode: &[(u16, u8)], max_bits: u32) -> Vec<PairEntry> {
 }
 
 /// Computes optimal length-limited code lengths via package-merge.
+// indexing_slicing: encode-side table construction. `present` holds
+// enumerated indices of `freqs`; `chunks_exact(2)` guarantees both
+// `pair[0]` and `pair[1]` exist; `items[a..]`/`packaged[b..]` use the
+// merge cursors bounded by the loop conditions; `lens` is sized from
+// `freqs` and leaves are recorded `freqs` indices.
+#[allow(clippy::indexing_slicing)]
 fn package_merge_lengths(freqs: &[u32], present: &[usize], max_bits: u32) -> Vec<u8> {
     // Each node is (weight, leaves-it-covers). Alphabets here are small
     // (<= ~320 symbols), so carrying leaf vectors is cheap and keeps the

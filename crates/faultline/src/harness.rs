@@ -81,6 +81,8 @@ pub struct Report {
 }
 
 impl Report {
+    // indexing_slicing: `i` comes from `position()` on `cells` itself.
+    #[allow(clippy::indexing_slicing)]
     fn cell_mut(&mut self, injector: &'static str, codec: &'static str) -> &mut Cell {
         if let Some(i) = self
             .cells

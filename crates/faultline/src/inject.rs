@@ -95,6 +95,8 @@ impl std::fmt::Display for Injector {
     }
 }
 
+// indexing_slicing: `bit < buf.len() * 8`, so `bit / 8 < buf.len()`.
+#[allow(clippy::indexing_slicing)]
 fn bit_flips(frame: &[u8], rng: &Rng, budget: usize, flips: u32) -> Vec<Vec<u8>> {
     if frame.is_empty() {
         return Vec::new();
@@ -112,6 +114,8 @@ fn bit_flips(frame: &[u8], rng: &Rng, budget: usize, flips: u32) -> Vec<Vec<u8>>
         .collect()
 }
 
+// indexing_slicing: every cut is clamped to `< n == frame.len()`.
+#[allow(clippy::indexing_slicing)]
 fn truncations(frame: &[u8], budget: usize) -> Vec<Vec<u8>> {
     // Boundaries 0..frame.len()-1; the full frame is not a truncation.
     let n = frame.len();
@@ -136,6 +140,10 @@ fn truncations(frame: &[u8], budget: usize) -> Vec<Vec<u8>> {
     cuts.into_iter().map(|k| frame[..k].to_vec()).collect()
 }
 
+// indexing_slicing: `len <= buf.len()` and both window starts are drawn
+// from `0..buf.len() - len + 1`, so `src + len`/`dst + len` are
+// in-bounds.
+#[allow(clippy::indexing_slicing)]
 fn splices(frame: &[u8], rng: &Rng, budget: usize) -> Vec<Vec<u8>> {
     if frame.len() < 2 {
         return Vec::new();
@@ -154,6 +162,8 @@ fn splices(frame: &[u8], rng: &Rng, budget: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
+// indexing_slicing: `pos < window <= frame.len()`.
+#[allow(clippy::indexing_slicing)]
 fn length_inflations(frame: &[u8], budget: usize) -> Vec<Vec<u8>> {
     // One variant per header byte position, saturating it to 0xff. This
     // reliably inflates LEB128 size fields (continuation bit + max
@@ -168,6 +178,9 @@ fn length_inflations(frame: &[u8], budget: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
+// indexing_slicing: `pos` is drawn from `lo..hi` with
+// `hi <= frame.len()` and `frame.len() > 3 == lo` checked above.
+#[allow(clippy::indexing_slicing)]
 fn dict_skews(frame: &[u8], rng: &Rng, budget: usize) -> Vec<Vec<u8>> {
     // The dictionary id lives just past the 2-byte magic + flags in the
     // datacomp frame formats; perturb that region with nonzero XORs.

@@ -230,36 +230,54 @@ fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec
             }
             let reads = sample_reads(spec.reads_per_write, &mut rng);
             let comp_elapsed;
-            match (algorithm, &dictionary) {
-                (Algorithm::Zstdx, None) => {
-                    let z = Zstdx::new(level);
-                    let (frame, timing) = z.compress_timed(block);
-                    cell.compress_secs += timing.total.as_secs_f64();
-                    cell.match_find_secs += timing.match_find.as_secs_f64();
-                    cell.entropy_secs += timing.entropy.as_secs_f64();
-                    cell.stage_blocks += timing.blocks;
-                    comp_elapsed = timing.total;
-                    decompress_n(&z, &frame, None, reads, cell, block.len());
+            // Each block write is one compress request: the stage spans
+            // the codec records (match-find, entropy, whole-call) nest
+            // under this context, so `datacomp profile` populates the
+            // p99 attribution report and the tail sampler sees fleet
+            // traffic. The guard is scoped to the compression only —
+            // the read-back decompressions below are their own
+            // requests.
+            let frame = {
+                let _req =
+                    telemetry::requests().open(spec.name, telemetry::Op::Compress, block.len());
+                match (algorithm, &dictionary) {
+                    (Algorithm::Zstdx, None) => {
+                        let z = Zstdx::new(level);
+                        let (frame, timing) = z.compress_timed(block);
+                        cell.compress_secs += timing.total.as_secs_f64();
+                        cell.match_find_secs += timing.match_find.as_secs_f64();
+                        cell.entropy_secs += timing.entropy.as_secs_f64();
+                        cell.stage_blocks += timing.blocks;
+                        comp_elapsed = timing.total;
+                        frame
+                    }
+                    (Algorithm::Zstdx, Some(d)) => {
+                        let z = Zstdx::new(level);
+                        let (frame, timing) = z.compress_with_dict_timed(block, d);
+                        cell.compress_secs += timing.total.as_secs_f64();
+                        cell.match_find_secs += timing.match_find.as_secs_f64();
+                        cell.entropy_secs += timing.entropy.as_secs_f64();
+                        cell.stage_blocks += timing.blocks;
+                        comp_elapsed = timing.total;
+                        frame
+                    }
+                    (algo, _) => {
+                        let c = algo.compressor(level);
+                        let t0 = Instant::now();
+                        let frame = c.compress(block);
+                        comp_elapsed = t0.elapsed();
+                        cell.compress_secs += comp_elapsed.as_secs_f64();
+                        frame
+                    }
                 }
-                (Algorithm::Zstdx, Some(d)) => {
-                    let z = Zstdx::new(level);
-                    let (frame, timing) = z.compress_with_dict_timed(block, d);
-                    cell.compress_secs += timing.total.as_secs_f64();
-                    cell.match_find_secs += timing.match_find.as_secs_f64();
-                    cell.entropy_secs += timing.entropy.as_secs_f64();
-                    cell.stage_blocks += timing.blocks;
-                    comp_elapsed = timing.total;
-                    decompress_n(&z, &frame, Some(d), reads, cell, block.len());
-                }
-                (algo, _) => {
-                    let c = algo.compressor(level);
-                    let t0 = Instant::now();
-                    let frame = c.compress(block);
-                    comp_elapsed = t0.elapsed();
-                    cell.compress_secs += comp_elapsed.as_secs_f64();
-                    decompress_n(c.as_ref(), &frame, None, reads, cell, block.len());
-                }
-            }
+            };
+            let reader = algorithm.compressor(level);
+            let read_dict = if algorithm == Algorithm::Zstdx {
+                dictionary.as_ref()
+            } else {
+                None
+            };
+            decompress_n(reader.as_ref(), &frame, read_dict, reads, cell, block.len());
             let svc_labels = [("service", spec.name)];
             telemetry::global()
                 .histogram("fleet.compress.nanos", &svc_labels)
@@ -292,6 +310,10 @@ fn decompress_n(
     _original_len: usize,
 ) {
     for _ in 0..reads {
+        // Every read-back is a decompress request of its own, so read
+        // amplification shows up as request volume in the attribution
+        // report exactly as it does in the paper's fleet mix.
+        let _req = telemetry::requests().open(cell.service, telemetry::Op::Decompress, frame.len());
         let t0 = Instant::now();
         let out = match dict {
             Some(d) => comp.decompress_with_dict(frame, d),

@@ -164,6 +164,10 @@ impl ManagedCompression {
         let reg = Arc::clone(&self.registry);
         let labels = [("use_case", use_case)];
         let start = Instant::now();
+        // Request-scoped causal trace: stages recorded below (codec
+        // block loops, dict training) nest under this context until it
+        // drops at return; the tail sampler then decides keep-or-drop.
+        let _req = telemetry::requests().open(use_case, telemetry::Op::Compress, data.len());
         let case = self.case_mut(use_case);
         case.reservoir.offer(data);
         case.calls_since_train += 1;
@@ -256,7 +260,9 @@ impl ManagedCompression {
     pub fn decompress(&mut self, use_case: &str, frame: &[u8]) -> Result<Vec<u8>> {
         let codec = self.codec.clone();
         let start = Instant::now();
+        let req = telemetry::requests().open(use_case, telemetry::Op::Decompress, frame.len());
         if !self.use_cases.contains_key(use_case) {
+            req.mark_error("unknown_use_case");
             return Err(ManagedError::UnknownUseCase(use_case.to_string()));
         }
         let labels = [("use_case", use_case)];
@@ -354,6 +360,14 @@ impl ManagedCompression {
             }
             other => other,
         };
+        if let Err(e) = &out {
+            req.mark_error(match e {
+                ManagedError::UnknownUseCase(_) => "unknown_use_case",
+                ManagedError::RetiredDictionary { .. } => "retired_dictionary",
+                ManagedError::Quarantined { .. } => "quarantined",
+                ManagedError::Codec(_) => "codec",
+            });
+        }
         let elapsed = start.elapsed();
         reg.histogram("managed.decompress.nanos", &labels)
             .observe_duration(elapsed);

@@ -27,13 +27,30 @@
 //! uniform shape.
 
 use crate::export::{json_number, json_string};
+use crate::request::SampledRequest;
 use crate::trace::{EventKind, TraceSnapshot};
 
 /// The single process id the exporter attributes all tracks to.
 pub const TRACE_PID: u64 = 1;
 
+/// Sampled requests render on their own synthetic threads so their
+/// span trees never interleave with the per-thread stage timeline:
+/// `tid = REQUEST_TID_BASE + request id`.
+pub const REQUEST_TID_BASE: u64 = 1_000_000;
+
 /// Serializes a drained trace as Chrome trace-event JSON.
 pub fn to_chrome_json(snap: &TraceSnapshot) -> String {
+    to_chrome_json_with_requests(snap, &[])
+}
+
+/// Serializes a trace plus tail-sampled request span trees. Each
+/// request becomes a named synthetic thread of `ph:"X"` complete
+/// events (one per span node, `args` carrying span/parent ids and
+/// self-time), flow-linked (`ph:"s"` → `ph:"f"`, `id` = request id)
+/// from the origin track position where the request executed — so in
+/// Perfetto an SLO burn's sampled request is one arrow away from the
+/// raw flight-recorder timeline.
+pub fn to_chrome_json_with_requests(snap: &TraceSnapshot, requests: &[SampledRequest]) -> String {
     let mut out = String::with_capacity(snap.event_count() * 96 + 256);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":");
     out.push_str(&snap.dropped_total().to_string());
@@ -101,8 +118,69 @@ pub fn to_chrome_json(snap: &TraceSnapshot) -> String {
             event_close(&mut out, last_ts, track.tid);
         }
     }
+    for r in requests {
+        request_events(&mut out, &mut first, r);
+    }
     out.push_str("]}");
     out
+}
+
+/// Emits one sampled request: thread-name metadata, a flow arrow from
+/// the origin track, and a `ph:"X"` complete event per span node.
+fn request_events(out: &mut String, first: &mut bool, r: &SampledRequest) {
+    let tid = REQUEST_TID_BASE + r.id;
+    let outcome = if r.error.is_some() { "error" } else { "ok" };
+    meta_event(
+        out,
+        first,
+        tid,
+        "thread_name",
+        &format!(
+            "req:{} {}/{} {} [{}]",
+            r.id,
+            r.service,
+            r.op.as_str(),
+            outcome,
+            r.reason.as_str()
+        ),
+    );
+    // Flow start anchored where the request actually ran, so the arrow
+    // leads from the raw timeline to the span tree.
+    event_open(out, first);
+    out.push_str(&format!(
+        "\"name\":\"request\",\"cat\":\"request\",\"ph\":\"s\",\"id\":{}",
+        r.id
+    ));
+    event_close(out, r.trace_start_nanos, r.track);
+    event_open(out, first);
+    out.push_str(&format!(
+        "\"name\":\"request\",\"cat\":\"request\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{}",
+        r.id
+    ));
+    event_close(out, r.trace_start_nanos, tid);
+    for s in &r.spans {
+        event_open(out, first);
+        field_str(out, "name", s.name);
+        out.push_str(&format!(
+            ",\"cat\":\"request\",\"ph\":\"X\",\"dur\":{}.{:03},\"args\":{{\"request\":{},\"span\":{},\"parent\":{},\"self_nanos\":{}",
+            s.total_nanos / 1000,
+            s.total_nanos % 1000,
+            r.id,
+            s.id,
+            s.parent,
+            s.self_nanos,
+        ));
+        if s.parent == 0 {
+            out.push_str(&format!(",\"reason\":\"{}\"", r.reason.as_str()));
+            out.push_str(&format!(",\"outcome\":\"{outcome}\""));
+            if let Some(e) = r.error {
+                out.push(',');
+                field_str(out, "error", e);
+            }
+        }
+        out.push('}');
+        event_close(out, r.trace_start_nanos.saturating_add(s.start_nanos), tid);
+    }
 }
 
 fn meta_event(out: &mut String, first: &mut bool, tid: u64, kind: &str, name: &str) {
@@ -256,6 +334,60 @@ mod tests {
         assert!(json.contains("\"otherData\":{\"droppedEvents\":3}"));
         assert!(json.contains("\"name\":\"trace.dropped\""));
         assert!(json.contains("\"args\":{\"dropped\":3}"));
+    }
+
+    #[test]
+    fn sampled_requests_render_flow_linked_span_trees() {
+        use crate::clock::{Clock, ManualClock};
+        use crate::request::{Op, RequestSampler, SamplerConfig};
+        use std::sync::Arc;
+
+        let clock = ManualClock::shared();
+        let sampler = RequestSampler::new(
+            SamplerConfig {
+                baseline_one_in: 0,
+                slowest_per_window: 0,
+                ..SamplerConfig::default()
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let ctx = sampler.open("CACHE1", Op::Decompress, 4096);
+        let id = ctx.id();
+        crate::request::observe_stage(
+            "codec.decompress",
+            Instant::now(),
+            Duration::from_micros(10),
+        );
+        clock.advance(50_000);
+        ctx.mark_error("checksum");
+        drop(ctx);
+
+        let tracer = Tracer::with_capacity(8);
+        tracer.new_track("svc:CACHE1").instant("block");
+        let json = to_chrome_json_with_requests(&tracer.drain(), &sampler.sampled());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Flow start + finish share the request id.
+        assert!(
+            json.contains(&format!("\"ph\":\"s\",\"id\":{id}")),
+            "{json}"
+        );
+        assert!(json.contains(&format!("\"ph\":\"f\",\"bp\":\"e\",\"id\":{id}")));
+        // Root + stage render as complete events on the request tid.
+        let tid = REQUEST_TID_BASE + id;
+        assert!(json.contains(&format!("\"tid\":{tid}}}")));
+        assert!(json.contains("\"name\":\"decompress\""));
+        assert!(json.contains("\"name\":\"codec.decompress\""));
+        assert!(json.contains("\"ph\":\"X\",\"dur\":50.000"));
+        assert!(json.contains("\"outcome\":\"error\""));
+        assert!(json.contains("\"error\":\"checksum\""));
+        // Every event still carries the uniform field set.
+        let events = json.split_once("\"traceEvents\":[").expect("array").1;
+        for obj in events.split("},{") {
+            for field in ["\"ph\":", "\"ts\":", "\"pid\":", "\"tid\":"] {
+                assert!(obj.contains(field), "missing {field} in {obj}");
+            }
+        }
     }
 
     #[test]

@@ -57,6 +57,8 @@ impl Histogram {
     }
 
     /// Records one value.
+    // indexing_slicing: `bucket_index` clamps to the last bucket.
+    #[allow(clippy::indexing_slicing)]
     pub fn observe(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);

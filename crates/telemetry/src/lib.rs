@@ -56,6 +56,7 @@ pub mod clock;
 pub mod export;
 pub mod histogram;
 pub mod registry;
+pub mod request;
 pub mod serve;
 pub mod slo;
 pub mod span;
@@ -65,6 +66,10 @@ pub mod window;
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Registry, Series, SeriesKey, SeriesValue, Snapshot};
+pub use request::{
+    KeepReason, Op, RequestCtx, RequestSampler, SampledRequest, SamplerConfig, SamplerStats,
+    SizeClass, SpanNode,
+};
 pub use serve::{ScrapeServer, Sources};
 pub use slo::{Slo, SloConfig, SloKind, SloRegistry, SloState};
 pub use span::{record_duration, record_stage, Span};
@@ -100,6 +105,16 @@ pub fn windows() -> &'static WindowRegistry {
 pub fn slos() -> &'static SloRegistry {
     static GLOBAL: OnceLock<SloRegistry> = OnceLock::new();
     GLOBAL.get_or_init(|| SloRegistry::new(global_clock()))
+}
+
+/// The process-wide tail-based request sampler behind `/profile.json`
+/// and `/requests.json`. Requests opened via
+/// [`RequestSampler::open`] on this instance are attributed and
+/// tail-sampled with the default policy (errors always, slowest-8 per
+/// sub-window, 1-in-64 baseline).
+pub fn requests() -> &'static RequestSampler {
+    static GLOBAL: OnceLock<RequestSampler> = OnceLock::new();
+    GLOBAL.get_or_init(|| RequestSampler::new(SamplerConfig::default(), global_clock()))
 }
 
 /// Snapshot of the process-wide registry.

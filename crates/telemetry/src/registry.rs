@@ -137,6 +137,9 @@ impl Registry {
         }
     }
 
+    // indexing_slicing: the index is taken modulo `SHARDS`, the vec's
+    // construction length.
+    #[allow(clippy::indexing_slicing)]
     fn shard(&self, key: &SeriesKey) -> &RwLock<HashMap<SeriesKey, Metric>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
@@ -251,6 +254,8 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Looks up one series value.
+    // indexing_slicing: `i` comes from `binary_search_by` on `series`.
+    #[allow(clippy::indexing_slicing)]
     pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SeriesValue> {
         let key = SeriesKey::new(name, labels);
         self.series
@@ -292,6 +297,8 @@ impl Snapshot {
     /// bucket-wise, gauges take `other`'s value; series unknown to
     /// `self` are appended. The cross-thread/cross-process aggregation
     /// step of the paper's profiling pipeline.
+    // indexing_slicing: `i` comes from `binary_search_by` on `series`.
+    #[allow(clippy::indexing_slicing)]
     pub fn merge(&mut self, other: &Snapshot) {
         for s in &other.series {
             match self.series.binary_search_by(|own| own.key.cmp(&s.key)) {

@@ -2,16 +2,20 @@
 //! plane.
 //!
 //! [`ScrapeServer`] is a tiny blocking HTTP/1.1 server on a std
-//! [`TcpListener`] — no async runtime, no HTTP crate — serving four
+//! [`TcpListener`] — no async runtime, no HTTP crate — serving
 //! read-only endpoints off a [`Sources`] bundle:
 //!
-//! | path          | payload                                              |
-//! |---------------|------------------------------------------------------|
-//! | `/metrics`    | Prometheus text: cumulative series, `window_*` live  |
-//! |               | views (with exemplars), and `slo_*` gauges           |
-//! | `/slo`        | JSON error-budget report ([`crate::slo::to_json_reports`]) |
-//! | `/healthz`    | `ok` — liveness probe                                |
-//! | `/trace.json` | Chrome trace-event JSON of the flight recorder       |
+//! | path             | payload                                           |
+//! |------------------|---------------------------------------------------|
+//! | `/metrics`       | Prometheus text: cumulative series, `window_*`    |
+//! |                  | live views (with exemplars), `slo_*` gauges, and  |
+//! |                  | flight-recorder + request-sampler health counters |
+//! | `/slo`           | JSON error-budget report ([`crate::slo::to_json_reports`]) |
+//! | `/healthz`       | `ok` — liveness probe                             |
+//! | `/trace.json`    | Chrome trace-event JSON of the flight recorder,   |
+//! |                  | with sampled request trees as flow-linked events  |
+//! | `/profile.json`  | p99 stage-attribution report per service/op/size  |
+//! | `/requests.json` | tail-sampled request span trees                   |
 //!
 //! `/trace.json` uses the non-destructive [`Tracer::snapshot`], so
 //! scraping never steals events from a later `--trace` export.
@@ -28,9 +32,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::chrome::to_chrome_json;
+use crate::chrome::to_chrome_json_with_requests;
 use crate::export::to_prometheus;
 use crate::registry::Registry;
+use crate::request::RequestSampler;
 use crate::slo::{to_json_reports, SloRegistry, SloState};
 use crate::trace::Tracer;
 use crate::window::{to_prometheus_windows, WindowRegistry};
@@ -48,6 +53,8 @@ pub struct Sources {
     pub slos: &'static SloRegistry,
     /// Flight recorder.
     pub tracer: &'static Tracer,
+    /// Tail-based request sampler.
+    pub requests: &'static RequestSampler,
 }
 
 impl Sources {
@@ -58,6 +65,7 @@ impl Sources {
             windows: crate::windows(),
             slos: crate::slos(),
             tracer: crate::trace::global_tracer(),
+            requests: crate::requests(),
         }
     }
 }
@@ -121,15 +129,24 @@ pub fn respond(method: &str, path: &str, sources: &Sources) -> Response {
             let mut body = to_prometheus(&sources.registry.snapshot());
             body.push_str(&to_prometheus_windows(&sources.windows.snapshot()));
             body.push_str(&slo_prometheus(sources.slos));
+            body.push_str(&trace_prometheus(sources.tracer));
+            body.push_str(&sources.requests.to_prometheus());
             Response::new(200, PROM, body)
         }
         "/slo" => Response::new(200, JSON, to_json_reports(&sources.slos.reports())),
         "/healthz" => Response::new(200, TEXT, "ok\n".into()),
-        "/trace.json" => Response::new(200, JSON, to_chrome_json(&sources.tracer.snapshot())),
+        "/trace.json" => Response::new(
+            200,
+            JSON,
+            to_chrome_json_with_requests(&sources.tracer.snapshot(), &sources.requests.sampled()),
+        ),
+        "/profile.json" => Response::new(200, JSON, sources.requests.profile_json()),
+        "/requests.json" => Response::new(200, JSON, sources.requests.requests_json()),
         _ => Response::new(
             404,
             TEXT,
-            "not found; try /metrics /slo /healthz /trace.json\n".into(),
+            "not found; try /metrics /slo /healthz /trace.json /profile.json /requests.json\n"
+                .into(),
         ),
     }
 }
@@ -179,6 +196,29 @@ pub fn slo_prometheus(slos: &SloRegistry) -> String {
             slo_label(&r.name),
             r.budget.remaining_fraction
         ));
+    }
+    out
+}
+
+/// Renders flight-recorder health as Prometheus text:
+/// `trace_dropped_total` plus a `trace_track_dropped{track,tid}` line
+/// per registered track, so ring saturation is alertable.
+pub fn trace_prometheus(tracer: &Tracer) -> String {
+    let health = tracer.track_health();
+    let mut out = String::with_capacity(128 + health.len() * 64);
+    out.push_str("# HELP trace_dropped_total Flight-recorder events overwritten before export\n");
+    out.push_str("# TYPE trace_dropped_total counter\n");
+    let total: u64 = health.iter().map(|(_, _, d)| d).sum();
+    out.push_str(&format!("trace_dropped_total {total}\n"));
+    if !health.is_empty() {
+        out.push_str("# HELP trace_track_dropped Events overwritten per flight-recorder track\n");
+        out.push_str("# TYPE trace_track_dropped counter\n");
+        for (tid, name, dropped) in &health {
+            let mut label = String::from("{track=\"");
+            crate::export::prom_escape(&mut label, name);
+            label.push_str(&format!("\",tid=\"{tid}\"}}"));
+            out.push_str(&format!("trace_track_dropped{label} {dropped}\n"));
+        }
     }
     out
 }
@@ -296,6 +336,10 @@ mod tests {
                 StdArc::clone(&clock) as StdArc<dyn crate::clock::Clock>
             ))),
             tracer: Box::leak(Box::new(Tracer::with_capacity(64))),
+            requests: Box::leak(Box::new(RequestSampler::new(
+                crate::request::SamplerConfig::default(),
+                StdArc::clone(&clock) as StdArc<dyn crate::clock::Clock>,
+            ))),
         }
     }
 
@@ -317,6 +361,12 @@ mod tests {
         assert!(metrics
             .body
             .contains("slo_budget_remaining{objective=\"errs\"} 1\n"));
+        assert!(metrics.body.contains("trace_dropped_total 0\n"));
+        assert!(metrics
+            .body
+            .contains("trace_track_dropped{track=\"t\",tid=\"1\"} 0\n"));
+        assert!(metrics.body.contains("requests_total 0\n"));
+        assert!(metrics.body.contains("requests_dropped_total 0\n"));
 
         let slo = respond("GET", "/slo", &s);
         assert_eq!(slo.status, 200);
@@ -331,6 +381,28 @@ mod tests {
         assert!(respond("GET", "/trace.json", &s)
             .body
             .contains("\"name\":\"mark\""));
+    }
+
+    #[test]
+    fn profile_and_requests_endpoints_serve_sampler_state() {
+        let s = test_sources();
+        {
+            let ctx = s.requests.open("svc", crate::request::Op::Compress, 100);
+            ctx.mark_error("corrupt");
+        }
+        let profile = respond("GET", "/profile.json", &s);
+        assert_eq!(profile.status, 200);
+        assert_eq!(profile.content_type, JSON);
+        assert!(profile.body.contains("\"attribution\":["));
+        assert!(profile.body.contains("\"service\":\"svc\""));
+        let requests = respond("GET", "/requests.json", &s);
+        assert_eq!(requests.status, 200);
+        assert!(requests.body.contains("\"outcome\":\"error\""));
+        assert!(requests.body.contains("\"reason\":\"error\""));
+        let metrics = respond("GET", "/metrics", &s);
+        assert!(metrics
+            .body
+            .contains("requests_sampled_total{reason=\"error\"} 1\n"));
     }
 
     #[test]

@@ -86,6 +86,7 @@ pub fn record_stage(
 ) {
     record_duration(registry, name, labels, elapsed);
     crate::trace::stage(name, start, elapsed);
+    crate::request::observe_stage(name, start, elapsed);
 }
 
 /// Records an externally measured interval under the span name `name`,

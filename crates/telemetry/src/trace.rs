@@ -56,6 +56,9 @@ impl InlineStr {
 
     /// Builds from `s`, truncating to the last UTF-8 boundary at or
     /// below [`Self::CAPACITY`].
+    // indexing_slicing: `end <= min(s.len(), CAPACITY)` bounds both the
+    // source slice and the fixed-size destination.
+    #[allow(clippy::indexing_slicing)]
     pub fn new(s: &str) -> Self {
         let mut end = s.len().min(Self::CAPACITY);
         while end > 0 && !s.is_char_boundary(end) {
@@ -70,6 +73,8 @@ impl InlineStr {
     }
 
     /// The stored string.
+    // indexing_slicing: `len <= CAPACITY` is the construction invariant.
+    #[allow(clippy::indexing_slicing)]
     pub fn as_str(&self) -> &str {
         // Construction only copies up to a char boundary.
         std::str::from_utf8(&self.buf[..self.len as usize]).expect("inline str is valid utf-8")
@@ -212,6 +217,9 @@ impl Ring {
     /// Pushes one event; returns its assigned sequence number, its
     /// (monotonically clamped) timestamp, and whether an old event was
     /// dropped to make room. Never reallocates past the fixed capacity.
+    // indexing_slicing: `head < capacity == buf.len()` on the overwrite
+    // arm (the ring only wraps once `buf` is full).
+    #[allow(clippy::indexing_slicing)]
     fn push(&mut self, mut ev: TraceEvent) -> (u64, u64, bool) {
         ev.ts_nanos = ev.ts_nanos.max(self.last_ts);
         self.last_ts = ev.ts_nanos;
@@ -229,6 +237,9 @@ impl Ring {
     }
 
     /// Copies all events in timestamp order without clearing.
+    // indexing_slicing: `head < buf.len()` whenever the ring has wrapped,
+    // and `head == 0` before that.
+    #[allow(clippy::indexing_slicing)]
     fn peek(&self) -> Vec<TraceEvent> {
         let mut out = Vec::with_capacity(self.buf.len());
         out.extend_from_slice(&self.buf[self.head..]);
@@ -461,6 +472,19 @@ impl Tracer {
             .iter()
             .map(|t| t.dropped())
             .sum()
+    }
+
+    /// Per-track health — `(tid, name, dropped)` for every registered
+    /// track, without copying any events. Feeds the
+    /// `trace_track_dropped` lines on `/metrics` so ring saturation is
+    /// alertable instead of silent.
+    pub fn track_health(&self) -> Vec<(u64, String, u64)> {
+        self.tracks
+            .lock()
+            .expect("tracer track list not poisoned")
+            .iter()
+            .map(|t| (t.tid(), t.name(), t.dropped()))
+            .collect()
     }
 
     /// Copies every track's current events without clearing anything —

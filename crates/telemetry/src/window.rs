@@ -138,6 +138,9 @@ impl WindowedCounter {
     }
 
     /// Adds `n` to the current sub-window.
+    // indexing_slicing: `idx` is taken modulo `sub_windows`, the slots
+    // vec's construction length.
+    #[allow(clippy::indexing_slicing)]
     pub fn add(&self, n: u64) {
         let epoch = self.cfg.epoch_of(self.clock.now_nanos());
         let mut slots = self.slots.lock().expect("window slots not poisoned");
@@ -259,6 +262,9 @@ impl WindowedHistogram {
         self.observe_inner(v, Some(link));
     }
 
+    // indexing_slicing: `idx` is modulo `sub_windows` (the slots vec's
+    // length) and `bucket_index` clamps to the last bucket.
+    #[allow(clippy::indexing_slicing)]
     fn observe_inner(&self, v: u64, link: Option<impl FnOnce() -> EventRef>) {
         let epoch = self.cfg.epoch_of(self.clock.now_nanos());
         let mut slots = self.slots.lock().expect("window slots not poisoned");
@@ -388,6 +394,9 @@ impl WindowRegistry {
         self.cfg
     }
 
+    // indexing_slicing: the index is taken modulo `SHARDS`, the vec's
+    // construction length.
+    #[allow(clippy::indexing_slicing)]
     fn shard(&self, key: &SeriesKey) -> &RwLock<HashMap<SeriesKey, WindowMetric>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
@@ -519,6 +528,8 @@ pub struct WindowSnapshot {
 
 impl WindowSnapshot {
     /// Looks up one series value.
+    // indexing_slicing: `i` comes from `binary_search_by` on `series`.
+    #[allow(clippy::indexing_slicing)]
     pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&WindowValue> {
         let key = SeriesKey::new(name, labels);
         self.series
