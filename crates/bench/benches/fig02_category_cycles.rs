@@ -18,6 +18,7 @@ fn main() {
     let profile = profile_fleet(&ProfileConfig {
         work_units: scale.pick(10, 3),
         seed: 30,
+        stage_deadline_nanos: 0,
     });
     let rows: Vec<Row> = fleet::agg::category_zstd_cycles(&profile)
         .into_iter()

@@ -18,6 +18,7 @@ fn main() {
     let profile = profile_fleet(&ProfileConfig {
         work_units: scale.pick(10, 3),
         seed: 32,
+        stage_deadline_nanos: 0,
     });
     let rows: Vec<Row> = fleet::agg::level_usage(&profile)
         .into_iter()

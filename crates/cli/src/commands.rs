@@ -8,7 +8,7 @@ use compopt::prelude::*;
 use crate::args::Args;
 
 const USAGE: &str =
-    "datacomp <compress|decompress|bench|train-dict|optimize|gen|fleet|profile|trace|telemetry|fault-inject|monitor> ...";
+    "datacomp <compress|decompress|bench|train-dict|optimize|gen|fleet|profile|trace|telemetry|fault-inject|chaos|monitor> ...";
 
 /// Dispatches a parsed command line.
 ///
@@ -42,6 +42,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "trace" => trace_cmd(&args),
         "telemetry" => telemetry_dump(&args),
         "fault-inject" => fault_inject(&args),
+        "chaos" => chaos(&args),
         "monitor" => monitor(&args),
         other => Err(format!("unknown command {other}; usage: {USAGE}")),
     };
@@ -114,6 +115,7 @@ fn trace_cmd(args: &Args) -> Result<(), String> {
     let profile = fleet::profile_fleet(&fleet::ProfileConfig {
         work_units: units,
         seed: 30,
+        stage_deadline_nanos: 0,
     });
     profile.record_to(telemetry::global());
     trace_decision_demo();
@@ -257,6 +259,98 @@ fn fault_inject(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `datacomp chaos [--seed N] [--ops N] [--mix A,B] [--injector A,B]`
+/// — the operational chaos sweep: runs a real managed-compression
+/// service per (injector × fleet mix) cell on a manual clock, injects
+/// seed-deterministic operational faults (latency spikes, codec error
+/// bursts, clock skew), and asserts the resilience invariants — typed
+/// errors only, retry volume inside the token-bucket budget, breakers
+/// that open under sustained errors and recover after them, a brownout
+/// ladder whose degraded frames still round-trip, and a typed
+/// `DeadlineExceeded` for expired budgets. Prints the verdict table and
+/// fails the process on any violation, so CI can gate on it.
+fn chaos(args: &Args) -> Result<(), String> {
+    use faultline::{ChaosConfig, OpInjectorKind};
+
+    let mut cfg = ChaosConfig {
+        seed: args.opt_or("seed", ChaosConfig::default().seed)?,
+        ops: args.opt_or("ops", ChaosConfig::default().ops)?,
+        ..ChaosConfig::default()
+    };
+    if cfg.ops == 0 {
+        return Err("bad --ops 0; need at least one operation per cell".to_string());
+    }
+    if let Some(list) = args.options.get("injector") {
+        cfg.injectors = list
+            .split(',')
+            .map(|s| {
+                OpInjectorKind::from_name(s.trim()).ok_or_else(|| {
+                    format!(
+                        "unknown injector {s}; pick one of {}",
+                        OpInjectorKind::ALL.map(|k| k.name()).join(",")
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = args.options.get("mix") {
+        // Resolve against the fleet registry so cells replay real
+        // workloads (and typos fail fast with the valid names).
+        let registry = fleet::registry();
+        cfg.mixes = list
+            .split(',')
+            .map(|s| {
+                registry
+                    .iter()
+                    .find(|spec| spec.name.eq_ignore_ascii_case(s.trim()))
+                    .map(|spec| spec.name)
+                    .ok_or_else(|| {
+                        let names: Vec<String> = registry
+                            .iter()
+                            .map(|spec| spec.name.to_ascii_lowercase())
+                            .collect();
+                        format!("unknown mix {s}; pick one of {}", names.join("|"))
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+    }
+
+    let report = faultline::chaos_run(&cfg);
+    print!("{}", report.render_table());
+
+    // Publish the sweep outcome so a `--telemetry` snapshot (or a live
+    // `/metrics` scrape in the same process) carries the verdicts.
+    let reg = telemetry::global();
+    for cell in &report.cells {
+        let labels = [("injector", cell.injector.name()), ("mix", cell.mix)];
+        reg.counter("resilience.chaos.requests", &labels)
+            .add(cell.requests);
+        reg.counter("resilience.chaos.typed_errors", &labels)
+            .add(cell.typed_errors as u64);
+        reg.counter("resilience.chaos.injected", &labels)
+            .add(cell.injected);
+        reg.counter("resilience.chaos.retries_granted", &labels)
+            .add(cell.retries_granted);
+        reg.counter("resilience.chaos.violations", &labels)
+            .add(cell.violations.len() as u64);
+    }
+    reg.counter("resilience.chaos.cells", &[])
+        .add(report.cells.len() as u64);
+
+    if report.violations() > 0 {
+        return Err(format!(
+            "{} resilience-invariant violations across {} cells",
+            report.violations(),
+            report.cells.len()
+        ));
+    }
+    println!(
+        "resilience invariants held: {} cells, 0 violations",
+        report.cells.len()
+    );
+    Ok(())
+}
+
 /// `datacomp monitor [--addr HOST:PORT] [--workload NAME] [--seconds S]
 /// [--slo-ms MS] [--slo-target F] [--error-target F] [--addr-file PATH]`
 /// — the live observability plane in one command: registers latency and
@@ -271,7 +365,18 @@ fn fault_inject(args: &Args) -> Result<(), String> {
 ///
 /// `--addr 127.0.0.1:0` picks a free port; `--addr-file` writes the
 /// resolved address for scripted scrapers (tests, CI smoke jobs).
+///
+/// `--chaos-seed N` replays the same traffic with operational faults: a
+/// seed-deterministic error burst is injected into the managed service
+/// mid-run (via its fault hook), the SLO windows are shrunk so burn
+/// rates move within the run, and the exit gate flips from "budget
+/// intact" to "the error SLO left Ok (Warning or Burning) during the
+/// burst and recovered to Ok by the end" — proving the burn-rate
+/// machinery detects and releases a real incident. Needs `--seconds`
+/// of at least 5 so the recovery window can drain.
 fn monitor(args: &Args) -> Result<(), String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
     use std::time::{Duration, Instant};
 
     let addr = args
@@ -289,6 +394,18 @@ fn monitor(args: &Args) -> Result<(), String> {
     let slo_ms: f64 = args.opt_or("slo-ms", 5.0)?;
     let slo_target: f64 = args.opt_or("slo-target", 0.99)?;
     let error_target: f64 = args.opt_or("error-target", 0.999)?;
+    let chaos_seed: Option<u64> = match args.options.get("chaos-seed") {
+        None => None,
+        Some(s) => Some(
+            s.parse()
+                .map_err(|e| format!("bad --chaos-seed {s}: {e}"))?,
+        ),
+    };
+    if chaos_seed.is_some() && seconds < 5.0 {
+        return Err(format!(
+            "--chaos-seed needs --seconds >= 5 to fit the fault burst and the recovery window (got {seconds})"
+        ));
+    }
 
     let spec = fleet::registry()
         .into_iter()
@@ -309,20 +426,33 @@ fn monitor(args: &Args) -> Result<(), String> {
     // handshake) so every sample lands in an SLO window.
     let slos = telemetry::slos();
     let threshold = (slo_ms * 1e6) as u64;
-    slos.register(telemetry::SloConfig::latency(
+    // Chaos runs shrink both burn windows so a mid-run fault burst can
+    // push an objective through Warning/Burning *and* drain back to Ok
+    // within a single short replay.
+    let shaped = |cfg: telemetry::SloConfig| {
+        if chaos_seed.is_some() {
+            cfg.with_windows(
+                telemetry::WindowConfig::new(200_000_000, 10), // 2 s fast
+                telemetry::WindowConfig::new(300_000_000, 10), // 3 s slow
+            )
+        } else {
+            cfg
+        }
+    };
+    slos.register(shaped(telemetry::SloConfig::latency(
         "managed.compress.latency",
         threshold,
         slo_target,
-    ));
-    slos.register(telemetry::SloConfig::latency(
+    )));
+    slos.register(shaped(telemetry::SloConfig::latency(
         "managed.decompress.latency",
         threshold,
         slo_target,
-    ));
-    slos.register(telemetry::SloConfig::error_rate(
+    )));
+    slos.register(shaped(telemetry::SloConfig::error_rate(
         "managed.decompress.errors",
         error_target,
-    ));
+    )));
 
     let server = telemetry::ScrapeServer::bind(addr, telemetry::Sources::global())
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -338,20 +468,76 @@ fn monitor(args: &Args) -> Result<(), String> {
 
     telemetry::trace::set_track_name(&format!("monitor:{}", spec.name));
     let mut svc = managed::ManagedCompression::new(managed::ManagedConfig::default());
+    let t0 = Instant::now();
+    if let Some(seed) = chaos_seed {
+        // Operational fault burst: between 15% and 40% of the run,
+        // ~70% of decode attempts (seed-deterministic per consult)
+        // fail transiently. The service's own resilience machinery
+        // (retries under budget, breakers, quarantine) responds; what
+        // leaks through drives the error-rate SLO into its burn.
+        let consults = Arc::new(AtomicU64::new(0));
+        let (burst_from, burst_to) = (seconds * 0.15, seconds * 0.40);
+        let hook: managed::FaultHook = Arc::new(move |site| {
+            if site.op != "decompress" {
+                return false;
+            }
+            let t = t0.elapsed().as_secs_f64();
+            if t < burst_from || t > burst_to {
+                return false;
+            }
+            let n = consults.fetch_add(1, Ordering::Relaxed);
+            faultline::opfault::splitmix64(seed ^ n) % 100 < 70
+        });
+        svc.set_fault_hook(Some(hook));
+        println!(
+            "monitor: chaos seed {seed} — decode fault burst in [{burst_from:.1}s, {burst_to:.1}s]"
+        );
+    }
     // Honor the service's read/write mix so decompression windows (and
     // the decode-error SLO) see realistic traffic.
     let reads_per_write = spec.reads_per_write.round().max(1.0) as usize;
-    let deadline = Instant::now() + Duration::from_secs_f64(seconds);
+    let deadline = t0 + Duration::from_secs_f64(seconds);
     let (mut units, mut blocks, mut bytes) = (0u64, 0u64, 0u64);
+    let mut chaos_errors = 0u64;
+    let mut worst_seen = telemetry::SloState::Ok;
     'replay: while Instant::now() < deadline {
         for block in spec.workload.generate_unit(units) {
-            let frame = svc.compress(spec.name, &block);
+            let frame = match svc.compress(spec.name, &block) {
+                Ok(f) => f,
+                // Typed resilience errors (shed, deadline) are expected
+                // traffic under chaos; anything else is still fatal.
+                Err(e) if chaos_seed.is_some() => {
+                    chaos_errors += 1;
+                    let _ = e;
+                    continue;
+                }
+                Err(e) => return Err(format!("replay compress failed on {}: {e}", spec.name)),
+            };
             for _ in 0..reads_per_write {
-                svc.decompress(spec.name, &frame)
-                    .map_err(|e| format!("replay decode failed on {}: {e}", spec.name))?;
+                match svc.decompress(spec.name, &frame) {
+                    Ok(_) => {}
+                    Err(e) if chaos_seed.is_some() => {
+                        chaos_errors += 1;
+                        let _ = e;
+                    }
+                    Err(e) => {
+                        return Err(format!("replay decode failed on {}: {e}", spec.name));
+                    }
+                }
             }
             blocks += 1;
             bytes += block.len() as u64;
+            if chaos_seed.is_some() {
+                let state = slos.worst_state();
+                if state > worst_seen {
+                    println!(
+                        "monitor: SLO state -> {} at {:.1}s",
+                        state.as_str(),
+                        t0.elapsed().as_secs_f64()
+                    );
+                    worst_seen = state;
+                }
+            }
             if Instant::now() >= deadline {
                 break 'replay;
             }
@@ -360,6 +546,9 @@ fn monitor(args: &Args) -> Result<(), String> {
     }
     server.shutdown();
     println!("monitor: replayed {blocks} blocks ({bytes} bytes) across {units} work units");
+    if chaos_seed.is_some() {
+        println!("monitor: {chaos_errors} chaos-injected request errors tolerated");
+    }
 
     // Final verdict: one line per objective, then the gate.
     let reports = slos.reports();
@@ -376,6 +565,31 @@ fn monitor(args: &Args) -> Result<(), String> {
             r.slow_burn,
             r.budget.remaining_fraction * 100.0
         );
+    }
+    if let Some(seed) = chaos_seed {
+        // Chaos verdict: the burn-rate machinery must have seen the
+        // incident (left Ok) and released it (back to Ok by the end).
+        // The cumulative-budget gate is expected to blow under an
+        // injected burst, so it does not apply here.
+        let final_state = slos.worst_state();
+        println!(
+            "monitor: chaos verdict (seed {seed}): worst state {} during burst, {} at end",
+            worst_seen.as_str(),
+            final_state.as_str()
+        );
+        if worst_seen == telemetry::SloState::Ok {
+            return Err(
+                "chaos run never left Ok: the fault burst did not move the burn rate".to_string(),
+            );
+        }
+        if final_state != telemetry::SloState::Ok {
+            return Err(format!(
+                "chaos run did not recover: worst state still {} at end",
+                final_state.as_str()
+            ));
+        }
+        println!("monitor: burn-rate detection and recovery proven");
+        return Ok(());
     }
     if slos.any_exhausted() {
         let broke: Vec<&str> = reports
@@ -611,6 +825,7 @@ fn fleet_tables(args: &Args) -> Result<(), String> {
     let profile = fleet::profile_fleet(&fleet::ProfileConfig {
         work_units: units,
         seed: 30,
+        stage_deadline_nanos: 0,
     });
     // Publish per-service aggregates so a --telemetry snapshot taken
     // after this command carries the whole profile.

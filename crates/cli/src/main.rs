@@ -14,9 +14,10 @@
 //! datacomp telemetry  [--format json|prom]
 //! datacomp fault-inject [--seed N] [--injector A,B] [--algo X,Y] [--budget N]
 //!                     [--block-size BYTES] [--level N] [--checksums on|off]
+//! datacomp chaos      [--seed N] [--ops N] [--mix A,B] [--injector A,B]
 //! datacomp monitor    [--addr HOST:PORT] [--workload NAME] [--seconds S]
 //!                     [--slo-ms MS] [--slo-target F] [--error-target F]
-//!                     [--addr-file PATH]
+//!                     [--addr-file PATH] [--chaos-seed N]
 //! ```
 //!
 //! `monitor` is the live observability plane: it registers managed-path
@@ -24,7 +25,17 @@
 //! exemplars), `/slo` (error-budget JSON), `/healthz`, and
 //! `/trace.json` on `--addr`, and replays a fleet workload through the
 //! managed compression service until `--seconds` elapse. It exits
-//! non-zero when any error budget is exhausted.
+//! non-zero when any error budget is exhausted. With `--chaos-seed` it
+//! injects a deterministic mid-run fault burst instead and exits
+//! non-zero unless the SLO burn-rate engine both detects the incident
+//! and recovers from it.
+//!
+//! `chaos` is the operational chaos sweep: per (injector × fleet mix)
+//! cell it drives a managed service through latency spikes, error
+//! bursts, and clock skew on a manual clock, asserting the resilience
+//! invariants (typed errors only, bounded retries, breakers that open
+//! and recover, a brownout ladder that still round-trips). It exits
+//! non-zero on any violation.
 //!
 //! Every command also accepts `--telemetry <path>`, writing the process
 //! telemetry snapshot to `<path>` (JSON) and `<path>.prom` (Prometheus

@@ -149,6 +149,18 @@ impl Zstdx {
         (out, timing)
     }
 
+    /// Whether `frame` is a zstdx frame declaring a trailing content
+    /// checksum. Callers that retry a dictionary miss with *rebound*
+    /// dictionary content (same bytes, different id) use the checksum
+    /// as the correctness guard, so only checksummed frames are
+    /// eligible for that fan-out.
+    pub fn frame_has_checksum(frame: &[u8]) -> bool {
+        frame.get(..MAGIC.len()).is_some_and(|m| m == MAGIC)
+            && frame
+                .get(MAGIC.len())
+                .is_some_and(|f| f & FLAG_CHECKSUM != 0)
+    }
+
     fn compress_impl(
         &self,
         src: &[u8],

@@ -1,0 +1,641 @@
+//! Operational chaos sweep over the managed service.
+//!
+//! Where [`crate::harness`] asserts the *decode contract* against
+//! corrupted bytes, this harness asserts the *operational contract*
+//! against corrupted operations: it runs a real
+//! [`ManagedCompression`] instance per `(injector, service mix)` cell
+//! on a shared [`ManualClock`], replays fleet workload blocks through
+//! it while an [`OpFaultPlan`] injects failure weather, then checks the
+//! resilience invariants:
+//!
+//! 1. no request ever panics — every failure is a typed
+//!    [`managed::ManagedError`];
+//! 2. degraded responses still round-trip: whatever frame a browned-out
+//!    or fast-failing service emits decodes back to the original bytes;
+//! 3. retry volume stays inside the token-bucket budget
+//!    (`ratio × requests + cap`) — no retry storms;
+//! 4. under sustained error injection the per-(use case, op) circuit
+//!    breaker opens within a bounded number of injected failures;
+//! 5. once the faults stop, breakers close again (Closed via HalfOpen
+//!    probes) and clean traffic is served;
+//! 6. walking the admission brownout ladder produces cheap-level
+//!    frames, then passthrough frames, then a typed
+//!    [`ManagedError::Overloaded`] — and full service resumes when the
+//!    load lifts;
+//! 7. an expired per-request deadline surfaces as a typed
+//!    [`ManagedError::DeadlineExceeded`].
+//!
+//! Everything is deterministic in the root seed: clocks are manual,
+//! backoff sleeps advance the clock instead of the wall, and every
+//! fault decision is a pure function of `(seed, call index)`.
+//!
+//! [`ManagedError::Overloaded`]: managed::ManagedError::Overloaded
+//! [`ManagedError::DeadlineExceeded`]: managed::ManagedError::DeadlineExceeded
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use managed::{
+    AdmissionConfig, BreakerConfig, BreakerState, ManagedCompression, ManagedConfig, ManagedError,
+    ResiliencePolicy, RetryPolicy, PASSTHROUGH_MAGIC,
+};
+use telemetry::{Clock, ManualClock, WindowConfig};
+
+use crate::harness::QuietPanics;
+use crate::opfault::{splitmix64, OpFaultPlan, OpInjectorKind};
+
+/// Manual-clock advance per replayed operation. Sized against the cell
+/// policy so phases interact: 20 ms per op rotates the 200 ms breaker
+/// window every 10 ops (healthy warm-up traffic ages out mid-phase,
+/// letting sustained faults dominate the error rate), and lets the
+/// error-burst injector's quiet stretch outlast the 50 ms cooldown.
+const TICK_NANOS: u64 = 20_000_000;
+
+/// Injected failures a breaker may absorb before the sweep calls a
+/// missing trip a violation (generous multiple of `min_samples`).
+const OPEN_WITHIN_FAILURES: u64 = 60;
+
+/// Chaos sweep parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Root seed; every cell derives its own deterministic stream.
+    pub seed: u64,
+    /// Faulted round-trips replayed per cell (the recovery phase runs
+    /// half as many clean ones).
+    pub ops: usize,
+    /// Fleet service mixes replayed (names from [`fleet::registry`]).
+    pub mixes: Vec<&'static str>,
+    /// Operational injectors swept.
+    pub injectors: Vec<OpInjectorKind>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A05,
+            ops: 96,
+            mixes: vec!["CACHE1", "ADS1", "KVSTORE1"],
+            injectors: OpInjectorKind::ALL.to_vec(),
+        }
+    }
+}
+
+/// The resilience policy every cell runs: aggressive enough that a few
+/// dozen faulted operations walk the full breaker state machine, small
+/// enough that the brownout ladder is reachable by holding a handful of
+/// admission permits.
+fn cell_policy() -> ResiliencePolicy {
+    ResiliencePolicy {
+        deadline_nanos: 0,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_nanos: 100_000,
+            cap_nanos: 1_000_000,
+            budget_ratio: 0.2,
+            budget_cap: 8.0,
+        },
+        breaker: BreakerConfig {
+            window: WindowConfig::new(40_000_000, 5),
+            min_samples: 8,
+            open_error_rate: 0.5,
+            cooldown_nanos: 50_000_000,
+            probe_successes: 3,
+        },
+        admission: AdmissionConfig {
+            max_inflight: 8,
+            degrade_at: 3,
+            passthrough_at: 5,
+            cheap_level: 1,
+        },
+    }
+}
+
+/// Outcomes and invariant checks for one `(injector, mix)` cell.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// The operational injector this cell ran.
+    pub injector: OpInjectorKind,
+    /// The fleet service mix replayed.
+    pub mix: &'static str,
+    /// Requests the service admitted (compress + decompress calls).
+    pub requests: u64,
+    /// Faulted-phase round-trips that returned the original bytes.
+    pub ok: usize,
+    /// Requests that failed with a typed [`ManagedError`].
+    pub typed_errors: usize,
+    /// Failures the injector planted.
+    pub injected: u64,
+    /// Retries the token-bucket budget granted.
+    pub retries_granted: u64,
+    /// Requests that panicked (always a violation).
+    pub panics: usize,
+    /// Round-trips returning wrong bytes (always a violation).
+    pub mismatches: usize,
+    /// Whether the decompress breaker was observed open.
+    pub breaker_opened: bool,
+    /// Injected-failure count when the breaker first opened.
+    pub injected_at_open: u64,
+    /// Whether every opened breaker was closed again after recovery.
+    pub breaker_recovered: bool,
+    /// Human-readable invariant violations (empty = cell passed).
+    pub violations: Vec<String>,
+}
+
+impl ChaosCell {
+    /// Short breaker-walk summary for the report table.
+    fn breaker_summary(&self) -> String {
+        if !self.breaker_opened {
+            "never-opened".to_string()
+        } else if self.breaker_recovered {
+            format!("open@{} recovered", self.injected_at_open)
+        } else {
+            format!("open@{} STUCK", self.injected_at_open)
+        }
+    }
+}
+
+/// Full chaos report: one [`ChaosCell`] per `(injector, mix)` pair plus
+/// the standalone deadline probe.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Root seed the sweep ran with (for replay).
+    pub seed: u64,
+    /// Cells in sweep order.
+    pub cells: Vec<ChaosCell>,
+    /// Whether an expired deadline surfaced as the typed error.
+    pub deadline_probe_ok: bool,
+}
+
+impl ChaosReport {
+    /// Total invariant violations across cells and probes.
+    pub fn violations(&self) -> usize {
+        let cells: usize = self.cells.iter().map(|c| c.violations.len()).sum();
+        cells + usize::from(!self.deadline_probe_ok)
+    }
+
+    /// Every violation message, prefixed with its cell coordinates.
+    pub fn violation_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            for v in &c.violations {
+                out.push(format!("{}/{}: {}", c.injector, c.mix, v));
+            }
+        }
+        if !self.deadline_probe_ok {
+            out.push("deadline-probe: expired deadline was not a typed DeadlineExceeded".into());
+        }
+        out
+    }
+
+    /// Renders a fixed-width verdict table for terminals and CI logs.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "operational chaos sweep (seed {:#x})\n",
+            self.seed
+        ));
+        s.push_str(&format!(
+            "{:<14} {:<9} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5}  {:<18} {}\n",
+            "injector",
+            "mix",
+            "reqs",
+            "ok",
+            "typed",
+            "inj",
+            "retry",
+            "panic",
+            "mism",
+            "breaker",
+            "verdict"
+        ));
+        for c in &self.cells {
+            s.push_str(&format!(
+                "{:<14} {:<9} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5}  {:<18} {}\n",
+                c.injector.name(),
+                c.mix,
+                c.requests,
+                c.ok,
+                c.typed_errors,
+                c.injected,
+                c.retries_granted,
+                c.panics,
+                c.mismatches,
+                c.breaker_summary(),
+                if c.violations.is_empty() {
+                    "ok"
+                } else {
+                    "FAIL"
+                },
+            ));
+        }
+        s.push_str(&format!(
+            "deadline probe: {}\n",
+            if self.deadline_probe_ok {
+                "typed DeadlineExceeded"
+            } else {
+                "FAIL"
+            }
+        ));
+        for line in self.violation_lines() {
+            s.push_str(&format!("violation: {line}\n"));
+        }
+        s.push_str(&format!("total violations: {}\n", self.violations()));
+        s
+    }
+}
+
+/// Workload blocks for a fleet mix, deterministic in `seed`. Falls back
+/// to synthetic text blocks for a name the registry does not know so a
+/// typo'd CLI mix degrades to a soft failure, not a panic.
+fn mix_blocks(mix: &str, seed: u64) -> Vec<Vec<u8>> {
+    let blocks = fleet::registry()
+        .into_iter()
+        .find(|s| s.name == mix)
+        .map(|s| s.workload.generate_unit(seed))
+        .unwrap_or_default();
+    if blocks.is_empty() {
+        vec![corpus::silesia::generate(
+            corpus::silesia::FileClass::Text,
+            4 << 10,
+            seed,
+        )]
+    } else {
+        blocks
+    }
+}
+
+enum OpResult {
+    Ok,
+    Typed,
+    Mismatch,
+    Panic,
+}
+
+/// One compress → decompress round-trip through the service, fully
+/// shielded by `catch_unwind` (panics are what the sweep hunts).
+fn round_trip(svc: &mut ManagedCompression, mix: &'static str, block: &[u8]) -> OpResult {
+    let frame = match panic::catch_unwind(AssertUnwindSafe(|| svc.compress(mix, block))) {
+        Err(_) => return OpResult::Panic,
+        Ok(Err(_)) => return OpResult::Typed,
+        Ok(Ok(frame)) => frame,
+    };
+    match panic::catch_unwind(AssertUnwindSafe(|| svc.decompress(mix, &frame))) {
+        Err(_) => OpResult::Panic,
+        Ok(Err(_)) => OpResult::Typed,
+        Ok(Ok(bytes)) if bytes == block => OpResult::Ok,
+        Ok(Ok(_)) => OpResult::Mismatch,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_cell(kind: OpInjectorKind, mix: &'static str, seed: u64, ops: usize) -> ChaosCell {
+    let mut cell = ChaosCell {
+        injector: kind,
+        mix,
+        requests: 0,
+        ok: 0,
+        typed_errors: 0,
+        injected: 0,
+        retries_granted: 0,
+        panics: 0,
+        mismatches: 0,
+        breaker_opened: false,
+        injected_at_open: 0,
+        breaker_recovered: true,
+        violations: Vec::new(),
+    };
+    let policy = cell_policy();
+    let clock = ManualClock::shared();
+    let config = ManagedConfig {
+        reservoir_capacity: 16,
+        retrain_interval: 64,
+        seed,
+        resilience: policy,
+        ..ManagedConfig::default()
+    };
+    let mut svc = ManagedCompression::with_clock(config, Arc::clone(&clock) as Arc<dyn Clock>);
+    let sleep_clock = Arc::clone(&clock);
+    svc.set_sleeper(Arc::new(move |nanos| sleep_clock.advance(nanos)));
+    let blocks = mix_blocks(mix, seed);
+    let plan = OpFaultPlan::new(kind, seed, Arc::clone(&clock));
+
+    // Warm-up (no faults): trains the dictionary and pins the healthy
+    // baseline the faulted phase is compared against.
+    for i in 0..2 * config.reservoir_capacity {
+        let block = blocks.get(i % blocks.len()).expect("mix has blocks");
+        clock.advance(TICK_NANOS);
+        if !matches!(round_trip(&mut svc, mix, block), OpResult::Ok) {
+            cell.violations
+                .push(format!("warm-up round-trip {i} failed"));
+        }
+    }
+
+    // Phase 1 — inject: replay under the fault schedule. Nothing here
+    // may panic or return wrong bytes; everything else is weather.
+    svc.set_fault_hook(Some(plan.as_hook()));
+    for i in 0..ops {
+        let block = blocks.get(i % blocks.len()).expect("mix has blocks");
+        clock.advance(TICK_NANOS);
+        match round_trip(&mut svc, mix, block) {
+            OpResult::Ok => cell.ok += 1,
+            OpResult::Typed => cell.typed_errors += 1,
+            OpResult::Mismatch => cell.mismatches += 1,
+            OpResult::Panic => cell.panics += 1,
+        }
+        if !cell.breaker_opened
+            && (svc.breaker_state(mix, "decompress") == Some(BreakerState::Open)
+                || svc.breaker_state(mix, "compress") == Some(BreakerState::Open))
+        {
+            cell.breaker_opened = true;
+            cell.injected_at_open = plan.injected();
+        }
+    }
+    cell.injected = plan.injected();
+
+    // Invariant 3: granted retries never exceed the token-bucket
+    // allowance (every grant — backoff retries and decode-fan-out
+    // attempts alike — spent a token that a real request deposited).
+    let stats = svc.stats(mix).unwrap_or_default();
+    cell.requests = stats.compress_calls + stats.decompress_calls;
+    cell.retries_granted = stats.retry_attempts + stats.decode_retries;
+    let allowance = policy.retry.budget_ratio * cell.requests as f64 + policy.retry.budget_cap;
+    if cell.retries_granted as f64 > allowance + 1e-6 {
+        cell.violations.push(format!(
+            "retry budget overrun: {} granted > {:.1} allowed",
+            cell.retries_granted, allowance
+        ));
+    }
+
+    // Invariant 4: sustained error injection must trip the breaker
+    // within a bounded number of injected failures.
+    if kind.expects_breaker_open() {
+        if !cell.breaker_opened {
+            cell.violations.push(format!(
+                "breaker never opened under {} injected failures",
+                cell.injected
+            ));
+        } else if cell.injected_at_open > OPEN_WITHIN_FAILURES {
+            cell.violations.push(format!(
+                "breaker took {} injected failures to open (bound {})",
+                cell.injected_at_open, OPEN_WITHIN_FAILURES
+            ));
+        }
+    }
+
+    // Phase 2 — recovery: faults stop, the cooldown elapses, and clean
+    // traffic must re-close every breaker via HalfOpen probes.
+    plan.deactivate();
+    clock.advance(policy.breaker.cooldown_nanos + 2 * policy.breaker.window.span_nanos());
+    let mut recovery_failures = 0usize;
+    for i in 0..ops / 2 {
+        let block = blocks.get(i % blocks.len()).expect("mix has blocks");
+        clock.advance(TICK_NANOS);
+        match round_trip(&mut svc, mix, block) {
+            OpResult::Ok => {}
+            OpResult::Panic => cell.panics += 1,
+            _ => recovery_failures += 1,
+        }
+    }
+    if recovery_failures > 0 {
+        cell.violations.push(format!(
+            "{recovery_failures} round-trips still failing after faults stopped"
+        ));
+    }
+    for op in ["compress", "decompress"] {
+        if let Some(state) = svc.breaker_state(mix, op) {
+            if state != BreakerState::Closed {
+                cell.breaker_recovered = false;
+                cell.violations.push(format!(
+                    "{op} breaker stuck {} after recovery",
+                    state.as_str()
+                ));
+            }
+        }
+    }
+
+    // Phase 3 — brownout ladder: hold admission permits to simulate
+    // concurrent load and walk cheap-level → passthrough → shed, then
+    // release and confirm full service resumes.
+    let block = blocks.first().expect("mix has blocks").clone();
+    let adm = svc.admission();
+    let mut held = Vec::new();
+    let acquire_up_to = |target: usize, held: &mut Vec<_>, violations: &mut Vec<String>| {
+        while held.len() < target {
+            match adm.try_acquire() {
+                Some(p) => held.push(p),
+                None => {
+                    violations.push(format!("could not hold {target} admission permits"));
+                    return false;
+                }
+            }
+        }
+        true
+    };
+    if acquire_up_to(policy.admission.degrade_at, &mut held, &mut cell.violations) {
+        match round_trip(&mut svc, mix, &block) {
+            OpResult::Ok => {}
+            _ => cell
+                .violations
+                .push("cheap-level brownout round-trip failed".into()),
+        }
+    }
+    if acquire_up_to(
+        policy.admission.passthrough_at,
+        &mut held,
+        &mut cell.violations,
+    ) {
+        match panic::catch_unwind(AssertUnwindSafe(|| svc.compress(mix, &block))) {
+            Ok(Ok(frame)) => {
+                if !frame.starts_with(&PASSTHROUGH_MAGIC) {
+                    cell.violations
+                        .push("brownout passthrough rung emitted a codec frame".into());
+                }
+                match panic::catch_unwind(AssertUnwindSafe(|| svc.decompress(mix, &frame))) {
+                    Ok(Ok(bytes)) if bytes == block => {}
+                    Ok(_) => cell
+                        .violations
+                        .push("passthrough brownout frame did not round-trip".into()),
+                    Err(_) => cell.panics += 1,
+                }
+            }
+            Ok(Err(e)) => cell
+                .violations
+                .push(format!("passthrough brownout compress errored: {e}")),
+            Err(_) => cell.panics += 1,
+        }
+    }
+    if acquire_up_to(
+        policy.admission.max_inflight,
+        &mut held,
+        &mut cell.violations,
+    ) {
+        match panic::catch_unwind(AssertUnwindSafe(|| svc.compress(mix, &block))) {
+            Ok(Err(ManagedError::Overloaded { .. })) => {}
+            Ok(other) => cell.violations.push(format!(
+                "saturated service returned {:?} instead of Overloaded",
+                other.map(|f| f.len())
+            )),
+            Err(_) => cell.panics += 1,
+        }
+    }
+    drop(held);
+    if !matches!(round_trip(&mut svc, mix, &block), OpResult::Ok) {
+        cell.violations
+            .push("service did not resume full service after load lifted".into());
+    }
+
+    if cell.panics > 0 {
+        cell.violations.push(format!("{} panics", cell.panics));
+    }
+    if cell.mismatches > 0 {
+        cell.violations
+            .push(format!("{} round-trip mismatches", cell.mismatches));
+    }
+    cell
+}
+
+/// Probes invariant 7 end to end: a request whose deadline expires
+/// mid-flight must surface as a typed
+/// [`ManagedError::DeadlineExceeded`], not hang, panic, or
+/// misclassify.
+///
+/// Construction: train generation v1, keep a v1 frame, roll the
+/// dictionary past `versions_kept` so the frame needs the decode-retry
+/// fan-out, then jump the manual clock past the budget before the
+/// fan-out runs.
+///
+/// [`ManagedError::DeadlineExceeded`]: managed::ManagedError::DeadlineExceeded
+pub fn deadline_probe(seed: u64) -> bool {
+    let clock = ManualClock::shared();
+    let mut config = ManagedConfig {
+        reservoir_capacity: 8,
+        retrain_interval: 8,
+        versions_kept: 1,
+        seed,
+        ..ManagedConfig::default()
+    };
+    config.resilience.deadline_nanos = 500_000_000; // 0.5 s
+    let mut svc = ManagedCompression::with_clock(config, Arc::clone(&clock) as Arc<dyn Clock>);
+    let blocks: Vec<Vec<u8>> = (0..8)
+        .map(|i| corpus::silesia::generate(corpus::silesia::FileClass::Text, 2 << 10, seed ^ i))
+        .collect();
+    for b in &blocks {
+        if svc.compress("probe", b).is_err() {
+            return false;
+        }
+    }
+    let Ok(v1_frame) = svc.compress("probe", blocks.first().expect("8 blocks")) else {
+        return false;
+    };
+    if v1_frame.starts_with(&PASSTHROUGH_MAGIC) {
+        return false; // nothing references a dictionary; probe is moot
+    }
+    // Roll two more generations so v1 is gone (versions_kept = 1).
+    for _ in 0..2 {
+        for b in &blocks {
+            if svc.compress("probe", b).is_err() {
+                return false;
+            }
+        }
+    }
+    // The "dependency slows down" moment: the first decompress consult
+    // jumps the clock a full second past the 0.5 s budget.
+    let skew_clock = Arc::clone(&clock);
+    svc.set_fault_hook(Some(Arc::new(move |site: &managed::FaultSite<'_>| {
+        if site.op == "decompress" {
+            skew_clock.advance(1_000_000_000);
+        }
+        false
+    })));
+    matches!(
+        svc.decompress("probe", &v1_frame),
+        Err(ManagedError::DeadlineExceeded { .. })
+    )
+}
+
+/// Runs the full chaos sweep: every configured injector × mix cell plus
+/// the deadline probe. Deterministic in `cfg.seed`.
+pub fn run(cfg: &ChaosConfig) -> ChaosReport {
+    let _quiet = QuietPanics::install();
+    let mut cells = Vec::new();
+    for kind in &cfg.injectors {
+        for (mi, mix) in cfg.mixes.iter().enumerate() {
+            // Key each cell's stream by (injector, mix) so adding or
+            // reordering sweep axes never reshuffles other cells.
+            let tag = ((OpInjectorKind::ALL
+                .iter()
+                .position(|k| k == kind)
+                .unwrap_or(usize::MAX) as u64)
+                << 32)
+                ^ (mi as u64);
+            cells.push(run_cell(*kind, mix, splitmix64(cfg.seed ^ tag), cfg.ops));
+        }
+    }
+    ChaosReport {
+        seed: cfg.seed,
+        cells,
+        deadline_probe_ok: deadline_probe(splitmix64(cfg.seed ^ 0xDEAD)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ChaosConfig {
+        ChaosConfig {
+            ops: 48,
+            mixes: vec!["CACHE1"],
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn deadline_probe_yields_typed_error() {
+        assert!(deadline_probe(0x51EE9));
+    }
+
+    #[test]
+    fn error_burst_cell_walks_the_breaker_and_recovers() {
+        let cell = run_cell(OpInjectorKind::ErrorBurst, "CACHE1", 0xB00, 96);
+        assert_eq!(cell.violations, Vec::<String>::new());
+        assert!(cell.breaker_opened, "burst must trip the breaker");
+        assert!(cell.breaker_recovered);
+        assert_eq!(cell.panics, 0);
+        assert_eq!(cell.mismatches, 0);
+    }
+
+    #[test]
+    fn clock_skew_cell_stays_healthy() {
+        let cell = run_cell(OpInjectorKind::ClockSkew, "CACHE1", 0x5E11, 48);
+        assert_eq!(cell.violations, Vec::<String>::new());
+        assert!(!cell.breaker_opened, "skew injects no failures");
+        assert!(cell.typed_errors == 0, "no faults, no errors");
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_clean() {
+        let cfg = small_cfg();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.violations(), 0, "violations:\n{}", a.render_table());
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(b.cells.iter()) {
+            assert_eq!(ca.requests, cb.requests);
+            assert_eq!(ca.ok, cb.ok);
+            assert_eq!(ca.typed_errors, cb.typed_errors);
+            assert_eq!(ca.injected, cb.injected);
+            assert_eq!(ca.retries_granted, cb.retries_granted);
+        }
+    }
+
+    #[test]
+    fn report_table_renders_verdicts() {
+        let report = run(&small_cfg());
+        let table = report.render_table();
+        assert!(table.contains("injector"));
+        assert!(table.contains("CACHE1"));
+        assert!(table.contains("deadline probe"));
+        assert!(table.contains("total violations:"));
+    }
+}

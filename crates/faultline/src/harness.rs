@@ -199,10 +199,10 @@ pub fn check_decode(
 /// Silences the default panic hook for the duration of a sweep so
 /// expected `catch_unwind` probes do not spam stderr; restores the
 /// previous hook on drop.
-struct QuietPanics;
+pub(crate) struct QuietPanics;
 
 impl QuietPanics {
-    fn install() -> Self {
+    pub(crate) fn install() -> Self {
         panic::set_hook(Box::new(|_| {}));
         QuietPanics
     }

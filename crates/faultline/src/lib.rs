@@ -13,6 +13,13 @@
 //! * output never exceeds the caller's [`codecs::DecodeLimits`] budget,
 //!   so hostile length fields cannot drive allocation.
 //!
+//! The [`opfault`]/[`chaos`] half injects *operational* faults instead
+//! of byte corruption: latency spikes, codec error bursts, and clock
+//! skew driven through the managed service's fault hook, with a sweep
+//! asserting the resilience invariants (typed errors only, bounded
+//! retries, breakers that open and recover, a brownout ladder that
+//! still round-trips).
+//!
 //! Everything is deterministic: a sweep is replayable from its seed, and
 //! a failing case from its `(seed, injector, codec, block)` coordinates.
 //!
@@ -27,10 +34,14 @@
 //! assert_eq!(report.violations(), 0);
 //! ```
 
+pub mod chaos;
 pub mod harness;
 pub mod inject;
+pub mod opfault;
 pub mod rng;
 
+pub use chaos::{deadline_probe, run as chaos_run, ChaosCell, ChaosConfig, ChaosReport};
 pub use harness::{check_decode, dict_skew_probe, sweep, Cell, Outcome, Report, SweepConfig};
 pub use inject::Injector;
+pub use opfault::{splitmix64, OpFaultPlan, OpInjectorKind};
 pub use rng::Rng;

@@ -67,6 +67,7 @@ pub fn simulate_days(config: &DriftConfig) -> Vec<DayReport> {
             let profile = profile_fleet(&ProfileConfig {
                 work_units: config.work_units_per_day,
                 seed: config.seed.wrapping_add(day as u64 * 8191),
+                stage_deadline_nanos: 0,
             });
             let report = day_report(day, &profile);
             record_day_to(telemetry::global(), &report, &profile);

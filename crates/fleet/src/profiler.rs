@@ -29,6 +29,13 @@ pub struct ProfileConfig {
     pub work_units: usize,
     /// Base seed for workload generation and mix sampling.
     pub seed: u64,
+    /// Per-request stage deadline armed on every profiled request
+    /// (nanoseconds). A stage that ends past the budget marks the
+    /// request with a `deadline` error and bumps the
+    /// `fleet.deadline_stage_expired{service=...}` counter, so the
+    /// attribution report shows which services blow their budgets.
+    /// Zero (the default) disarms: profiling runs unbounded.
+    pub stage_deadline_nanos: u64,
 }
 
 impl Default for ProfileConfig {
@@ -36,6 +43,7 @@ impl Default for ProfileConfig {
         Self {
             work_units: 12,
             seed: 30,
+            stage_deadline_nanos: 0,
         }
     }
 }
@@ -238,9 +246,10 @@ fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec
             // the read-back decompressions below are their own
             // requests.
             let frame = {
-                let _req =
+                let req =
                     telemetry::requests().open(spec.name, telemetry::Op::Compress, block.len());
-                match (algorithm, &dictionary) {
+                req.arm_deadline(config.stage_deadline_nanos);
+                let frame = match (algorithm, &dictionary) {
                     (Algorithm::Zstdx, None) => {
                         let z = Zstdx::new(level);
                         let (frame, timing) = z.compress_timed(block);
@@ -269,7 +278,14 @@ fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec
                         cell.compress_secs += comp_elapsed.as_secs_f64();
                         frame
                     }
+                };
+                if config.stage_deadline_nanos > 0 && req.deadline_exceeded() {
+                    req.mark_error("deadline");
+                    telemetry::global()
+                        .counter("fleet.deadline_stage_expired", &[("service", spec.name)])
+                        .add(1);
                 }
+                frame
             };
             let reader = algorithm.compressor(level);
             let read_dict = if algorithm == Algorithm::Zstdx {
@@ -277,7 +293,14 @@ fn profile_service(spec: &ServiceSpec, config: &ProfileConfig, salt: u64) -> Vec
             } else {
                 None
             };
-            decompress_n(reader.as_ref(), &frame, read_dict, reads, cell, block.len());
+            decompress_n(
+                reader.as_ref(),
+                &frame,
+                read_dict,
+                reads,
+                cell,
+                config.stage_deadline_nanos,
+            );
             let svc_labels = [("service", spec.name)];
             telemetry::global()
                 .histogram("fleet.compress.nanos", &svc_labels)
@@ -307,13 +330,14 @@ fn decompress_n(
     dict: Option<&Dictionary>,
     reads: u64,
     cell: &mut Observation,
-    _original_len: usize,
+    stage_deadline_nanos: u64,
 ) {
     for _ in 0..reads {
         // Every read-back is a decompress request of its own, so read
         // amplification shows up as request volume in the attribution
         // report exactly as it does in the paper's fleet mix.
-        let _req = telemetry::requests().open(cell.service, telemetry::Op::Decompress, frame.len());
+        let req = telemetry::requests().open(cell.service, telemetry::Op::Decompress, frame.len());
+        req.arm_deadline(stage_deadline_nanos);
         let t0 = Instant::now();
         let out = match dict {
             Some(d) => comp.decompress_with_dict(frame, d),
@@ -322,6 +346,12 @@ fn decompress_n(
         let elapsed = t0.elapsed();
         cell.decompress_secs += elapsed.as_secs_f64();
         out.expect("own frames round-trip");
+        if stage_deadline_nanos > 0 && req.deadline_exceeded() {
+            req.mark_error("deadline");
+            telemetry::global()
+                .counter("fleet.deadline_stage_expired", &[("service", cell.service)])
+                .add(1);
+        }
         let svc_labels = [("service", cell.service)];
         telemetry::global()
             .histogram("fleet.decompress.nanos", &svc_labels)
@@ -360,6 +390,7 @@ mod tests {
         profile_fleet(&ProfileConfig {
             work_units: 2,
             seed: 7,
+            stage_deadline_nanos: 0,
         })
     }
 
@@ -518,6 +549,22 @@ mod tests {
                 "{name} events out of order"
             );
         }
+    }
+
+    #[test]
+    fn stage_deadline_marks_and_counts_expiries() {
+        // A 1ns budget cannot survive any real codec call, so every
+        // service must record at least one expiry. Counters are
+        // cumulative per process; assert on the delta.
+        let labels = [("service", "DW1")];
+        let before = telemetry::snapshot().counter("fleet.deadline_stage_expired", &labels);
+        profile_fleet(&ProfileConfig {
+            work_units: 1,
+            seed: 13,
+            stage_deadline_nanos: 1,
+        });
+        let after = telemetry::snapshot().counter("fleet.deadline_stage_expired", &labels);
+        assert!(after > before, "1ns stage budget never expired for DW1");
     }
 
     #[test]

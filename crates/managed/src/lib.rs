@@ -31,17 +31,23 @@
 //!
 //! let mut svc = ManagedCompression::new(ManagedConfig::default());
 //! let payload = br#"{"type":"user.profile","name":"n","flags":[1,2]}"#;
-//! let frame = svc.compress("user-profiles", payload);
+//! let frame = svc.compress("user-profiles", payload).unwrap();
 //! assert_eq!(svc.decompress("user-profiles", &frame).unwrap(), payload);
 //! ```
 
 #![warn(missing_docs)]
 
 mod reservoir;
+pub mod resilience;
 mod service;
 
 pub use reservoir::Reservoir;
-pub use service::{ManagedCompression, ManagedConfig, UseCaseStats};
+pub use resilience::{
+    AdmissionConfig, AdmissionController, AdmissionPermit, Backoff, BreakerConfig, BreakerDecision,
+    BreakerState, BreakerTransition, CircuitBreaker, Deadline, FaultHook, FaultSite,
+    ResiliencePolicy, RetryBudget, RetryPolicy, ServiceMode, Sleeper,
+};
+pub use service::{ManagedCompression, ManagedConfig, UseCaseStats, PASSTHROUGH_MAGIC};
 
 /// Errors returned by the managed service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +73,22 @@ pub enum ManagedError {
         /// The codec error from the final decode attempt.
         source: codecs::CodecError,
     },
+    /// The request's time budget ran out between service stages. The
+    /// work already done is abandoned; no partial frame is returned.
+    DeadlineExceeded {
+        /// The use case the request was submitted under.
+        use_case: String,
+        /// Nanoseconds elapsed when the deadline check fired.
+        elapsed_nanos: u64,
+        /// The configured budget in nanoseconds.
+        budget_nanos: u64,
+    },
+    /// Admission control shed the request: the service is past its
+    /// concurrency limit and the brownout ladder is exhausted.
+    Overloaded {
+        /// The use case the request was submitted under.
+        use_case: String,
+    },
 }
 
 impl std::fmt::Display for ManagedError {
@@ -79,6 +101,17 @@ impl std::fmt::Display for ManagedError {
             ManagedError::Codec(e) => write!(f, "codec error: {e}"),
             ManagedError::Quarantined { use_case, source } => {
                 write!(f, "frame quarantined for {use_case}: {source}")
+            }
+            ManagedError::DeadlineExceeded {
+                use_case,
+                elapsed_nanos,
+                budget_nanos,
+            } => write!(
+                f,
+                "deadline exceeded for {use_case}: {elapsed_nanos}ns elapsed of {budget_nanos}ns budget"
+            ),
+            ManagedError::Overloaded { use_case } => {
+                write!(f, "request for {use_case} shed: service overloaded")
             }
         }
     }

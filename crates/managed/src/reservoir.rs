@@ -39,8 +39,8 @@ impl Reservoir {
             self.samples.push(payload.to_vec());
         } else {
             let j = self.rng.gen_range(0..self.seen);
-            if (j as usize) < self.capacity {
-                self.samples[j as usize] = payload.to_vec();
+            if let Some(slot) = self.samples.get_mut(j as usize) {
+                *slot = payload.to_vec();
             }
         }
     }

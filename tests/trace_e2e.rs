@@ -22,6 +22,7 @@ fn fleet_profile_trace_exports_chrome_json_end_to_end() {
     let profile = profile_fleet(&ProfileConfig {
         work_units: 1,
         seed: 7,
+        stage_deadline_nanos: 0,
     });
     profile.record_to(telemetry::global());
     let samples: Vec<Vec<u8>> = (0..2)
