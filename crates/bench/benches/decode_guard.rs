@@ -18,7 +18,8 @@
 use std::time::Instant;
 
 use benchkit::{print_table, write_artifact, Scale};
-use codecs::{Algorithm, Compressor};
+use codecs::{lz4x::Lz4x, zlibx::Zlibx, zstdx::Zstdx};
+use codecs::{Compressor, StreamPolicy};
 use corpus::silesia::FileClass;
 
 /// Allowed fractional throughput regression before the guard fails.
@@ -26,6 +27,31 @@ const TOLERANCE: f64 = 0.05;
 
 /// Per-codec measurement rounds; the median is the reported number.
 const ROUNDS: usize = 5;
+
+/// Every guarded row, in baseline-file order. The plain names are the
+/// fleet defaults (Auto stream policy — multi-stream entropy sections on
+/// corpus-sized blocks); the `@1` rows force `StreamPolicy::Single` so
+/// the legacy single-stream decode loops stay guarded too.
+const NAMES: [&str; 5] = ["lz4x", "zlibx", "zlibx@1", "zstdx", "zstdx@1"];
+
+/// The guarded codec configurations at the fleet's dominant levels:
+/// zstdx runs at 3, the byte-oriented codecs at their ratio-side
+/// default 6.
+fn cases() -> Vec<(&'static str, Box<dyn Compressor>)> {
+    vec![
+        ("lz4x", Box::new(Lz4x::new(6))),
+        ("zlibx", Box::new(Zlibx::new(6))),
+        (
+            "zlibx@1",
+            Box::new(Zlibx::new(6).with_stream_policy(StreamPolicy::Single)),
+        ),
+        ("zstdx", Box::new(Zstdx::new(3))),
+        (
+            "zstdx@1",
+            Box::new(Zstdx::new(3).with_stream_policy(StreamPolicy::Single)),
+        ),
+    ]
+}
 
 fn baseline_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("decode_guard_baseline.json")
@@ -84,18 +110,10 @@ fn main() {
     let data = mixed_corpus(per_class);
 
     let mut measured: Vec<(&'static str, f64)> = Vec::new();
-    for algo in Algorithm::ALL {
-        // The fleet's dominant levels: zstdx runs at 3, the byte-oriented
-        // codecs at their ratio-side default 6.
-        let level = if matches!(algo, Algorithm::Zstdx) {
-            3
-        } else {
-            6
-        };
-        let comp = algo.compressor(level);
+    for (name, comp) in cases() {
         let frame = comp.compress(&data);
         let mbps = measure_decode_mbps(comp.as_ref(), &frame, data.len(), iters);
-        measured.push((algo.name(), mbps));
+        measured.push((name, mbps));
     }
 
     let path = baseline_path();
@@ -174,14 +192,14 @@ fn write_baseline(path: &std::path::Path, section: &str, measured: &[(&'static s
         .iter()
         .map(|(k, v)| ((*k).to_string(), *v))
         .collect();
-    let theirs: Vec<(String, f64)> = Algorithm::ALL
+    let theirs: Vec<(String, f64)> = NAMES
         .into_iter()
-        .map(|a| {
+        .map(|name| {
             let v = existing
                 .as_ref()
-                .and_then(|e| e[other][a.name()].as_f64())
+                .and_then(|e| e[other][name].as_f64())
                 .unwrap_or(0.0);
-            (a.name().to_string(), v)
+            (name.to_string(), v)
         })
         .collect();
     // Keep "full" first for a stable file layout.

@@ -219,6 +219,21 @@ impl RepHistory {
         self.0.copy_within(0..NUM_REP_OFFSETS - 1, 1);
         self.0[0] = offset;
     }
+
+    /// Resolves a decoded offset-code/raw-offset pair to the absolute
+    /// offset: repeat codes look up (and promote) history, literal codes
+    /// push their raw offset. Returns `None` for an out-of-range repeat
+    /// index. One call per sequence keeps the decoder's history update
+    /// in the same place regardless of which loop shape (single or
+    /// paired states) decoded the sequence.
+    pub fn resolve(&mut self, ofc: u8, raw: u32) -> Option<u32> {
+        if ofc >= OF_REP_BASE {
+            self.decode(ofc)
+        } else {
+            self.push(raw);
+            Some(raw)
+        }
+    }
 }
 
 /// Predefined FSE table for literal-length codes (zstdx's no-header

@@ -322,6 +322,100 @@ pub(crate) fn lz_copy(out: &mut Vec<u8>, offset: usize, len: usize) {
     }
 }
 
+/// Copies `len` bytes from `offset` back of `dst` into `out[dst..dst + len]`
+/// — the backfill form of the LZ match copy, used by multi-substream
+/// decoders that materialize literals for a whole block first and apply
+/// the recorded matches afterwards. Overlapping copies (offset < len)
+/// replicate the period with a doubling window. Unlike
+/// [`lz_copy_checked`] this writes into an already-sized buffer and
+/// never grows it.
+///
+/// # Panics
+///
+/// Panics in debug builds if `offset` is 0 or exceeds `dst`, or if
+/// `dst + len` exceeds `out.len()`; callers validate both first.
+#[inline]
+pub(crate) fn lz_backfill_checked(out: &mut [u8], dst: usize, offset: usize, len: usize) {
+    debug_assert!(offset >= 1 && offset <= dst);
+    debug_assert!(dst + len <= out.len());
+    let start = dst - offset;
+    let mut copied = 0usize;
+    while copied < len {
+        // The source window always begins at `start`: every chunk size
+        // is `offset + copied` (a multiple of the period while the
+        // window is still growing), so `out[start + j]` is the right
+        // byte for `out[dst + copied + j]` and the window of valid
+        // source bytes doubles each pass for overlapping matches.
+        let chunk = (len - copied).min(offset + copied);
+        out.copy_within(start..start + chunk, dst + copied);
+        copied += chunk;
+    }
+}
+
+/// Fast sibling of [`lz_backfill_checked`]: identical bytes out, but
+/// non-overlapping-enough matches (`offset >= 8`) copy in 8-byte chunks
+/// with an exact sub-word tail. Unlike [`lz_copy`] there is no
+/// overshoot: the destination buffer already holds later streams'
+/// literals, which a wild 8-byte tail write would clobber.
+///
+/// # Panics
+///
+/// Panics in debug builds under the same conditions as
+/// [`lz_backfill_checked`].
+#[inline]
+pub(crate) fn lz_backfill(out: &mut [u8], dst: usize, offset: usize, len: usize) {
+    debug_assert!(offset >= 1 && offset <= dst);
+    debug_assert!(dst + len <= out.len());
+    if offset < 8 {
+        return lz_backfill_checked(out, dst, offset, len);
+    }
+    // SAFETY:
+    // * callers validated `dst + len <= out.len()` (debug-asserted), so
+    //   every 8-byte write (the loop runs only while `remaining >= 8`)
+    //   and the exact `remaining < 8` tail write stay inside the slice;
+    // * `offset >= 8` keeps each 8-byte source window disjoint from its
+    //   destination window, and earlier chunks initialize the bytes later
+    //   chunks read (source trails destination by `offset`);
+    // * the slice is fully initialized (`out` is `&mut [u8]`), so reads
+    //   are always of initialized memory.
+    unsafe {
+        let base = out.as_mut_ptr();
+        let mut src = base.add(dst - offset);
+        let mut cur = base.add(dst);
+        let mut remaining = len;
+        while remaining >= 8 {
+            std::ptr::copy_nonoverlapping(src, cur, 8);
+            src = src.add(8);
+            cur = cur.add(8);
+            remaining -= 8;
+        }
+        if remaining > 0 {
+            std::ptr::copy_nonoverlapping(src, cur, remaining);
+        }
+    }
+}
+
+/// How a codec's block writer splits entropy-coded payloads across
+/// independent substreams (the multi-stream decode layout: 4 Huffman
+/// literal streams, paired FSE sequence states).
+///
+/// `Auto` is the production default: blocks large enough to amortize the
+/// extra per-stream headers get the multi-stream layout, small blocks
+/// keep the single-stream layout bit-identical to older encoders.
+/// `Single` forces the legacy layout everywhere (frames decode on old
+/// readers); `Quad` forces the multi-stream layout at tiny thresholds so
+/// tests can exercise it on small inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamPolicy {
+    /// Choose per block by payload size (production default).
+    #[default]
+    Auto,
+    /// Always emit the legacy single-stream layout.
+    Single,
+    /// Force the multi-stream layout whenever structurally possible.
+    Quad,
+}
+
 /// A lossless block compressor.
 ///
 /// Object-safe: `compopt` enumerates candidates as `Box<dyn Compressor>`.
@@ -488,6 +582,33 @@ impl std::str::FromStr for Algorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lz_backfill_engines_agree_on_all_overlap_phases() {
+        // Every (offset, len) shape around the 8-byte fast-path pivot,
+        // including offset < len overlaps whose doubling window must
+        // replicate the period exactly.
+        for offset in 1..=20usize {
+            for len in 1..=40usize {
+                let dst = offset + 3;
+                let total = dst + len;
+                let mut base = vec![0u8; total];
+                for (i, b) in base.iter_mut().enumerate().take(dst) {
+                    *b = (i * 7 + 13) as u8;
+                }
+                let mut expect = base.clone();
+                for i in 0..len {
+                    expect[dst + i] = expect[dst + i - offset];
+                }
+                let mut checked = base.clone();
+                lz_backfill_checked(&mut checked, dst, offset, len);
+                assert_eq!(checked, expect, "checked offset {offset} len {len}");
+                let mut fast = base.clone();
+                lz_backfill(&mut fast, dst, offset, len);
+                assert_eq!(fast, expect, "fast offset {offset} len {len}");
+            }
+        }
+    }
 
     #[test]
     fn algorithm_parsing() {

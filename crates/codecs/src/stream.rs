@@ -31,10 +31,10 @@ use lzkit::MatchParams;
 
 use crate::xxhash::Xxh64;
 use crate::zstdx::{
-    decode_block_payload, level_params, write_block, BLOCK_COMPRESSED, BLOCK_LAST, BLOCK_RAW,
-    BLOCK_RLE, BLOCK_SIZE, FLAG_CHECKSUM, FLAG_STREAMING, MAGIC,
+    decode_block_payload, level_params, write_block_opts, BLOCK_COMPRESSED, BLOCK_LAST, BLOCK_RAW,
+    BLOCK_RLE, BLOCK_SIZE, FLAG_CHECKSUM, FLAG_STREAMING, FLAG_V4, MAGIC,
 };
-use crate::CodecError;
+use crate::{CodecError, StreamPolicy};
 
 /// History retained for back-references, in bytes. Must cover the
 /// largest window any level uses (2^22).
@@ -78,7 +78,11 @@ impl<W: Write> CompressWriter<W> {
         if !self.wrote_header {
             let w = self.inner.as_mut().expect("writer present until finish");
             w.write_all(&MAGIC)?;
-            w.write_all(&[FLAG_STREAMING | FLAG_CHECKSUM])?;
+            // The header goes out before any block is encoded, so the
+            // v4 bit is declared up front: it *permits* multi-stream
+            // blocks, it does not require them, and sub-threshold
+            // blocks keep the legacy layout.
+            w.write_all(&[FLAG_STREAMING | FLAG_CHECKSUM | FLAG_V4])?;
             self.wrote_header = true;
         }
         Ok(())
@@ -88,12 +92,14 @@ impl<W: Write> CompressWriter<W> {
         self.write_header()?;
         let end = (self.history_len + BLOCK_SIZE).min(self.buf.len());
         let mut block = Vec::with_capacity(end - self.history_len + 64);
-        write_block(
+        let _ = write_block_opts(
             &self.buf,
             self.history_len,
             end,
             &self.params,
             last,
+            true,
+            StreamPolicy::Auto,
             &mut block,
             None,
         );
@@ -182,6 +188,7 @@ pub struct DecompressReader<R: Read> {
     hasher: Xxh64,
     header_read: bool,
     has_checksum: bool,
+    v4: bool,
     saw_last: bool,
     done: bool,
 }
@@ -200,6 +207,7 @@ impl<R: Read> DecompressReader<R> {
             hasher: Xxh64::new(0),
             header_read: false,
             has_checksum: false,
+            v4: false,
             saw_last: false,
             done: false,
         }
@@ -256,6 +264,7 @@ impl<R: Read> DecompressReader<R> {
             )));
         }
         self.has_checksum = flags & FLAG_CHECKSUM != 0;
+        self.v4 = flags & FLAG_V4 != 0;
         self.header_read = true;
         Ok(())
     }
@@ -298,7 +307,7 @@ impl<R: Read> DecompressReader<R> {
                 self.out.resize(before + decoded, b);
             }
             BLOCK_COMPRESSED => {
-                decode_block_payload::<true>(&payload, &mut self.out, decoded)
+                decode_block_payload::<true>(&payload, &mut self.out, decoded, self.v4)
                     .map_err(Self::io_err)?;
             }
             _ if decoded == 0 => {}

@@ -34,7 +34,7 @@ use crate::codes::{
 use crate::dict::Dictionary;
 use crate::timing::StageTiming;
 use crate::varint::{write_varint, Cursor};
-use crate::{CodecError, Compressor, DecodeLimits, Result};
+use crate::{CodecError, Compressor, DecodeLimits, Result, StreamPolicy};
 
 /// Frame magic ("ZSXD").
 pub(crate) const MAGIC: [u8; 4] = [0x5a, 0x53, 0x58, 0x44];
@@ -48,6 +48,12 @@ pub(crate) const FLAG_CHECKSUM: u8 = 2;
 /// Frame flag: no content size; blocks carry a last-block marker
 /// instead (streaming frames, see [`crate::stream`]).
 pub(crate) const FLAG_STREAMING: u8 = 4;
+/// Frame flag: at least one block uses the v4 multi-stream entropy
+/// layout ([`LIT_HUFFMAN4`] literals and/or [`SEQ_PAIR_FLAG`]
+/// sequences). Old decoders reject such frames up front instead of
+/// tripping over an unknown literal mode mid-stream; frames without the
+/// flag are byte-identical to pre-v4 encoders' output.
+pub(crate) const FLAG_V4: u8 = 8;
 
 pub(crate) const BLOCK_RAW: u8 = 0;
 pub(crate) const BLOCK_RLE: u8 = 1;
@@ -58,10 +64,18 @@ pub(crate) const BLOCK_LAST: u8 = 0x80;
 const LIT_RAW: u8 = 0;
 const LIT_RLE: u8 = 1;
 const LIT_HUFFMAN: u8 = 2;
+/// Huffman literals split into four independent substreams, decoded
+/// with four interleaved cursors (v4 frames only).
+const LIT_HUFFMAN4: u8 = 3;
 
 const MODE_PREDEFINED: u8 = 0;
 const MODE_FSE: u8 = 1;
 const MODE_RLE: u8 = 2;
+
+/// Modes-byte bit: the sequence bitstream interleaves *six* FSE states
+/// (two per code lane) instead of three, decoding two sequences per
+/// round (v4 frames only). Bit 7 stays reserved and is rejected.
+const SEQ_PAIR_FLAG: u8 = 0x40;
 
 /// The Zstandard-like compressor. See the [module docs](self).
 #[derive(Debug, Clone)]
@@ -70,6 +84,7 @@ pub struct Zstdx {
     params: MatchParams,
     checksum: bool,
     rep_offsets: bool,
+    streams: StreamPolicy,
 }
 
 impl Zstdx {
@@ -82,7 +97,18 @@ impl Zstdx {
             params: level_params(level),
             checksum: true,
             rep_offsets: true,
+            streams: StreamPolicy::default(),
         }
+    }
+
+    /// Builder-style multi-stream entropy policy
+    /// ([`StreamPolicy::Auto`] by default). `Single` pins the legacy
+    /// one-stream layout (frames stay byte-identical to pre-v4
+    /// encoders); `Quad` forces the split even below the size
+    /// thresholds, which exists for tests and benchmarks.
+    pub fn with_stream_policy(mut self, streams: StreamPolicy) -> Self {
+        self.streams = streams;
+        self
     }
 
     /// Builder-style checksum toggle (`true` by default). Frames written
@@ -117,6 +143,7 @@ impl Zstdx {
             params,
             checksum: true,
             rep_offsets: true,
+            streams: StreamPolicy::default(),
         }
     }
 
@@ -192,10 +219,19 @@ impl Zstdx {
         };
 
         let mut start = base;
+        let mut any_v4 = false;
         while start < buf.len() {
             let end = (start + BLOCK_SIZE).min(buf.len());
-            self.compress_block(&buf, start, end, &mut out, timing.as_deref_mut());
+            any_v4 |= self.compress_block(&buf, start, end, &mut out, timing.as_deref_mut());
             start = end;
+        }
+        // The flag byte is patched after the fact: only frames that
+        // actually contain a v4 block advertise the format, so
+        // sub-threshold output stays byte-identical to older encoders.
+        if any_v4 {
+            if let Some(f) = out.get_mut(MAGIC.len()) {
+                *f |= FLAG_V4;
+            }
         }
         if self.checksum {
             out.extend_from_slice(&crate::xxhash::content_checksum(src).to_le_bytes());
@@ -210,7 +246,7 @@ impl Zstdx {
         end: usize,
         out: &mut Vec<u8>,
         timing: Option<&mut StageTiming>,
-    ) {
+    ) -> bool {
         write_block_opts(
             buf,
             start,
@@ -218,9 +254,10 @@ impl Zstdx {
             &self.params,
             false,
             self.rep_offsets,
+            self.streams,
             out,
             timing,
-        );
+        )
     }
 }
 
@@ -236,10 +273,26 @@ pub(crate) fn write_block(
     out: &mut Vec<u8>,
     timing: Option<&mut StageTiming>,
 ) {
-    write_block_opts(buf, start, end, params, last, true, out, timing)
+    // Single-stream on purpose: this entry point serves frame writers
+    // (parallel, streaming) whose headers are not patched with
+    // [`FLAG_V4`], so the blocks they embed must stay legacy-layout.
+    let _ = write_block_opts(
+        buf,
+        start,
+        end,
+        params,
+        last,
+        true,
+        StreamPolicy::Single,
+        out,
+        timing,
+    );
 }
 
-/// [`write_block`] with the repeat-offset ablation knob exposed.
+/// [`write_block`] with the repeat-offset ablation knob and the
+/// multi-stream policy exposed. Returns whether the written block uses
+/// the v4 layout (the caller must then set [`FLAG_V4`] in its frame
+/// header).
 // indexing_slicing: encode side — `start <= end <= buf.len()` is the
 // frame writer's block-split invariant, and `data[0]` sits behind the
 // `data.len() >= 2` RLE check.
@@ -252,9 +305,10 @@ pub(crate) fn write_block_opts(
     params: &MatchParams,
     last: bool,
     use_reps: bool,
+    policy: StreamPolicy,
     out: &mut Vec<u8>,
     timing: Option<&mut StageTiming>,
-) {
+) -> bool {
     {
         let last_bit = if last { BLOCK_LAST } else { 0 };
         let data = &buf[start..end];
@@ -264,7 +318,7 @@ pub(crate) fn write_block_opts(
             write_varint(out, data.len() as u64);
             write_varint(out, 1);
             out.push(data[0]);
-            return;
+            return false;
         }
 
         let mf_start = Instant::now();
@@ -286,11 +340,12 @@ pub(crate) fn write_block_opts(
         let mf_elapsed = mf_start.elapsed();
 
         let ent_start = Instant::now();
-        let mut payload = encode_block_payload_opts(&parsed, use_reps);
+        let (mut payload, mut used_v4) = encode_block_payload_opts(&parsed, use_reps, policy);
         if let Some(alt_parsed) = alt {
-            let alt_payload = encode_block_payload_opts(&alt_parsed, use_reps);
+            let (alt_payload, alt_v4) = encode_block_payload_opts(&alt_parsed, use_reps, policy);
             if alt_payload.len() < payload.len() {
                 payload = alt_payload;
+                used_v4 = alt_v4;
             }
         }
         let ent_elapsed = ent_start.elapsed();
@@ -308,11 +363,13 @@ pub(crate) fn write_block_opts(
             write_varint(out, data.len() as u64);
             write_varint(out, payload.len() as u64);
             out.extend_from_slice(&payload);
+            used_v4
         } else {
             out.push(BLOCK_RAW | last_bit);
             write_varint(out, data.len() as u64);
             write_varint(out, data.len() as u64);
             out.extend_from_slice(data);
+            false
         }
     }
 }
@@ -372,6 +429,7 @@ impl Zstdx {
         }
         let has_checksum = flags & FLAG_CHECKSUM != 0;
         let streaming = flags & FLAG_STREAMING != 0;
+        let v4 = flags & FLAG_V4 != 0;
         let end_target = base + content;
         let mut saw_last = false;
         while if streaming {
@@ -413,7 +471,7 @@ impl Zstdx {
                     let b = *payload.first().ok_or(c.corrupt("zstdx empty rle"))?;
                     out.resize(out.len() + decoded, b);
                 }
-                BLOCK_COMPRESSED => decode_block_payload::<FAST>(payload, &mut out, decoded)
+                BLOCK_COMPRESSED => decode_block_payload::<FAST>(payload, &mut out, decoded, v4)
                     .map_err(|e| e.rebase(c.position().saturating_sub(payload_len)))?,
                 _ => return Err(c.corrupt("zstdx bad block type")),
             }
@@ -551,16 +609,34 @@ fn choose_table(codes: &[u8], predefined: &'static FseTable, alphabet: usize) ->
     }
 }
 
+/// Minimum literal-section size at which [`StreamPolicy::Auto`] splits
+/// Huffman literals into four substreams: below this the per-stream
+/// size words and ramp-up cost more than the decode parallelism buys.
+const AUTO_LIT_SPLIT: usize = 1024;
+/// Minimum sequence count at which [`StreamPolicy::Auto`] switches to
+/// the paired six-state FSE layout.
+const AUTO_SEQ_PAIR: usize = 64;
+
 // indexing_slicing: encode side — `lits[0]` sits behind the non-empty
 // branch, and the per-sequence arrays (`llc`/`mlc`/`ofc`) are built with
 // one entry per `parsed.sequences` element, so index `i < n` is valid
 // for all four.
 #[allow(clippy::indexing_slicing)]
-fn encode_block_payload_opts(parsed: &ParsedBlock, use_reps: bool) -> Vec<u8> {
+fn encode_block_payload_opts(
+    parsed: &ParsedBlock,
+    use_reps: bool,
+    policy: StreamPolicy,
+) -> (Vec<u8>, bool) {
     let mut out = Vec::with_capacity(parsed.literals.len() / 2 + 64);
+    let mut used_v4 = false;
 
     // --- Literals section ---
     let lits = &parsed.literals;
+    let four = match policy {
+        StreamPolicy::Single => false,
+        StreamPolicy::Quad => lits.len() >= 4,
+        StreamPolicy::Auto => lits.len() >= AUTO_LIT_SPLIT,
+    };
     if lits.is_empty() {
         out.push(LIT_RAW);
         write_varint(&mut out, 0);
@@ -572,16 +648,32 @@ fn encode_block_payload_opts(parsed: &ParsedBlock, use_reps: bool) -> Vec<u8> {
         let freqs = entropy::hist::byte_histogram(lits);
         let encoded = HuffmanTable::build(&freqs, 11).and_then(|table| {
             let bits = table.encoded_bits(&freqs);
-            let estimated = 128 + (bits as usize).div_ceil(8) + 8;
+            // Four substreams pay three extra size words and up to
+            // three bytes of per-stream padding on top of the
+            // single-stream estimate.
+            let estimated = 128 + (bits as usize).div_ceil(8) + if four { 24 } else { 8 };
             (estimated < lits.len()).then(|| {
                 let mut sec = Vec::with_capacity(estimated);
                 write_nibble_lengths(&mut sec, table.lengths());
-                let body = table.encode(lits);
-                (sec, body)
+                (sec, table)
             })
         });
         match encoded {
-            Some((table_desc, body)) => {
+            Some((table_desc, table)) if four => {
+                used_v4 = true;
+                out.push(LIT_HUFFMAN4);
+                write_varint(&mut out, lits.len() as u64);
+                out.extend_from_slice(&table_desc);
+                let streams = table.encode_4stream(lits);
+                for s in &streams {
+                    write_varint(&mut out, s.len() as u64);
+                }
+                for s in &streams {
+                    out.extend_from_slice(s);
+                }
+            }
+            Some((table_desc, table)) => {
+                let body = table.encode(lits);
                 out.push(LIT_HUFFMAN);
                 write_varint(&mut out, lits.len() as u64);
                 out.extend_from_slice(&table_desc);
@@ -600,7 +692,7 @@ fn encode_block_payload_opts(parsed: &ParsedBlock, use_reps: bool) -> Vec<u8> {
     let n = parsed.sequences.len();
     write_varint(&mut out, n as u64);
     if n == 0 {
-        return out;
+        return (out, used_v4);
     }
 
     let llc: Vec<u8> = parsed
@@ -632,7 +724,14 @@ fn encode_block_payload_opts(parsed: &ParsedBlock, use_reps: bool) -> Vec<u8> {
     let ml_choice = choose_table(&mlc, predefined_ml(), MAX_ML_CODE as usize + 1);
     let of_choice = choose_table(&ofc, predefined_of(), OF_ALPHABET);
 
-    out.push(ll_choice.mode() | (ml_choice.mode() << 2) | (of_choice.mode() << 4));
+    let paired = match policy {
+        StreamPolicy::Single => false,
+        StreamPolicy::Quad => n >= 2,
+        StreamPolicy::Auto => n >= AUTO_SEQ_PAIR,
+    };
+    used_v4 |= paired;
+    let pair_bit = if paired { SEQ_PAIR_FLAG } else { 0 };
+    out.push(ll_choice.mode() | (ml_choice.mode() << 2) | (of_choice.mode() << 4) | pair_bit);
     for choice in [&ll_choice, &ml_choice, &of_choice] {
         match choice {
             TableChoice::Predefined(_) => {}
@@ -641,33 +740,79 @@ fn encode_block_payload_opts(parsed: &ParsedBlock, use_reps: bool) -> Vec<u8> {
         }
     }
 
-    // Reverse-order interleaved bitstream; see the decoder for the
-    // forward read order this mirrors.
+    // Reverse-order interleaved bitstream; see the decoders for the
+    // forward read order these mirror.
     let mut w = BitWriter::with_capacity(n);
-    let mut ll_enc = FseEncoder::new(ll_choice.table());
-    let mut ml_enc = FseEncoder::new(ml_choice.table());
-    let mut of_enc = FseEncoder::new(of_choice.table());
-    for i in (0..n).rev() {
-        let seq = parsed.sequences[i];
-        of_enc.encode(&mut w, ofc[i] as u16);
-        ml_enc.encode(&mut w, mlc[i] as u16);
-        ll_enc.encode(&mut w, llc[i] as u16);
-        let (base, bits) = of_extra(ofc[i]);
-        if bits > 0 {
-            w.write_bits((seq.offset - base) as u64, bits);
+    if paired {
+        // Six states over the three shared tables: lane pair 0 carries
+        // even sequences, lane pair 1 odd ones. Written in exact
+        // reverse of the decoder's read order — the odd tail (read
+        // last) goes first, then pairs from the last to the first, each
+        // emitting lane-1 states, lane-0 states, then extras of the odd
+        // and even member.
+        let mut ll0 = FseEncoder::new(ll_choice.table());
+        let mut ml0 = FseEncoder::new(ml_choice.table());
+        let mut of0 = FseEncoder::new(of_choice.table());
+        let mut ll1 = FseEncoder::new(ll_choice.table());
+        let mut ml1 = FseEncoder::new(ml_choice.table());
+        let mut of1 = FseEncoder::new(of_choice.table());
+        if n % 2 == 1 {
+            let i = n - 1;
+            of0.encode(&mut w, ofc[i] as u16);
+            ml0.encode(&mut w, mlc[i] as u16);
+            ll0.encode(&mut w, llc[i] as u16);
+            write_seq_extras(&mut w, &parsed.sequences[i], llc[i], mlc[i], ofc[i]);
         }
-        let (base, bits) = ml_extra(mlc[i]);
-        w.write_bits((seq.match_len - MIN_MATCH - base) as u64, bits);
-        let (base, bits) = ll_extra(llc[i]);
-        w.write_bits((seq.literal_len - base) as u64, bits);
+        for p in (0..n / 2).rev() {
+            let a = 2 * p;
+            let b = a + 1;
+            of1.encode(&mut w, ofc[b] as u16);
+            ml1.encode(&mut w, mlc[b] as u16);
+            ll1.encode(&mut w, llc[b] as u16);
+            of0.encode(&mut w, ofc[a] as u16);
+            ml0.encode(&mut w, mlc[a] as u16);
+            ll0.encode(&mut w, llc[a] as u16);
+            write_seq_extras(&mut w, &parsed.sequences[b], llc[b], mlc[b], ofc[b]);
+            write_seq_extras(&mut w, &parsed.sequences[a], llc[a], mlc[a], ofc[a]);
+        }
+        ml1.finish(&mut w);
+        of1.finish(&mut w);
+        ll1.finish(&mut w);
+        ml0.finish(&mut w);
+        of0.finish(&mut w);
+        ll0.finish(&mut w);
+    } else {
+        let mut ll_enc = FseEncoder::new(ll_choice.table());
+        let mut ml_enc = FseEncoder::new(ml_choice.table());
+        let mut of_enc = FseEncoder::new(of_choice.table());
+        for i in (0..n).rev() {
+            of_enc.encode(&mut w, ofc[i] as u16);
+            ml_enc.encode(&mut w, mlc[i] as u16);
+            ll_enc.encode(&mut w, llc[i] as u16);
+            write_seq_extras(&mut w, &parsed.sequences[i], llc[i], mlc[i], ofc[i]);
+        }
+        ml_enc.finish(&mut w);
+        of_enc.finish(&mut w);
+        ll_enc.finish(&mut w);
     }
-    ml_enc.finish(&mut w);
-    of_enc.finish(&mut w);
-    ll_enc.finish(&mut w);
     let stream = w.finish_with_sentinel();
     write_varint(&mut out, stream.len() as u64);
     out.extend_from_slice(&stream);
-    out
+    (out, used_v4)
+}
+
+/// Writes one sequence's raw remainder bits (offset, match length,
+/// literal length — the decoder reads them reversed: literal length
+/// first). Repeat-offset codes carry zero offset bits.
+fn write_seq_extras(w: &mut BitWriter, seq: &lzkit::Sequence, llc: u8, mlc: u8, ofc: u8) {
+    let (base, bits) = of_extra(ofc);
+    if bits > 0 {
+        w.write_bits((seq.offset - base) as u64, bits);
+    }
+    let (base, bits) = ml_extra(mlc);
+    w.write_bits((seq.match_len - MIN_MATCH - base) as u64, bits);
+    let (base, bits) = ll_extra(llc);
+    w.write_bits((seq.literal_len - base) as u64, bits);
 }
 
 #[deny(clippy::indexing_slicing)]
@@ -675,6 +820,7 @@ pub(crate) fn decode_block_payload<const FAST: bool>(
     payload: &[u8],
     out: &mut Vec<u8>,
     decoded: usize,
+    v4: bool,
 ) -> Result<()> {
     let mut c = Cursor::new(payload);
 
@@ -695,9 +841,31 @@ pub(crate) fn decode_block_payload<const FAST: bool>(
             let body_len = c.read_varint()? as usize;
             let body = c.read_slice(body_len)?;
             if FAST {
+                note_pair_table_bypass(&table);
                 table.decode_fast(body, lit_len)?
             } else {
                 table.decode(body, lit_len)?
+            }
+        }
+        LIT_HUFFMAN4 if v4 => {
+            let lens = read_nibble_lengths(&mut c, 256)?;
+            let table = HuffmanTable::from_lengths(&lens)?;
+            let mut sizes = [0usize; 4];
+            for s in &mut sizes {
+                *s = c.read_varint()? as usize;
+            }
+            let [s0, s1, s2, s3] = sizes;
+            let bufs = [
+                c.read_slice(s0)?,
+                c.read_slice(s1)?,
+                c.read_slice(s2)?,
+                c.read_slice(s3)?,
+            ];
+            if FAST {
+                note_pair_table_bypass(&table);
+                table.decode_4stream_fast(bufs, lit_len)?
+            } else {
+                table.decode_4stream(bufs, lit_len)?
             }
         }
         _ => return Err(c.corrupt("zstdx bad literal mode")),
@@ -717,6 +885,13 @@ pub(crate) fn decode_block_payload<const FAST: bool>(
     }
 
     let modes = c.read_u8()?;
+    if modes & 0x80 != 0 {
+        return Err(c.corrupt("zstdx reserved sequence mode bit"));
+    }
+    let paired = modes & SEQ_PAIR_FLAG != 0;
+    if paired && !v4 {
+        return Err(c.corrupt("zstdx paired sequences without v4 flag"));
+    }
     let read_table = |mode: u8,
                       predefined: &'static FseTable,
                       alphabet: usize,
@@ -753,12 +928,39 @@ pub(crate) fn decode_block_payload<const FAST: bool>(
 
     let stream_len = c.read_varint()? as usize;
     let stream = c.read_slice(stream_len)?;
-    if FAST {
-        let mut r = ReverseBitReaderFast::from_sentinel(stream)?;
-        decode_sequences::<_, FAST>(&c, &mut r, &ll_t, &ml_t, &of_t, &literals, n, out, decoded)
-    } else {
-        let mut r = ReverseBitReader::from_sentinel(stream)?;
-        decode_sequences::<_, FAST>(&c, &mut r, &ll_t, &ml_t, &of_t, &literals, n, out, decoded)
+    match (FAST, paired) {
+        (true, false) => {
+            let mut r = ReverseBitReaderFast::from_sentinel(stream)?;
+            decode_sequences::<_, FAST>(&c, &mut r, &ll_t, &ml_t, &of_t, &literals, n, out, decoded)
+        }
+        (false, false) => {
+            let mut r = ReverseBitReader::from_sentinel(stream)?;
+            decode_sequences::<_, FAST>(&c, &mut r, &ll_t, &ml_t, &of_t, &literals, n, out, decoded)
+        }
+        (true, true) => {
+            let mut r = ReverseBitReaderFast::from_sentinel(stream)?;
+            decode_sequences_paired::<_, FAST>(
+                &c, &mut r, &ll_t, &ml_t, &of_t, &literals, n, out, decoded,
+            )
+        }
+        (false, true) => {
+            let mut r = ReverseBitReader::from_sentinel(stream)?;
+            decode_sequences_paired::<_, FAST>(
+                &c, &mut r, &ll_t, &ml_t, &of_t, &literals, n, out, decoded,
+            )
+        }
+    }
+}
+
+/// Counts fast-path literal decodes that cannot use the paired lookup
+/// table (code lengths above `PAIR_TABLE_MAX_BITS` force symbol-at-a-
+/// time lookups). Surfaced as `entropy.pair_table_bypass` on /metrics
+/// so a throughput regression can be attributed to bypassed tables.
+fn note_pair_table_bypass(table: &HuffmanTable) {
+    if !table.has_pair_table() {
+        telemetry::global()
+            .counter("entropy.pair_table_bypass", &[("algo", "zstdx")])
+            .inc();
     }
 }
 
@@ -787,51 +989,211 @@ fn decode_sequences<R: RevBitSrc, const FAST: bool>(
     let mut lit_pos = 0usize;
     let mut reps = RepHistory::default();
     for _ in 0..n {
-        let llc = ll_dec.peek_symbol() as u8;
-        let ofc = of_dec.peek_symbol() as u8;
-        let mlc = ml_dec.peek_symbol() as u8;
-        if llc > MAX_LL_CODE || mlc > MAX_ML_CODE || ofc as usize >= OF_ALPHABET {
-            return Err(c.corrupt("zstdx sequence code out of range"));
-        }
-        let (base, bits) = ll_extra(llc);
-        let lit_run = (base + r.read_bits(bits)? as u32) as usize;
-        let (base, bits) = ml_extra(mlc);
-        let match_len = (base + r.read_bits(bits)? as u32 + MIN_MATCH) as usize;
-        let offset = if ofc >= OF_REP_BASE {
-            reps.decode(ofc).ok_or(c.corrupt("zstdx bad repeat code"))? as usize
-        } else {
-            let (base, bits) = of_extra(ofc);
-            let off = base + r.read_bits(bits)? as u32;
-            reps.push(off);
-            off as usize
-        };
+        let (llc, mlc, ofc) = peek_codes(c, &ll_dec, &ml_dec, &of_dec)?;
+        let (lit_run, match_len, of_raw) = read_seq_bits(r, llc, mlc, ofc)?;
         ll_dec.update(r)?;
         ml_dec.update(r)?;
         of_dec.update(r)?;
-
-        let run = lit_pos
-            .checked_add(lit_run)
-            .and_then(|hi| literals.get(lit_pos..hi))
-            .ok_or(c.corrupt("zstdx literals exhausted"))?;
-        out.extend_from_slice(run);
-        lit_pos += lit_run;
-        if offset == 0 || offset > out.len() {
-            return Err(c.corrupt("zstdx offset out of range"));
-        }
-        if out.len() + match_len > end {
-            return Err(c.corrupt("zstdx match overruns block"));
-        }
-        // Offset and length validated against `out` and the block end
-        // just above, so the copy region is safe before it runs.
-        if FAST {
-            crate::lz_copy(out, offset, match_len);
-        } else {
-            crate::lz_copy_checked(out, offset, match_len);
-        }
+        apply_sequence::<FAST>(
+            c,
+            literals,
+            out,
+            end,
+            &mut lit_pos,
+            &mut reps,
+            lit_run,
+            match_len,
+            ofc,
+            of_raw,
+        )?;
     }
     out.extend_from_slice(literals.get(lit_pos..).unwrap_or(&[]));
     if out.len() != end {
         return Err(c.corrupt("zstdx block length mismatch"));
+    }
+    Ok(())
+}
+
+/// Paired-sequence loop: six FSE states over the three shared tables,
+/// decoding two sequences per round. Both sequences' codes and raw
+/// bits are read before the six back-to-back state updates, so the
+/// serial bit-cursor dependency chain per sequence is half the single-
+/// stream loop's. An odd final sequence rides on the lane-0 states and
+/// is read last; the stream must end with every state at its initial
+/// value and no bits left over.
+#[deny(clippy::indexing_slicing)]
+#[allow(clippy::too_many_arguments)]
+fn decode_sequences_paired<R: RevBitSrc, const FAST: bool>(
+    c: &Cursor<'_>,
+    r: &mut R,
+    ll_t: &FseTableRef,
+    ml_t: &FseTableRef,
+    of_t: &FseTableRef,
+    literals: &[u8],
+    n: usize,
+    out: &mut Vec<u8>,
+    decoded: usize,
+) -> Result<()> {
+    let mut ll0 = FseDecoder::init(ll_t.get(), r)?;
+    let mut of0 = FseDecoder::init(of_t.get(), r)?;
+    let mut ml0 = FseDecoder::init(ml_t.get(), r)?;
+    let mut ll1 = FseDecoder::init(ll_t.get(), r)?;
+    let mut of1 = FseDecoder::init(of_t.get(), r)?;
+    let mut ml1 = FseDecoder::init(ml_t.get(), r)?;
+
+    let end = out.len() + decoded;
+    let mut lit_pos = 0usize;
+    let mut reps = RepHistory::default();
+    for _ in 0..n / 2 {
+        let (llc_a, mlc_a, ofc_a) = peek_codes(c, &ll0, &ml0, &of0)?;
+        let (lit_a, mat_a, raw_a) = read_seq_bits(r, llc_a, mlc_a, ofc_a)?;
+        let (llc_b, mlc_b, ofc_b) = peek_codes(c, &ll1, &ml1, &of1)?;
+        let (lit_b, mat_b, raw_b) = read_seq_bits(r, llc_b, mlc_b, ofc_b)?;
+        ll0.update(r)?;
+        ml0.update(r)?;
+        of0.update(r)?;
+        ll1.update(r)?;
+        ml1.update(r)?;
+        of1.update(r)?;
+        // Repeat-offset resolution happens at apply time, in sequence
+        // order, so the history evolves exactly as the encoder saw it.
+        apply_sequence::<FAST>(
+            c,
+            literals,
+            out,
+            end,
+            &mut lit_pos,
+            &mut reps,
+            lit_a,
+            mat_a,
+            ofc_a,
+            raw_a,
+        )?;
+        apply_sequence::<FAST>(
+            c,
+            literals,
+            out,
+            end,
+            &mut lit_pos,
+            &mut reps,
+            lit_b,
+            mat_b,
+            ofc_b,
+            raw_b,
+        )?;
+    }
+    if n % 2 == 1 {
+        let (llc, mlc, ofc) = peek_codes(c, &ll0, &ml0, &of0)?;
+        let (lit_run, match_len, of_raw) = read_seq_bits(r, llc, mlc, ofc)?;
+        ll0.update(r)?;
+        ml0.update(r)?;
+        of0.update(r)?;
+        apply_sequence::<FAST>(
+            c,
+            literals,
+            out,
+            end,
+            &mut lit_pos,
+            &mut reps,
+            lit_run,
+            match_len,
+            ofc,
+            of_raw,
+        )?;
+    }
+    let clean = ll0.at_initial_state()
+        && of0.at_initial_state()
+        && ml0.at_initial_state()
+        && ll1.at_initial_state()
+        && of1.at_initial_state()
+        && ml1.at_initial_state();
+    if !clean || r.remaining() != 0 {
+        return Err(c.corrupt("zstdx paired sequences did not terminate cleanly"));
+    }
+    out.extend_from_slice(literals.get(lit_pos..).unwrap_or(&[]));
+    if out.len() != end {
+        return Err(c.corrupt("zstdx block length mismatch"));
+    }
+    Ok(())
+}
+
+/// Peeks and range-checks one sequence's three codes.
+fn peek_codes(
+    c: &Cursor<'_>,
+    ll: &FseDecoder<'_>,
+    ml: &FseDecoder<'_>,
+    of: &FseDecoder<'_>,
+) -> Result<(u8, u8, u8)> {
+    let llc = ll.peek_symbol() as u8;
+    let ofc = of.peek_symbol() as u8;
+    let mlc = ml.peek_symbol() as u8;
+    if llc > MAX_LL_CODE || mlc > MAX_ML_CODE || ofc as usize >= OF_ALPHABET {
+        return Err(c.corrupt("zstdx sequence code out of range"));
+    }
+    Ok((llc, mlc, ofc))
+}
+
+/// Reads one sequence's raw remainder bits: literal run, match length,
+/// and (for non-repeat codes) the literal offset value. Repeat codes
+/// return `of_raw == 0`; the history resolves them at apply time.
+fn read_seq_bits<R: RevBitSrc>(
+    r: &mut R,
+    llc: u8,
+    mlc: u8,
+    ofc: u8,
+) -> Result<(usize, usize, u32)> {
+    let (base, bits) = ll_extra(llc);
+    let lit_run = (base + r.read_bits(bits)? as u32) as usize;
+    let (base, bits) = ml_extra(mlc);
+    let match_len = (base + r.read_bits(bits)? as u32 + MIN_MATCH) as usize;
+    let of_raw = if ofc >= OF_REP_BASE {
+        0
+    } else {
+        let (base, bits) = of_extra(ofc);
+        base + r.read_bits(bits)? as u32
+    };
+    Ok((lit_run, match_len, of_raw))
+}
+
+/// Resolves the offset against the repeat history and executes one
+/// sequence: literal run, then the back-reference copy (checked in the
+/// reference engine, wild in the fast one — bounds validated first
+/// either way).
+#[deny(clippy::indexing_slicing)]
+#[allow(clippy::too_many_arguments)]
+fn apply_sequence<const FAST: bool>(
+    c: &Cursor<'_>,
+    literals: &[u8],
+    out: &mut Vec<u8>,
+    end: usize,
+    lit_pos: &mut usize,
+    reps: &mut RepHistory,
+    lit_run: usize,
+    match_len: usize,
+    ofc: u8,
+    of_raw: u32,
+) -> Result<()> {
+    let offset = reps
+        .resolve(ofc, of_raw)
+        .ok_or(c.corrupt("zstdx bad repeat code"))? as usize;
+    let run = lit_pos
+        .checked_add(lit_run)
+        .and_then(|hi| literals.get(*lit_pos..hi))
+        .ok_or(c.corrupt("zstdx literals exhausted"))?;
+    out.extend_from_slice(run);
+    *lit_pos += lit_run;
+    if offset == 0 || offset > out.len() {
+        return Err(c.corrupt("zstdx offset out of range"));
+    }
+    if out.len() + match_len > end {
+        return Err(c.corrupt("zstdx match overruns block"));
+    }
+    // Offset and length validated against `out` and the block end just
+    // above, so the copy region is safe before it runs.
+    if FAST {
+        crate::lz_copy(out, offset, match_len);
+    } else {
+        crate::lz_copy_checked(out, offset, match_len);
     }
     Ok(())
 }
@@ -1075,6 +1437,204 @@ mod tests {
             let mut bad = enc.clone();
             bad[i] ^= 0xff;
             let _ = c.decompress(&bad);
+        }
+    }
+}
+
+#[cfg(test)]
+mod multi_stream_tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        (0..1200u32)
+            .flat_map(|i| {
+                format!(
+                    "{{\"user\":{},\"event\":\"type{}\",\"ts\":{}}}\n",
+                    i % 97,
+                    i % 7,
+                    i
+                )
+                .into_bytes()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn auto_policy_sets_v4_flag_and_roundtrips_both_engines() {
+        let data = sample();
+        let c = Zstdx::new(6);
+        let enc = c.compress(&data);
+        assert_ne!(
+            enc[MAGIC.len()] & FLAG_V4,
+            0,
+            "large block should trip the auto multi-stream thresholds"
+        );
+        assert_eq!(c.decompress(&enc).unwrap(), data);
+        assert_eq!(
+            c.decompress_reference(&enc, &DecodeLimits::default())
+                .unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn single_policy_never_sets_v4_flag() {
+        let data = sample();
+        let c = Zstdx::new(6).with_stream_policy(StreamPolicy::Single);
+        let enc = c.compress(&data);
+        assert_eq!(enc[MAGIC.len()] & FLAG_V4, 0);
+        assert_eq!(c.decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn sub_threshold_auto_output_is_byte_identical_to_single() {
+        // Below both auto thresholds (literal bytes and sequence count)
+        // the auto policy must leave the frame bit-compatible with the
+        // legacy single-stream encoder.
+        let data: Vec<u8> = (0..40u32)
+            .flat_map(|i| format!("tiny rec {i} tiny rec ").into_bytes())
+            .take(700)
+            .collect();
+        let auto = Zstdx::new(5).compress(&data);
+        let single = Zstdx::new(5)
+            .with_stream_policy(StreamPolicy::Single)
+            .compress(&data);
+        assert_eq!(auto, single);
+        assert_eq!(auto[MAGIC.len()] & FLAG_V4, 0);
+    }
+
+    #[test]
+    fn quad_policy_forces_v4_on_small_inputs() {
+        let c = Zstdx::new(3).with_stream_policy(StreamPolicy::Quad);
+        for data in [
+            sample()[..600].to_vec(),
+            b"abcabcabcabcabcabcabcabcabcabc".to_vec(),
+            (0u8..=255).collect::<Vec<_>>(),
+        ] {
+            let enc = c.compress(&data);
+            assert_eq!(c.decompress(&enc).unwrap(), data, "len {}", data.len());
+            assert_eq!(
+                c.decompress_reference(&enc, &DecodeLimits::default())
+                    .unwrap(),
+                data,
+                "reference engine, len {}",
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn quad_policy_roundtrips_all_levels_and_shapes() {
+        let data = sample();
+        for level in [-3, 1, 5, 9, 13, 19] {
+            let c = Zstdx::new(level).with_stream_policy(StreamPolicy::Quad);
+            let enc = c.compress(&data);
+            assert_eq!(c.decompress(&enc).unwrap(), data, "level {level}");
+            assert_eq!(
+                c.decompress_reference(&enc, &DecodeLimits::default())
+                    .unwrap(),
+                data,
+                "reference engine, level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn v4_blocks_without_frame_flag_are_rejected() {
+        let data = sample();
+        let c = Zstdx::new(6)
+            .with_stream_policy(StreamPolicy::Quad)
+            .with_checksum(false);
+        let mut enc = c.compress(&data);
+        assert_ne!(enc[MAGIC.len()] & FLAG_V4, 0);
+        enc[MAGIC.len()] &= !FLAG_V4;
+        assert!(c.decompress(&enc).is_err(), "fast engine must reject");
+        assert!(
+            c.decompress_reference(&enc, &DecodeLimits::default())
+                .is_err(),
+            "reference engine must reject"
+        );
+    }
+
+    #[test]
+    fn v4_multi_block_and_dictionary_frames_roundtrip() {
+        let data: Vec<u8> = sample().iter().cycle().take(400_000).copied().collect();
+        let c = Zstdx::new(5);
+        let enc = c.compress(&data);
+        assert_ne!(enc[MAGIC.len()] & FLAG_V4, 0);
+        assert_eq!(c.decompress(&enc).unwrap(), data);
+
+        let dict = Dictionary::new(sample()[..4096].to_vec(), 42);
+        let msg = &sample()[..8000];
+        let framed = c.compress_with_dict(msg, &dict);
+        assert_eq!(c.decompress_with_dict(&framed, &dict).unwrap(), msg);
+    }
+
+    #[test]
+    fn v4_frame_truncation_and_corruption_error_not_panic() {
+        let data = sample();
+        let c = Zstdx::new(6).with_stream_policy(StreamPolicy::Quad);
+        let enc = c.compress(&data);
+        for cut in 0..enc.len() {
+            let _ = c.decompress(&enc[..cut]);
+            let _ = c.decompress_reference(&enc[..cut], &DecodeLimits::default());
+        }
+        for i in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[i] ^= 0xff;
+            let fast = c.decompress(&bad);
+            let reference = c.decompress_reference(&bad, &DecodeLimits::default());
+            assert_eq!(
+                fast.is_ok(),
+                reference.is_ok(),
+                "engines disagree at flip {i}"
+            );
+            if let (Ok(f), Ok(r)) = (&fast, &reference) {
+                assert_eq!(f, r, "engines decoded different bytes at flip {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn paired_sequences_exercise_repeat_offsets() {
+        // Rep-heavy data: the same few offsets recur, so the paired
+        // loop's deferred rep resolution gets real coverage.
+        let mut data = Vec::new();
+        for i in 0..3000u32 {
+            data.extend_from_slice(b"key=");
+            data.extend_from_slice(&(i % 13).to_le_bytes());
+            data.extend_from_slice(b";val=");
+            data.extend_from_slice(&(i % 7).to_le_bytes());
+        }
+        let c = Zstdx::new(9).with_stream_policy(StreamPolicy::Quad);
+        let enc = c.compress(&data);
+        assert_eq!(c.decompress(&enc).unwrap(), data);
+        assert_eq!(
+            c.decompress_reference(&enc, &DecodeLimits::default())
+                .unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn odd_and_even_sequence_counts_roundtrip() {
+        // Pin both parities of the sequence count through the paired
+        // encoder's odd-tail path: force pairing from n == 2 up.
+        let c = Zstdx::new(3).with_stream_policy(StreamPolicy::Quad);
+        for reps in 2..24 {
+            let mut data = Vec::new();
+            for i in 0..reps {
+                data.extend_from_slice(format!("block-{i:03} ").as_bytes());
+                data.extend_from_slice(b"shared shared shared ");
+            }
+            let enc = c.compress(&data);
+            assert_eq!(c.decompress(&enc).unwrap(), data, "reps {reps}");
+            assert_eq!(
+                c.decompress_reference(&enc, &DecodeLimits::default())
+                    .unwrap(),
+                data,
+                "reference engine, reps {reps}"
+            );
         }
     }
 }

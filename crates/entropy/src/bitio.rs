@@ -480,6 +480,36 @@ impl RevBitSrc for ReverseBitReaderFast<'_> {
     }
 }
 
+/// Opens four reference [`BitReader`] cursors over four independent
+/// substreams — the multi-stream entropy layout's reader bank. Each
+/// cursor owns its own position and valid-bit length but all four share
+/// the same refill discipline (and therefore the same EOF and zero-fill
+/// semantics), so interleaved decode loops can rotate over them without
+/// per-cursor special cases.
+pub fn quad_readers<'a>(bufs: [&'a [u8]; 4], bit_lens: [usize; 4]) -> [BitReader<'a>; 4] {
+    let [b0, b1, b2, b3] = bufs;
+    let [l0, l1, l2, l3] = bit_lens;
+    [
+        BitReader::new(b0, l0),
+        BitReader::new(b1, l1),
+        BitReader::new(b2, l2),
+        BitReader::new(b3, l3),
+    ]
+}
+
+/// Word-refilling sibling of [`quad_readers`]: four [`BitReaderFast`]
+/// cursors with bit-identical semantics, for the fast decode engines.
+pub fn quad_readers_fast<'a>(bufs: [&'a [u8]; 4], bit_lens: [usize; 4]) -> [BitReaderFast<'a>; 4] {
+    let [b0, b1, b2, b3] = bufs;
+    let [l0, l1, l2, l3] = bit_lens;
+    [
+        BitReaderFast::new(b0, l0),
+        BitReaderFast::new(b1, l1),
+        BitReaderFast::new(b2, l2),
+        BitReaderFast::new(b3, l3),
+    ]
+}
+
 /// Loads `n <= 56` bits starting at absolute bit position `pos` with a
 /// single unaligned 64-bit little-endian load when a full 8-byte window
 /// fits in `buf`, falling back to [`extract_bits`] near the end of the
@@ -786,6 +816,42 @@ mod tests {
                     extract_bits(&buf, pos, n),
                     "pos={pos} n={n}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn quad_reader_banks_match_single_cursors() {
+        // Four substreams with different lengths; the bank cursors must
+        // behave exactly like independently constructed readers.
+        let streams: Vec<(Vec<u8>, usize)> = (0..4u64)
+            .map(|k| {
+                let mut w = BitWriter::new();
+                for i in 0..(k + 1) * 3 {
+                    w.write_bits((i * 7 + k) & 0x1f, 5);
+                }
+                let (buf, bits) = w.finish();
+                (buf, bits)
+            })
+            .collect();
+        let bufs = [
+            streams[0].0.as_slice(),
+            streams[1].0.as_slice(),
+            streams[2].0.as_slice(),
+            streams[3].0.as_slice(),
+        ];
+        let lens = [streams[0].1, streams[1].1, streams[2].1, streams[3].1];
+        let mut bank = quad_readers(bufs, lens);
+        let mut bank_fast = quad_readers_fast(bufs, lens);
+        for (k, (buf, bits)) in streams.iter().enumerate() {
+            let mut single = BitReader::new(buf, *bits);
+            loop {
+                let want = single.read_bits(5);
+                assert_eq!(bank[k].read_bits(5), want, "stream {k}");
+                assert_eq!(bank_fast[k].read_bits(5), want, "stream {k} fast");
+                if want.is_err() {
+                    break;
+                }
             }
         }
     }

@@ -10,7 +10,7 @@
 //! bit-reversed so the decoder can peek a fixed `max_bits`-wide window and
 //! index a flat lookup table.
 
-use crate::bitio::{BitReader, BitReaderFast, BitSrc, BitWriter};
+use crate::bitio::{quad_readers_fast, BitReader, BitReaderFast, BitSrc, BitWriter};
 use crate::{Error, Result};
 
 /// Upper bound on code length supported by the flat decode table.
@@ -301,6 +301,176 @@ impl HuffmanTable {
         }
         Ok(out)
     }
+
+    /// True when this table carries the multi-symbol pair table
+    /// ([`PAIR_TABLE_MAX_BITS`] permitting). When false, every
+    /// fast-path decode degrades to one symbol per lookup for the whole
+    /// stream — callers surface that via the
+    /// `entropy.pair_table_bypass` telemetry counter so affected
+    /// corpora are visible on `/metrics`.
+    pub fn has_pair_table(&self) -> bool {
+        self.pair.is_some()
+    }
+
+    /// Splits `data` into the four substreams of the multi-stream
+    /// literals layout (see [`four_stream_split`]) and encodes each
+    /// independently. Decode with [`Self::decode_4stream`] or
+    /// [`Self::decode_4stream_fast`].
+    pub fn encode_4stream(&self, data: &[u8]) -> [Vec<u8>; 4] {
+        let [n0, n1, n2, _] = four_stream_split(data.len());
+        let (s0, rest) = data.split_at(n0);
+        let (s1, rest) = rest.split_at(n1);
+        let (s2, s3) = rest.split_at(n2);
+        [
+            self.encode(s0),
+            self.encode(s1),
+            self.encode(s2),
+            self.encode(s3),
+        ]
+    }
+
+    /// Reference decode of four substreams produced by
+    /// [`Self::encode_4stream`]: each stream decodes sequentially
+    /// through the checked per-symbol reader, then the pieces
+    /// concatenate. The straightforward loop the differential tests
+    /// hold the fast engine against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing stream's decode error.
+    #[deny(clippy::indexing_slicing)]
+    pub fn decode_4stream(&self, bufs: [&[u8]; 4], total: usize) -> Result<Vec<u8>> {
+        let ns = four_stream_split(total);
+        let mut out = Vec::with_capacity(total);
+        for (buf, n) in bufs.iter().zip(ns) {
+            out.extend_from_slice(&self.decode(buf, n)?);
+        }
+        Ok(out)
+    }
+
+    /// Fast decode of four substreams: four word-refilling cursors
+    /// advance round-robin through the interleaved hot loop, one
+    /// pair-table lookup per cursor per iteration, so the CPU keeps
+    /// four independent dependency chains in flight. Per-stream
+    /// operation order matches [`Self::decode_fast`] exactly (pair
+    /// steps while two symbols remain, then the per-symbol tail), so
+    /// each stream succeeds or fails independently of scheduling and
+    /// the whole decode agrees with [`Self::decode_4stream`] on
+    /// success and on failure.
+    ///
+    /// # Errors
+    ///
+    /// Fails iff [`Self::decode_4stream`] fails on the same input
+    /// (possibly reporting a different failing stream's error; all
+    /// variants are entropy decode errors).
+    #[deny(clippy::indexing_slicing)]
+    pub fn decode_4stream_fast(&self, bufs: [&[u8]; 4], total: usize) -> Result<Vec<u8>> {
+        let [n0, n1, n2, n3] = four_stream_split(total);
+        let mut out = vec![0u8; total];
+        let (s0, rest) = out.split_at_mut(n0);
+        let (s1, rest) = rest.split_at_mut(n1);
+        let (s2, s3) = rest.split_at_mut(n2);
+        let [mut r0, mut r1, mut r2, mut r3] = quad_readers_fast(bufs, bufs.map(|b| b.len() * 8));
+        let (mut w0, mut w1, mut w2, mut w3) =
+            (s0.iter_mut(), s1.iter_mut(), s2.iter_mut(), s3.iter_mut());
+        let (mut m0, mut m1, mut m2, mut m3) = (n0, n1, n2, n3);
+        if let Some(pair) = &self.pair {
+            while m0 >= 2 && m1 >= 2 && m2 >= 2 && m3 >= 2 {
+                self.pair_step(pair, &mut r0, &mut w0, &mut m0)?;
+                self.pair_step(pair, &mut r1, &mut w1, &mut m1)?;
+                self.pair_step(pair, &mut r2, &mut w2, &mut m2)?;
+                self.pair_step(pair, &mut r3, &mut w3, &mut m3)?;
+            }
+        }
+        let pair = self.pair.as_deref();
+        self.finish_stream(pair, &mut r0, &mut w0, &mut m0)?;
+        self.finish_stream(pair, &mut r1, &mut w1, &mut m1)?;
+        self.finish_stream(pair, &mut r2, &mut w2, &mut m2)?;
+        self.finish_stream(pair, &mut r3, &mut w3, &mut m3)?;
+        Ok(out)
+    }
+
+    /// One pair-table step of the interleaved loop: up to two symbols
+    /// from one cursor, replaying the slow path's consume/range-check
+    /// ordering so errors surface identically. Callers guarantee
+    /// `*rem >= 2` so the writer always has room.
+    #[deny(clippy::indexing_slicing)]
+    #[inline]
+    fn pair_step<R: BitSrc>(
+        &self,
+        pair: &[PairEntry],
+        r: &mut R,
+        w: &mut std::slice::IterMut<'_, u8>,
+        rem: &mut usize,
+    ) -> Result<()> {
+        let window = r.peek_bits_lenient(self.max_bits) as usize;
+        // The peek is masked to `max_bits`, so the lookup always hits.
+        let e = pair
+            .get(window)
+            .copied()
+            .ok_or(Error::CorruptData("invalid huffman window"))?;
+        if e.nsyms == 2 {
+            r.consume(e.len1 as u32)?;
+            let b1 =
+                u8::try_from(e.sym1).map_err(|_| Error::CorruptData("symbol out of byte range"))?;
+            *w.next()
+                .ok_or(Error::CorruptData("stream output overrun"))? = b1;
+            r.consume(e.len2 as u32)?;
+            let b2 =
+                u8::try_from(e.sym2).map_err(|_| Error::CorruptData("symbol out of byte range"))?;
+            *w.next()
+                .ok_or(Error::CorruptData("stream output overrun"))? = b2;
+            *rem -= 2;
+        } else if e.nsyms == 1 {
+            r.consume(e.len1 as u32)?;
+            let b1 =
+                u8::try_from(e.sym1).map_err(|_| Error::CorruptData("symbol out of byte range"))?;
+            *w.next()
+                .ok_or(Error::CorruptData("stream output overrun"))? = b1;
+            *rem -= 1;
+        } else {
+            return Err(Error::CorruptData("invalid huffman window"));
+        }
+        Ok(())
+    }
+
+    /// Drains one substream after the interleaved loop: pair steps
+    /// while two symbols remain, then the shared per-symbol tail —
+    /// the same op sequence [`Self::decode_fast`] uses end-to-end.
+    #[deny(clippy::indexing_slicing)]
+    fn finish_stream<R: BitSrc>(
+        &self,
+        pair: Option<&[PairEntry]>,
+        r: &mut R,
+        w: &mut std::slice::IterMut<'_, u8>,
+        rem: &mut usize,
+    ) -> Result<()> {
+        if let Some(pair) = pair {
+            while *rem >= 2 {
+                self.pair_step(pair, r, w, rem)?;
+            }
+        }
+        while *rem > 0 {
+            let sym = self.read_symbol(r)?;
+            let byte =
+                u8::try_from(sym).map_err(|_| Error::CorruptData("symbol out of byte range"))?;
+            *w.next()
+                .ok_or(Error::CorruptData("stream output overrun"))? = byte;
+            *rem -= 1;
+        }
+        Ok(())
+    }
+}
+
+/// Substream sizes for the 4-stream literals layout: the first three
+/// streams carry `n / 4` symbols each and the fourth the remainder
+/// (`n - 3 * (n / 4)`), so the split is total-preserving and
+/// non-negative for every `n` — both sides derive it from the symbol
+/// count alone, no sizes on the wire beyond the per-stream byte
+/// lengths.
+pub fn four_stream_split(n: usize) -> [usize; 4] {
+    let q = n / 4;
+    [q, q, q, n - 3 * q]
 }
 
 /// Builds the multi-symbol table from a complete single-symbol table.
@@ -560,6 +730,126 @@ mod tests {
         let table = HuffmanTable::build(&freqs, 11).unwrap();
         let encoded = table.encode(&data);
         assert_eq!(table.decode_fast(&encoded, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn four_stream_split_is_total_preserving() {
+        for n in 0..64usize {
+            let parts = four_stream_split(n);
+            assert_eq!(parts.iter().sum::<usize>(), n, "n={n}");
+            // First three parts equal; fourth carries the remainder.
+            assert_eq!(parts[0], parts[1]);
+            assert_eq!(parts[1], parts[2]);
+            assert!(parts[3] >= parts[0], "n={n}: {parts:?}");
+        }
+    }
+
+    #[test]
+    fn four_stream_roundtrip_both_engines() {
+        let base: Vec<u8> = b"four independent huffman substreams, one table"
+            .iter()
+            .cycle()
+            .take(4096)
+            .copied()
+            .collect();
+        let freqs = byte_histogram(&base);
+        for max_bits in [8u32, 11, 15] {
+            let table = HuffmanTable::build(&freqs, max_bits).unwrap();
+            // Every split-boundary shape: n % 4 in 0..4, plus tiny inputs
+            // down to empty substreams.
+            for n in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 100, 4093, 4094, 4095, 4096] {
+                let data = &base[..n];
+                let streams = table.encode_4stream(data);
+                let bufs = [
+                    streams[0].as_slice(),
+                    streams[1].as_slice(),
+                    streams[2].as_slice(),
+                    streams[3].as_slice(),
+                ];
+                assert_eq!(
+                    table.decode_4stream(bufs, n).unwrap(),
+                    data,
+                    "reference max_bits={max_bits} n={n}"
+                );
+                assert_eq!(
+                    table.decode_4stream_fast(bufs, n).unwrap(),
+                    data,
+                    "fast max_bits={max_bits} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn four_stream_engines_agree_on_truncation_and_flips() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        let freqs = byte_histogram(&data);
+        for max_bits in [11u32, 15] {
+            let table = HuffmanTable::build(&freqs, max_bits).unwrap();
+            let streams = table.encode_4stream(&data);
+            // Truncate every stream at every byte boundary: both engines
+            // must agree — same bytes when a shortened substream still
+            // happens to decode, same failure when it cannot.
+            for k in 0..4usize {
+                for cut in 0..streams[k].len() {
+                    let mut mut_streams = streams.clone();
+                    mut_streams[k].truncate(cut);
+                    let bufs = [
+                        mut_streams[0].as_slice(),
+                        mut_streams[1].as_slice(),
+                        mut_streams[2].as_slice(),
+                        mut_streams[3].as_slice(),
+                    ];
+                    let slow = table.decode_4stream(bufs, data.len());
+                    let fast = table.decode_4stream_fast(bufs, data.len());
+                    assert_eq!(
+                        slow.is_ok(),
+                        fast.is_ok(),
+                        "stream {k} cut {cut} max_bits={max_bits}"
+                    );
+                    if let (Ok(s), Ok(f)) = (&slow, &fast) {
+                        assert_eq!(s, f, "stream {k} cut {cut}");
+                    }
+                }
+            }
+            // Bit flips: identical bytes or both-error.
+            for k in 0..4usize {
+                for pos in (0..streams[k].len()).step_by(11) {
+                    let mut mut_streams = streams.clone();
+                    mut_streams[k][pos] ^= 0x29;
+                    let bufs = [
+                        mut_streams[0].as_slice(),
+                        mut_streams[1].as_slice(),
+                        mut_streams[2].as_slice(),
+                        mut_streams[3].as_slice(),
+                    ];
+                    let slow = table.decode_4stream(bufs, data.len());
+                    let fast = table.decode_4stream_fast(bufs, data.len());
+                    assert_eq!(slow.is_ok(), fast.is_ok(), "stream {k} flip {pos}");
+                    if let (Ok(s), Ok(f)) = (&slow, &fast) {
+                        assert_eq!(s, f, "stream {k} flip {pos}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_table_presence_tracks_max_bits() {
+        // Fibonacci-ish weights force deep codes when the limit allows.
+        let mut freqs = vec![0u32; 24];
+        let (mut a, mut b) = (1u32, 1u32);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a.saturating_add(b);
+            a = b;
+            b = next;
+        }
+        let wide = HuffmanTable::build(&freqs, 15).unwrap();
+        assert!(wide.max_bits() > PAIR_TABLE_MAX_BITS);
+        assert!(!wide.has_pair_table());
+        let narrow = HuffmanTable::build(&freqs, 11).unwrap();
+        assert!(narrow.has_pair_table());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! injector matrix.
 
 use datacomp::codecs::{lz4x::Lz4x, zlibx::Zlibx, zstdx::Zstdx};
-use datacomp::codecs::{CodecError, Compressor, DecodeLimits};
+use datacomp::codecs::{CodecError, Compressor, DecodeLimits, StreamPolicy};
 use datacomp::faultline::{Injector, Rng};
 use proptest::prelude::*;
 
@@ -40,6 +40,31 @@ fn engines() -> Vec<Engine> {
         Engine {
             name: "zstdx",
             compress: Box::new(|d| Zstdx::new(3).with_checksum(true).compress(d)),
+            fast: Box::new(|d, l| Zstdx::new(3).decompress_limited(d, l)),
+            reference: Box::new(|d, l| Zstdx::new(3).decompress_reference(d, l)),
+        },
+        // Forced multi-stream variants: four Huffman literal streams and
+        // paired FSE states (zstdx) / four type-2 substreams (zlibx) are
+        // exercised even on inputs below the Auto thresholds.
+        Engine {
+            name: "zlibx@4",
+            compress: Box::new(|d| {
+                Zlibx::new(6)
+                    .with_checksum(true)
+                    .with_stream_policy(StreamPolicy::Quad)
+                    .compress(d)
+            }),
+            fast: Box::new(|d, l| Zlibx::new(6).decompress_limited(d, l)),
+            reference: Box::new(|d, l| Zlibx::new(6).decompress_reference(d, l)),
+        },
+        Engine {
+            name: "zstdx@4",
+            compress: Box::new(|d| {
+                Zstdx::new(3)
+                    .with_checksum(true)
+                    .with_stream_policy(StreamPolicy::Quad)
+                    .compress(d)
+            }),
             fast: Box::new(|d, l| Zstdx::new(3).decompress_limited(d, l)),
             reference: Box::new(|d, l| Zstdx::new(3).decompress_reference(d, l)),
         },

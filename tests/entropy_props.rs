@@ -56,6 +56,89 @@ proptest! {
         }
     }
 
+    /// Four-stream Huffman: splitting the literals into four
+    /// independently coded substreams is lossless for any input, and the
+    /// fast (word-at-a-time) and checked decoders agree byte-for-byte.
+    #[test]
+    fn huffman_4stream_roundtrips_any_bytes(
+        data in proptest::collection::vec(any::<u8>(), 4..4096),
+    ) {
+        let freqs = byte_histogram(&data);
+        if let Some(t) = HuffmanTable::build(&freqs, 11) {
+            let streams = t.encode_4stream(&data);
+            let bufs = [&streams[0][..], &streams[1][..], &streams[2][..], &streams[3][..]];
+            prop_assert_eq!(t.decode_4stream(bufs, data.len()).unwrap(), data.clone());
+            prop_assert_eq!(t.decode_4stream_fast(bufs, data.len()).unwrap(), data.clone());
+        }
+    }
+
+    /// Truncating any one of the four Huffman substreams at every byte
+    /// boundary must surface as a typed error from both decoders — never
+    /// a panic, never a silent wrong answer.
+    #[test]
+    fn huffman_4stream_truncation_errors_at_every_boundary(
+        data in proptest::collection::vec(any::<u8>(), 16..512),
+    ) {
+        let freqs = byte_histogram(&data);
+        if let Some(t) = HuffmanTable::build(&freqs, 11) {
+            let streams = t.encode_4stream(&data);
+            for cut_stream in 0..4 {
+                for cut in 0..streams[cut_stream].len() {
+                    let bufs: [&[u8]; 4] = std::array::from_fn(|i| {
+                        if i == cut_stream { &streams[i][..cut] } else { &streams[i][..] }
+                    });
+                    prop_assert!(t.decode_4stream(bufs, data.len()).is_err());
+                    prop_assert!(t.decode_4stream_fast(bufs, data.len()).is_err());
+                }
+            }
+        }
+    }
+
+    /// Four-state interleaved FSE: the rotated-state encoder and both
+    /// decoder engines (fast and byte-loop reference) round-trip any
+    /// symbol stream, including counts not divisible by four.
+    #[test]
+    fn fse_4x_roundtrips_any_symbols(
+        symbols in proptest::collection::vec(0u16..24, 1..4096),
+        table_log in 6u32..=11,
+    ) {
+        let hist = symbol_histogram(&symbols, 24);
+        if let Ok(norm) = normalize_counts(&hist, table_log) {
+            let t = FseTable::from_normalized(&norm, table_log).unwrap();
+            let buf = t.encode_4x(&symbols);
+            prop_assert_eq!(t.decode_4x(&buf, symbols.len()).unwrap(), symbols.clone());
+            prop_assert_eq!(t.decode_4x_reference(&buf, symbols.len()).unwrap(), symbols.clone());
+        }
+    }
+
+    /// Every strict prefix of a 4-state FSE stream: the fast and
+    /// reference decoders agree on the outcome at every cut point (equal
+    /// symbols on Ok, an error on both otherwise), so the four-state
+    /// integrity check is engine-independent.
+    #[test]
+    fn fse_4x_truncation_agrees_at_every_boundary(
+        symbols in proptest::collection::vec(0u16..16, 8..256),
+    ) {
+        let hist = symbol_histogram(&symbols, 16);
+        if let Ok(norm) = normalize_counts(&hist, 9) {
+            let t = FseTable::from_normalized(&norm, 9).unwrap();
+            let buf = t.encode_4x(&symbols);
+            for cut in 0..buf.len() {
+                let fast = t.decode_4x(&buf[..cut], symbols.len());
+                let slow = t.decode_4x_reference(&buf[..cut], symbols.len());
+                match (fast, slow) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "cut {}", cut),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => prop_assert!(
+                        false,
+                        "cut {}: fast={:?} reference={:?}",
+                        cut, a.map(|v| v.len()), b.map(|v| v.len())
+                    ),
+                }
+            }
+        }
+    }
+
     #[test]
     fn fse_compresses_skewed_below_fixed_width(skew in 2u32..20) {
         // A 4-symbol alphabet where symbol 0 has `skew` times the mass:

@@ -1,0 +1,154 @@
+//! Cross-version compatibility contract for the multi-stream entropy
+//! format (v4): frames written by pre-v4 encoders — modeled exactly by
+//! `StreamPolicy::Single`, which byte-for-byte reproduces the legacy
+//! writers — must keep decoding on current engines, sub-threshold Auto
+//! frames must stay byte-identical to legacy output, and the v4 format
+//! bit must gate the new block types in both directions.
+
+use datacomp::codecs::{zlibx::Zlibx, zstdx::Zstdx};
+use datacomp::codecs::{Compressor, DecodeLimits, StreamPolicy};
+
+fn corpus() -> Vec<Vec<u8>> {
+    vec![
+        Vec::new(),
+        b"abc".to_vec(),
+        vec![7u8; 4096],
+        (0..50_000u32).map(|i| (i % 97) as u8).collect(),
+        (0..200_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect(),
+    ]
+}
+
+/// Frames from a single-stream ("old") encoder decode on both current
+/// engines and never carry the v4 version bit.
+#[test]
+fn old_single_stream_frames_decode_on_current_engines() {
+    let limits = DecodeLimits::default();
+    for data in corpus() {
+        let zs = Zstdx::new(3)
+            .with_stream_policy(StreamPolicy::Single)
+            .compress(&data);
+        assert_eq!(zs[4] & 8, 0, "zstdx Single frame must not set FLAG_V4");
+        assert_eq!(
+            Zstdx::new(3).decompress_limited(&zs, &limits).unwrap(),
+            data
+        );
+        assert_eq!(
+            Zstdx::new(3).decompress_reference(&zs, &limits).unwrap(),
+            data
+        );
+
+        let zl = Zlibx::new(6)
+            .with_stream_policy(StreamPolicy::Single)
+            .compress(&data);
+        assert_eq!(
+            zl[1] & 0x01,
+            0,
+            "zlibx Single frame must not set v4 magic bit"
+        );
+        assert_eq!(
+            Zlibx::new(6).decompress_limited(&zl, &limits).unwrap(),
+            data
+        );
+        assert_eq!(
+            Zlibx::new(6).decompress_reference(&zl, &limits).unwrap(),
+            data
+        );
+    }
+}
+
+/// Below the Auto split thresholds the default encoder emits frames
+/// byte-identical to the legacy single-stream writer, so existing
+/// golden frames and old decoders are unaffected by the upgrade.
+#[test]
+fn auto_policy_is_byte_identical_to_legacy_below_threshold() {
+    for n in [0usize, 1, 64, 512, 1023] {
+        let data: Vec<u8> = (0..n).map(|i| (i % 7) as u8).collect();
+        let auto = Zstdx::new(3).compress(&data);
+        let single = Zstdx::new(3)
+            .with_stream_policy(StreamPolicy::Single)
+            .compress(&data);
+        assert_eq!(auto, single, "zstdx n={n}");
+    }
+    for n in [0usize, 1, 63, 1024, 16_383] {
+        let data: Vec<u8> = (0..n).map(|i| (i % 11) as u8).collect();
+        let auto = Zlibx::new(6).compress(&data);
+        let single = Zlibx::new(6)
+            .with_stream_policy(StreamPolicy::Single)
+            .compress(&data);
+        assert_eq!(auto, single, "zlibx n={n}");
+    }
+}
+
+/// Forced four-stream frames round-trip through both engines across
+/// levels, including inputs small enough that Auto would never split.
+#[test]
+fn quad_frames_roundtrip_on_both_engines() {
+    let limits = DecodeLimits::default();
+    for data in corpus() {
+        for level in [1, 3, 9] {
+            let zs = Zstdx::new(level)
+                .with_stream_policy(StreamPolicy::Quad)
+                .compress(&data);
+            assert_eq!(
+                Zstdx::new(level).decompress_limited(&zs, &limits).unwrap(),
+                data
+            );
+            assert_eq!(
+                Zstdx::new(level)
+                    .decompress_reference(&zs, &limits)
+                    .unwrap(),
+                data
+            );
+
+            let zl = Zlibx::new(level)
+                .with_stream_policy(StreamPolicy::Quad)
+                .compress(&data);
+            assert_eq!(
+                Zlibx::new(level).decompress_limited(&zl, &limits).unwrap(),
+                data
+            );
+            assert_eq!(
+                Zlibx::new(level)
+                    .decompress_reference(&zl, &limits)
+                    .unwrap(),
+                data
+            );
+        }
+    }
+}
+
+/// Clearing the version bit on a frame that contains multi-stream
+/// blocks makes both engines reject it with an error — the new block
+/// types are unreachable for decoders that predate v4.
+#[test]
+fn v4_blocks_require_the_version_bit() {
+    let limits = DecodeLimits::default();
+    // Skewed pseudo-random bytes over a 13-symbol alphabet: Huffman-
+    // compressible literals with few long matches, so the encoder has
+    // real literal mass and multiple sequences to split across streams.
+    let mut x = 0x2545f491u32;
+    let data: Vec<u8> = (0..100_000)
+        .map(|_| {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            ((x >> 16) % 13) as u8
+        })
+        .collect();
+
+    let mut zs = Zstdx::new(3)
+        .with_stream_policy(StreamPolicy::Quad)
+        .compress(&data);
+    assert_ne!(zs[4] & 8, 0, "Quad frame must set FLAG_V4");
+    zs[4] &= !8;
+    assert!(Zstdx::new(3).decompress_limited(&zs, &limits).is_err());
+    assert!(Zstdx::new(3).decompress_reference(&zs, &limits).is_err());
+
+    let mut zl = Zlibx::new(6)
+        .with_stream_policy(StreamPolicy::Quad)
+        .compress(&data);
+    assert_ne!(zl[1] & 0x01, 0, "Quad frame must set the v4 magic bit");
+    zl[1] &= !0x01;
+    assert!(Zlibx::new(6).decompress_limited(&zl, &limits).is_err());
+    assert!(Zlibx::new(6).decompress_reference(&zl, &limits).is_err());
+}
