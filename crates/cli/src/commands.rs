@@ -8,7 +8,7 @@ use compopt::prelude::*;
 use crate::args::Args;
 
 const USAGE: &str =
-    "datacomp <compress|decompress|bench|train-dict|optimize|gen|fleet|profile|trace|telemetry|fault-inject|chaos|monitor> ...";
+    "datacomp <compress|decompress|bench|train-dict|optimize|gen|fleet|profile|trace|telemetry|fault-inject|chaos|monitor|serve|loadgen> ...";
 
 /// Dispatches a parsed command line.
 ///
@@ -44,6 +44,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "fault-inject" => fault_inject(&args),
         "chaos" => chaos(&args),
         "monitor" => monitor(&args),
+        "serve" => serve(&args),
+        "loadgen" => loadgen(&args),
         other => Err(format!("unknown command {other}; usage: {USAGE}")),
     };
     if result.is_ok() {
@@ -600,6 +602,330 @@ fn monitor(args: &Args) -> Result<(), String> {
         return Err(format!("error budget exhausted: {}", broke.join(", ")));
     }
     println!("monitor: worst SLO state {}", slos.worst_state().as_str());
+    Ok(())
+}
+
+/// `datacomp serve [--addr 127.0.0.1:9185] [--metrics-addr 127.0.0.1:0]
+/// [--addr-file path] [--seconds 0] [--workers 0] [--slo-ms 5.0]
+/// [--slo-target 0.99] [--error-target 0.999] [--max-frame bytes]
+/// [--max-inflight 64] [--degrade-at 32] [--passthrough-at 48]
+/// [--cheap-level 1]` — runs the compression daemon.
+///
+/// The binary protocol is served on `--addr`; `/metrics`, `/slo`,
+/// `/healthz`, `/trace.json`, `/profile.json`, `/requests.json` on
+/// `--metrics-addr`. `--addr-file` receives both bound addresses
+/// (daemon first, scrape second), one per line, for harnesses using
+/// port 0. `--seconds 0` serves until killed; a positive value runs a
+/// bounded session and then gates the exit on the SLO error budgets —
+/// an exhausted budget is a non-zero exit.
+fn serve(args: &Args) -> Result<(), String> {
+    use std::time::{Duration, Instant};
+
+    let addr = args
+        .options
+        .get("addr")
+        .map_or("127.0.0.1:9185", String::as_str);
+    let metrics_addr = args
+        .options
+        .get("metrics-addr")
+        .map_or("127.0.0.1:0", String::as_str);
+    let seconds: f64 = args.opt_or("seconds", 0.0)?;
+    let slo_ms: f64 = args.opt_or("slo-ms", 5.0)?;
+    let slo_target: f64 = args.opt_or("slo-target", 0.99)?;
+    let error_target: f64 = args.opt_or("error-target", 0.999)?;
+
+    let mut cfg = server::ServerConfig {
+        workers: args.opt_or("workers", 0usize)?,
+        ..server::ServerConfig::default()
+    };
+    if let Some(max_frame) = args.opt::<usize>("max-frame")? {
+        cfg.limits = codecs::DecodeLimits::with_max_output(max_frame);
+    }
+    let admission = &mut cfg.managed.resilience.admission;
+    admission.max_inflight = args.opt_or("max-inflight", admission.max_inflight)?;
+    admission.degrade_at = args.opt_or("degrade-at", admission.degrade_at)?;
+    admission.passthrough_at = args.opt_or("passthrough-at", admission.passthrough_at)?;
+    admission.cheap_level = args.opt_or("cheap-level", admission.cheap_level)?;
+
+    // Objectives the request loop feeds by well-known name; register
+    // before the first request so every sample lands in a window.
+    let slos = telemetry::slos();
+    slos.register(telemetry::SloConfig::latency(
+        "server.request.latency",
+        (slo_ms * 1e6) as u64,
+        slo_target,
+    ));
+    slos.register(telemetry::SloConfig::error_rate(
+        "server.errors",
+        error_target,
+    ));
+
+    let daemon = server::CompressionServer::bind(addr, cfg)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let scrape = telemetry::ScrapeServer::bind(metrics_addr, telemetry::Sources::global())
+        .map_err(|e| format!("cannot bind {metrics_addr}: {e}"))?;
+    let (daddr, maddr) = (daemon.local_addr(), scrape.local_addr());
+    if let Some(path) = args.options.get("addr-file") {
+        fs::write(path, format!("{daddr}\n{maddr}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    println!("serve: compression protocol on {daddr}");
+    println!("serve: /metrics /slo /healthz /trace.json on http://{maddr}/");
+
+    if seconds > 0.0 {
+        let deadline = Instant::now() + Duration::from_secs_f64(seconds);
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    } else {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    daemon.shutdown();
+    scrape.shutdown();
+
+    // Per-tenant traffic summary from the counters /metrics served.
+    let snap = telemetry::snapshot();
+    let mut rows: Vec<(&str, &str, &str, u64)> = Vec::new();
+    for s in &snap.series {
+        if s.key.name != "server.requests" {
+            continue;
+        }
+        if let telemetry::SeriesValue::Counter(n) = s.value {
+            let find = |l: &str| {
+                s.key
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == l)
+                    .map_or("", |(_, v)| v.as_str())
+            };
+            rows.push((find("tenant"), find("op"), find("status"), n));
+        }
+    }
+    rows.sort_unstable();
+    println!(
+        "{:<16} {:<12} {:<10} {:>10}",
+        "tenant", "op", "status", "requests"
+    );
+    for (tenant, op, status, n) in &rows {
+        println!("{tenant:<16} {op:<12} {status:<10} {n:>10}");
+    }
+    let reports = slos.reports();
+    for r in &reports {
+        println!(
+            "serve: slo {:<28} state {:<8} budget {:>5.0}%",
+            r.name,
+            r.state.as_str(),
+            r.budget.remaining_fraction * 100.0
+        );
+    }
+    if slos.any_exhausted() {
+        let broke: Vec<&str> = reports
+            .iter()
+            .filter(|r| r.budget.exhausted)
+            .map(|r| r.name.as_str())
+            .collect();
+        return Err(format!("error budget exhausted: {}", broke.join(", ")));
+    }
+    println!(
+        "serve: clean shutdown, worst SLO state {}",
+        slos.worst_state().as_str()
+    );
+    Ok(())
+}
+
+/// `datacomp loadgen [--addr host:port | --addr-file path]
+/// [--mix cache1,cache2,kvstore1] [--seconds 5] [--concurrency 4]
+/// [--seed 1]` — deterministic fleet-mix replay against a live daemon.
+///
+/// Each worker thread opens one connection and replays seeded work
+/// units from the named fleet services (tenant = service name),
+/// round-tripping every block (compress, then `reads_per_write`
+/// decompressions with equality checks) and recording client-observed
+/// latency. Reports per-service outcome counts, p50/p99, and goodput;
+/// when the daemon's scrape address is known (second line of
+/// `--addr-file`) the server-side p99 and SLO worst-state are pulled
+/// from `/metrics` and `/slo`.
+fn loadgen(args: &Args) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let (addr, metrics_addr) = match args.options.get("addr-file") {
+        Some(path) => {
+            let body = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut lines = body.lines();
+            let addr = lines
+                .next()
+                .ok_or_else(|| format!("{path} is empty"))?
+                .to_string();
+            (addr, lines.next().map(str::to_string))
+        }
+        None => (
+            args.options
+                .get("addr")
+                .ok_or("need --addr or --addr-file")?
+                .clone(),
+            None,
+        ),
+    };
+    let mix_arg = args
+        .options
+        .get("mix")
+        .map_or("cache1,cache2,kvstore1", String::as_str);
+    let seconds: f64 = args.opt_or("seconds", 5.0)?;
+    let concurrency: usize = args.opt_or("concurrency", 4)?;
+    let seed: u64 = args.opt_or("seed", 1)?;
+    if !seconds.is_finite() || seconds <= 0.0 || concurrency == 0 {
+        return Err("need positive --seconds and --concurrency".into());
+    }
+
+    let registry = fleet::registry();
+    let mut specs = Vec::new();
+    for name in mix_arg.split(',') {
+        let spec = registry
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name.trim()))
+            .ok_or_else(|| format!("unknown service {name} in --mix"))?;
+        specs.push(spec.clone());
+    }
+    println!(
+        "loadgen: {} threads replaying [{}] against {addr} for {seconds}s (seed {seed})",
+        concurrency, mix_arg
+    );
+
+    #[derive(Default)]
+    struct Tally {
+        ok: u64,
+        shed: u64,
+        deadline: u64,
+        errors: u64,
+        bytes_ok: u64,
+        latencies: Vec<u64>,
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..concurrency {
+        let addr = addr.clone();
+        let specs = specs.clone();
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || -> Result<Tally, String> {
+            let mut client = server::client::Client::connect(&addr)
+                .map_err(|e| format!("connect {addr}: {e}"))?;
+            let mut tally = Tally::default();
+            let mut unit = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // One spec per unit, round-robin; deterministic in
+                // (seed, thread, unit) so reruns replay byte-identical
+                // traffic.
+                let spec = &specs[(unit as usize) % specs.len()];
+                let unit_seed = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add((t as u64) << 32)
+                    .wrapping_add(unit);
+                let reads = spec.reads_per_write.round().max(1.0) as usize;
+                for block in spec.workload.generate_unit(unit_seed) {
+                    let start = Instant::now();
+                    let resp = client
+                        .compress(spec.name, spec.name, &block)
+                        .map_err(|e| format!("compress transport: {e}"))?;
+                    tally.latencies.push(start.elapsed().as_nanos() as u64);
+                    use server::protocol::Status;
+                    match resp.status {
+                        Status::Ok => {
+                            tally.ok += 1;
+                            tally.bytes_ok += block.len() as u64;
+                            for _ in 0..reads {
+                                let back = client
+                                    .decompress(spec.name, spec.name, &resp.payload)
+                                    .map_err(|e| format!("decompress transport: {e}"))?;
+                                match back.status {
+                                    Status::Ok => {
+                                        if back.payload != block {
+                                            return Err(format!(
+                                                "round-trip mismatch on {}",
+                                                spec.name
+                                            ));
+                                        }
+                                        tally.ok += 1;
+                                    }
+                                    Status::Shed => tally.shed += 1,
+                                    Status::Deadline => tally.deadline += 1,
+                                    _ => tally.errors += 1,
+                                }
+                            }
+                        }
+                        Status::Shed => tally.shed += 1,
+                        Status::Deadline => tally.deadline += 1,
+                        _ => tally.errors += 1,
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                unit += 1;
+            }
+            Ok(tally)
+        }));
+    }
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    stop.store(true, Ordering::Relaxed);
+    let mut total = Tally::default();
+    for h in handles {
+        let t = h
+            .join()
+            .map_err(|_| "loadgen thread panicked".to_string())??;
+        total.ok += t.ok;
+        total.shed += t.shed;
+        total.deadline += t.deadline;
+        total.errors += t.errors;
+        total.bytes_ok += t.bytes_ok;
+        total.latencies.extend(t.latencies);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    total.latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if total.latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((total.latencies.len() - 1) as f64 * p) as usize;
+        total.latencies.get(idx).copied().unwrap_or(0) as f64 / 1e6
+    };
+    println!(
+        "loadgen: {} ok, {} shed, {} deadline, {} errors in {wall:.1}s",
+        total.ok, total.shed, total.deadline, total.errors
+    );
+    println!(
+        "loadgen: client p50 {:.3} ms, p99 {:.3} ms, goodput {:.1} MB/s",
+        pct(0.50),
+        pct(0.99),
+        total.bytes_ok as f64 / wall / 1e6
+    );
+    if let Some(maddr) = metrics_addr {
+        let maddr: std::net::SocketAddr = maddr
+            .parse()
+            .map_err(|e| format!("bad metrics addr {maddr}: {e}"))?;
+        let metrics = server::client::http_get(maddr, "/metrics")
+            .map_err(|e| format!("scrape /metrics: {e}"))?;
+        for line in metrics.lines() {
+            if line.starts_with("window_server_request_nanos_p99") {
+                println!("loadgen: server {line}");
+            }
+        }
+        let slo =
+            server::client::http_get(maddr, "/slo").map_err(|e| format!("scrape /slo: {e}"))?;
+        let worst = slo
+            .split("\"worst\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap_or("unknown");
+        println!("loadgen: server SLO worst state {worst}");
+    }
+    if total.errors > 0 {
+        return Err(format!("{} request errors", total.errors));
+    }
     Ok(())
 }
 

@@ -197,16 +197,13 @@ fn level_params(level: i32) -> Option<MatchParams> {
     })
 }
 
-/// Encodes one block. Returns None when Huffman coding is impossible or
-/// unprofitable, in which case the caller stores the block raw.
-// indexing_slicing: encode side. `start <= end <= buf.len()` is the
-// caller's block-split invariant; histogram indices are alphabet codes
-// (`ml_code`/`of_code` outputs) within the freshly sized freq vecs;
-// `sequences[0]` exists on the `distinct_dists == 1` arm; `lit_pos`
-// advances by the literal lengths the parser drew from `literals`.
+/// Runs the match finder over one block span, recording the
+/// `zlibx.match_find` stage. The parse is shared by both block layouts
+/// so the stream-policy decision can inspect it without parsing twice.
+// indexing_slicing: encode side — callers pass `end <= buf.len()`
+// (`end = (start + BLOCK).min(data.len())` in `compress`).
 #[allow(clippy::indexing_slicing)]
-fn encode_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> Option<Vec<u8>> {
-    let data = &buf[start..end];
+fn parse_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> lzkit::ParsedBlock {
     let mf_start = Instant::now();
     let block = lzkit::parse(&buf[..end], start, params);
     telemetry::record_stage(
@@ -216,6 +213,19 @@ fn encode_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> O
         mf_start,
         mf_start.elapsed(),
     );
+    block
+}
+
+/// Encodes one block from its parse. Returns None when Huffman coding is
+/// impossible or unprofitable, in which case the caller stores the block
+/// raw.
+// indexing_slicing: encode side. `data` is the block span the parse was
+// produced from; histogram indices are alphabet codes
+// (`ml_code`/`of_code` outputs) within the freshly sized freq vecs;
+// `sequences[0]` exists on the `distinct_dists == 1` arm; `lit_pos`
+// advances by the literal lengths the parser drew from `literals`.
+#[allow(clippy::indexing_slicing)]
+fn encode_block(data: &[u8], block: &lzkit::ParsedBlock) -> Option<Vec<u8>> {
     let ent_start = Instant::now();
 
     // Histogram over the merged alphabet and the distance alphabet.
@@ -296,6 +306,24 @@ fn encode_block(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> O
 /// EOBs, size words, and per-stream bit padding.
 const AUTO_SPLIT: usize = 16 * 1024;
 
+/// Minimum literal share of the decoded block (in percent) at which
+/// [`StreamPolicy::Auto`] emits type-2 blocks. The four-stream layout
+/// parallelizes *literal* Huffman decode; its deferred-match second
+/// phase makes match-dominated blocks strictly slower. Measured on the
+/// mixed guard corpus (best-of-5, 256 KiB per class, 64 KiB blocks):
+/// literal-heavy Binary decodes +43% under Quad while every
+/// match-dominated class (literal share <= 15%) loses 10-33%, so Auto
+/// splits only blocks the parse shows are literal-dominated. The
+/// measured corpus is sharply bimodal (<= 0.15 vs >= 0.98 literal
+/// share); 50% sits in the gap with margin on both sides.
+const AUTO_LIT_PERCENT: usize = 50;
+
+/// Whether [`StreamPolicy::Auto`] picks the type-2 layout for a block
+/// span of `len` bytes whose parse produced `block`.
+fn auto_quad(block: &lzkit::ParsedBlock, len: usize) -> bool {
+    len >= AUTO_SPLIT && block.literals.len() * 100 >= len * AUTO_LIT_PERCENT
+}
+
 /// Encodes one type-2 block: the shared table header of [`encode_block`]
 /// followed by four independently decodable substreams, each covering a
 /// contiguous span of the output and terminated by its own EOB. Cuts
@@ -306,18 +334,8 @@ const AUTO_SPLIT: usize = 16 * 1024;
 // indexing_slicing: encode side — same invariants as `encode_block`,
 // plus `streams`/`stream_lens` hold exactly 4 entries by construction.
 #[allow(clippy::indexing_slicing)]
-fn encode_block4(buf: &[u8], start: usize, end: usize, params: &MatchParams) -> Option<Vec<u8>> {
-    let data = &buf[start..end];
+fn encode_block4(data: &[u8], block: &lzkit::ParsedBlock) -> Option<Vec<u8>> {
     let decoded_len = data.len();
-    let mf_start = Instant::now();
-    let block = lzkit::parse(&buf[..end], start, params);
-    telemetry::record_stage(
-        telemetry::global(),
-        "zlibx.match_find",
-        &[],
-        mf_start,
-        mf_start.elapsed(),
-    );
     let ent_start = Instant::now();
 
     let mut lit_freq = vec![0u32; LITLEN_ALPHABET];
@@ -756,16 +774,19 @@ impl Compressor for Zlibx {
         let mut any_v4 = false;
         while start < src.len() {
             let end = (start + BLOCK_SIZE).min(src.len());
-            let four = match self.streams {
-                StreamPolicy::Single => false,
-                StreamPolicy::Quad => end - start >= 64,
-                StreamPolicy::Auto => end - start >= AUTO_SPLIT,
-            };
+            let mut four = false;
             let encoded = self.params.as_ref().and_then(|p| {
+                let block = parse_block(src, start, end, p);
+                let data = &src[start..end];
+                four = match self.streams {
+                    StreamPolicy::Single => false,
+                    StreamPolicy::Quad => end - start >= 64,
+                    StreamPolicy::Auto => auto_quad(&block, end - start),
+                };
                 if four {
-                    encode_block4(src, start, end, p)
+                    encode_block4(data, &block)
                 } else {
-                    encode_block(src, start, end, p)
+                    encode_block(data, &block)
                 }
             });
             write_varint(&mut out, (end - start) as u64);
@@ -949,18 +970,57 @@ mod multi_stream_tests {
             .collect()
     }
 
+    /// Huffman-compressible 7-bit noise: essentially no LZ matches, so
+    /// nearly every decoded byte is a literal and Auto should split.
+    fn noise(n: usize) -> Vec<u8> {
+        let mut x = 0x9e37_79b9u32;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 8) as u8 & 0x7f
+            })
+            .collect()
+    }
+
     #[test]
     fn auto_policy_sets_v4_magic_and_roundtrips_both_engines() {
-        let data = sample(120_000);
+        // Literal-dominated input: the quad layout parallelizes literal
+        // decode, so Auto must pick type-2 blocks here.
+        let data = noise(120_000);
         let c = Zlibx::new(6);
         let enc = c.compress(&data);
-        assert_ne!(enc[1] & MAGIC_V4_BIT, 0, "large block should go type-2");
+        assert_ne!(
+            enc[1] & MAGIC_V4_BIT,
+            0,
+            "literal-heavy block should go type-2"
+        );
         assert_eq!(c.decompress(&enc).unwrap(), data);
         assert_eq!(
             c.decompress_reference(&enc, &DecodeLimits::default())
                 .unwrap(),
             data
         );
+    }
+
+    #[test]
+    fn auto_policy_keeps_match_dominated_blocks_single_stream() {
+        // The XML-ish sample is almost all matches (~2% literal share);
+        // the deferred-match phase of type-2 blocks makes those strictly
+        // slower to decode, so Auto must keep the legacy layout.
+        let data = sample(120_000);
+        let c = Zlibx::new(6);
+        let enc = c.compress(&data);
+        assert_eq!(
+            enc[1] & MAGIC_V4_BIT,
+            0,
+            "match-heavy block must stay single"
+        );
+        let single = Zlibx::new(6)
+            .with_stream_policy(StreamPolicy::Single)
+            .compress(&data);
+        assert_eq!(enc, single);
     }
 
     #[test]
@@ -1062,7 +1122,7 @@ mod multi_stream_tests {
 
     #[test]
     fn checksummed_v4_frames_roundtrip() {
-        let data = sample(150_000);
+        let data = noise(150_000);
         let c = Zlibx::new(5).with_checksum(true);
         let enc = c.compress(&data);
         assert_eq!(enc[1], MAGIC_CK[1] | MAGIC_V4_BIT);

@@ -613,9 +613,22 @@ fn choose_table(codes: &[u8], predefined: &'static FseTable, alphabet: usize) ->
 /// Huffman literals into four substreams: below this the per-stream
 /// size words and ramp-up cost more than the decode parallelism buys.
 const AUTO_LIT_SPLIT: usize = 1024;
+/// Minimum literal share of the decoded block (in percent) at which
+/// [`StreamPolicy::Auto`] splits literals. Like zlibx's gate: the
+/// four-stream layout parallelizes literal decode, so on match-dominated
+/// blocks (mixed-corpus classes sit at <= 15% literal share) the split
+/// pays stream-header and ramp-up costs for a section that is not on
+/// the critical path, measuring as a small end-to-end decode loss.
+/// Literal-dominated blocks (Binary class, >= 98%) win outright.
+const AUTO_LIT_PERCENT: usize = 50;
 /// Minimum sequence count at which [`StreamPolicy::Auto`] switches to
-/// the paired six-state FSE layout.
-const AUTO_SEQ_PAIR: usize = 64;
+/// the paired six-state FSE layout. [`StreamPolicy::Auto`] never selects
+/// it: measured end-to-end decode on every sequence-heavy corpus class is
+/// 2-7% *slower* paired (the two interleaved triples contend for the same
+/// bit reservoir, and unlike the literal streams there is no independent
+/// second source to overlap), so pairing is reachable only through an
+/// explicit [`StreamPolicy::Quad`].
+const QUAD_SEQ_PAIR: usize = 2;
 
 // indexing_slicing: encode side — `lits[0]` sits behind the non-empty
 // branch, and the per-sequence arrays (`llc`/`mlc`/`ofc`) are built with
@@ -632,10 +645,19 @@ fn encode_block_payload_opts(
 
     // --- Literals section ---
     let lits = &parsed.literals;
+    // Decoded block length: literals plus every match's expansion.
+    let decoded: usize = lits.len()
+        + parsed
+            .sequences
+            .iter()
+            .map(|s| s.match_len as usize)
+            .sum::<usize>();
     let four = match policy {
         StreamPolicy::Single => false,
         StreamPolicy::Quad => lits.len() >= 4,
-        StreamPolicy::Auto => lits.len() >= AUTO_LIT_SPLIT,
+        StreamPolicy::Auto => {
+            lits.len() >= AUTO_LIT_SPLIT && lits.len() * 100 >= decoded * AUTO_LIT_PERCENT
+        }
     };
     if lits.is_empty() {
         out.push(LIT_RAW);
@@ -725,9 +747,8 @@ fn encode_block_payload_opts(
     let of_choice = choose_table(&ofc, predefined_of(), OF_ALPHABET);
 
     let paired = match policy {
-        StreamPolicy::Single => false,
-        StreamPolicy::Quad => n >= 2,
-        StreamPolicy::Auto => n >= AUTO_SEQ_PAIR,
+        StreamPolicy::Single | StreamPolicy::Auto => false,
+        StreamPolicy::Quad => n >= QUAD_SEQ_PAIR,
     };
     used_v4 |= paired;
     let pair_bit = if paired { SEQ_PAIR_FLAG } else { 0 };
@@ -1459,15 +1480,29 @@ mod multi_stream_tests {
             .collect()
     }
 
+    /// Huffman-compressible 7-bit noise: essentially no matches, so the
+    /// block is literal-dominated and Auto must take the 4-stream split.
+    fn noise(n: usize) -> Vec<u8> {
+        let mut x = 0x9e37_79b9u32;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 8) as u8 & 0x7f
+            })
+            .collect()
+    }
+
     #[test]
     fn auto_policy_sets_v4_flag_and_roundtrips_both_engines() {
-        let data = sample();
+        let data = noise(120_000);
         let c = Zstdx::new(6);
         let enc = c.compress(&data);
         assert_ne!(
             enc[MAGIC.len()] & FLAG_V4,
             0,
-            "large block should trip the auto multi-stream thresholds"
+            "literal-heavy block should trip the auto multi-stream gate"
         );
         assert_eq!(c.decompress(&enc).unwrap(), data);
         assert_eq!(
@@ -1475,6 +1510,25 @@ mod multi_stream_tests {
                 .unwrap(),
             data
         );
+    }
+
+    #[test]
+    fn auto_policy_keeps_match_dominated_blocks_single_stream() {
+        // JSON-ish records are almost all matches; the 4-stream literal
+        // split and paired FSE both measure as decode losses there, so
+        // Auto must emit the legacy layout byte-for-byte.
+        let data = sample();
+        let c = Zstdx::new(6);
+        let enc = c.compress(&data);
+        assert_eq!(
+            enc[MAGIC.len()] & FLAG_V4,
+            0,
+            "match-heavy must stay legacy"
+        );
+        let single = Zstdx::new(6)
+            .with_stream_policy(StreamPolicy::Single)
+            .compress(&data);
+        assert_eq!(enc, single);
     }
 
     #[test]
@@ -1558,7 +1612,9 @@ mod multi_stream_tests {
 
     #[test]
     fn v4_multi_block_and_dictionary_frames_roundtrip() {
-        let data: Vec<u8> = sample().iter().cycle().take(400_000).copied().collect();
+        // Literal-heavy payload spanning multiple 128 KiB blocks, so
+        // Auto keeps the 4-stream split live across block boundaries.
+        let data = noise(400_000);
         let c = Zstdx::new(5);
         let enc = c.compress(&data);
         assert_ne!(enc[MAGIC.len()] & FLAG_V4, 0);

@@ -209,6 +209,14 @@ impl ManagedCompression {
         Arc::clone(&self.admission)
     }
 
+    /// Replaces the admission controller with a shared one, so several
+    /// service instances (e.g. per-tenant shards behind one server)
+    /// count against a single concurrency limit and walk the same
+    /// brownout ladder instead of each browning out independently.
+    pub fn set_admission(&mut self, admission: Arc<AdmissionController>) {
+        self.admission = admission;
+    }
+
     /// Retry-budget tokens currently available.
     pub fn retry_budget_tokens(&self) -> f64 {
         self.retry_budget.tokens()

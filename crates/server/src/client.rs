@@ -1,0 +1,143 @@
+//! Blocking client for the daemon's binary protocol, plus the minimal
+//! HTTP GET the load harness uses to scrape the serving process's
+//! metrics endpoints.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use codecs::DecodeLimits;
+
+use crate::protocol::{self, Op, Request, Response, WireError};
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    limits: DecodeLimits,
+}
+
+impl Client {
+    /// Connects to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            limits: DecodeLimits::default(),
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, WireError> {
+        let mut wire = Vec::new();
+        protocol::encode_request(&mut wire, req)?;
+        self.writer.write_all(&wire).map_err(WireError::Io)?;
+        self.writer.flush().map_err(WireError::Io)?;
+        protocol::read_response(&mut self.reader, &self.limits)
+    }
+
+    /// Compresses `data` under `(tenant, use_case)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failure; service-level outcomes (shed,
+    /// deadline) come back as the response's status.
+    pub fn compress(
+        &mut self,
+        tenant: &str,
+        use_case: &str,
+        data: &[u8],
+    ) -> Result<Response, WireError> {
+        self.roundtrip(&Request {
+            op: Op::Compress,
+            tenant: tenant.into(),
+            use_case: use_case.into(),
+            payload: data.to_vec(),
+        })
+    }
+
+    /// Decompresses a frame previously returned by [`Self::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failure.
+    pub fn decompress(
+        &mut self,
+        tenant: &str,
+        use_case: &str,
+        frame: &[u8],
+    ) -> Result<Response, WireError> {
+        self.roundtrip(&Request {
+            op: Op::Decompress,
+            tenant: tenant.into(),
+            use_case: use_case.into(),
+            payload: frame.to_vec(),
+        })
+    }
+
+    /// Fetches the tenant's per-use-case stats JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failure.
+    pub fn stats(&mut self, tenant: &str) -> Result<Response, WireError> {
+        self.roundtrip(&Request {
+            op: Op::Stats,
+            tenant: tenant.into(),
+            use_case: String::new(),
+            payload: Vec::new(),
+        })
+    }
+
+    /// Writes every request in one burst, then reads every response —
+    /// the pipelining shape the server's batch path coalesces.
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failure; responses arrive in request order.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>, WireError> {
+        let mut wire = Vec::new();
+        for req in reqs {
+            protocol::encode_request(&mut wire, req)?;
+        }
+        self.writer.write_all(&wire).map_err(WireError::Io)?;
+        self.writer.flush().map_err(WireError::Io)?;
+        reqs.iter()
+            .map(|_| protocol::read_response(&mut self.reader, &self.limits))
+            .collect()
+    }
+}
+
+/// One-shot `GET path` against a scrape endpoint; returns the body.
+/// Just enough HTTP/1.1 for the load harness to pull `/metrics` and
+/// `/slo` from the serving process without an external client.
+///
+/// # Errors
+///
+/// Connect/IO failure or a non-200 status line.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: datacomp\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let Some((head, body)) = raw.split_once("\r\n\r\n") else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no header/body split in scrape response",
+        ));
+    };
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("scrape {path}: {}", head.lines().next().unwrap_or("")),
+        ));
+    }
+    Ok(body.to_string())
+}

@@ -268,8 +268,16 @@ impl ScrapeServer {
 
     fn stop_inner(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock `accept` with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        // Unblock `accept` with a throwaway connection. A transient
+        // connect failure (e.g. backlog exhaustion) would leave the
+        // accept loop blocked and the join below hung, so retry a few
+        // times; once any connect lands the loop observes the flag.
+        for _ in 0..8 {
+            if TcpStream::connect(self.local_addr).is_ok() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -293,11 +301,15 @@ fn accept_loop(listener: TcpListener, sources: Sources, stop: Arc<AtomicBool>) {
         // A stuck client must not wedge the (single-threaded) loop.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-        let _ = handle_connection(stream, &sources);
+        let _ = handle_connection(stream, &sources, &stop);
     }
 }
 
-fn handle_connection(stream: TcpStream, sources: &Sources) -> std::io::Result<()> {
+fn handle_connection(
+    stream: TcpStream,
+    sources: &Sources,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.by_ref().take(8192).read_line(&mut request_line)?;
@@ -310,6 +322,13 @@ fn handle_connection(stream: TcpStream, sources: &Sources) -> std::io::Result<()
         header.clear();
     }
     let response = respond(method, path, sources);
+    // `stop()` may have landed while this request was being read — e.g.
+    // its unblock connect raced an in-flight client. Re-check right
+    // before the write so a stopped server never answers: the caller
+    // sees a closed socket, not a response from a server it stopped.
+    if stop.load(Ordering::SeqCst) {
+        return Ok(());
+    }
     let mut stream = reader.into_inner();
     stream.write_all(response.to_http().as_bytes())?;
     stream.flush()
@@ -446,18 +465,23 @@ mod tests {
         assert!(fetch("/trace.json").contains("traceEvents"));
         assert!(fetch("/missing").starts_with("HTTP/1.1 404"));
         server.shutdown();
-        // The port is released: nothing is listening any more.
-        assert!(
-            TcpStream::connect(addr).is_err() || {
-                // A races-with-OS rebind can still accept; tolerate one
-                // connect but require no HTTP response.
-                let mut c = TcpStream::connect(addr).unwrap();
-                let _ = write!(c, "GET /healthz HTTP/1.1\r\n\r\n");
-                let mut buf = String::new();
-                c.set_read_timeout(Some(Duration::from_millis(200)))
-                    .unwrap();
-                c.read_to_string(&mut buf).is_err() || buf.is_empty()
-            }
-        );
+        // Deterministic shutdown: once `shutdown()` returns the accept
+        // thread has been joined, so no probe — even one whose connect
+        // wins a race against the kernel tearing the socket down — may
+        // ever receive an HTTP response.
+        for probe in 0..5 {
+            let Ok(mut c) = TcpStream::connect(addr) else {
+                continue; // port released, nothing listening
+            };
+            let _ = write!(c, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+            let mut buf = String::new();
+            c.set_read_timeout(Some(Duration::from_millis(200)))
+                .unwrap();
+            let _ = c.read_to_string(&mut buf);
+            assert!(
+                !buf.contains("HTTP/1.1"),
+                "stopped server answered probe {probe}: {buf}"
+            );
+        }
     }
 }

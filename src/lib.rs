@@ -13,6 +13,8 @@
 //!   (the paper's reference \[27\]).
 //! * [`faultline`] — deterministic fault injection asserting the
 //!   panic-free decode contract across the codecs.
+//! * [`server`] — the long-running compression daemon (binary request
+//!   protocol, per-tenant shards, brownout backpressure).
 //! * [`telemetry`] — the unified metrics/tracing layer (registry,
 //!   spans, JSON/Prometheus exporters).
 //! * [`entropy`] / [`lzkit`] — the shared compression substrates.
@@ -28,4 +30,5 @@ pub use faultline;
 pub use fleet;
 pub use lzkit;
 pub use managed;
+pub use server;
 pub use telemetry;
